@@ -1,0 +1,117 @@
+"""Ablations of SpotLight's design choices (DESIGN.md section 5).
+
+* spike threshold T — detection vs probing cost;
+* sampling ratio p — proportional cost reduction;
+* related-market fan-out — the share of detections it contributes;
+* re-probe interval delta — duration resolution vs cost.
+
+Each ablation re-runs a small seeded deployment with one knob changed.
+"""
+
+import pytest
+
+from repro import EC2Simulator, FleetConfig, SpotLight, SpotLightConfig
+from repro.core.records import ProbeKind, ProbeTrigger
+from repro.ec2.catalog import small_catalog
+
+DAYS = 4 * 86400.0
+
+
+def deploy(**config_kwargs):
+    catalog = small_catalog(regions=["sa-east-1"], families=["c3"])
+    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=31, tick_interval=300.0))
+    spotlight = SpotLight(
+        sim, SpotLightConfig(spot_probe_interval=6 * 3600.0, **config_kwargs)
+    )
+    spotlight.start()
+    sim.run_for(DAYS)
+    return sim, spotlight
+
+
+def detections(spotlight):
+    return sum(
+        1
+        for p in spotlight.database.probes(kind=ProbeKind.ON_DEMAND, rejected=True)
+    )
+
+
+def test_ablation_threshold(benchmark):
+    """Raising T cuts probing cost; detections fall with it."""
+
+    def sweep():
+        rows = []
+        for threshold in (0.5, 1.0, 2.0, 4.0):
+            _, spotlight = deploy(threshold_multiple=threshold)
+            rows.append(
+                (threshold, detections(spotlight), spotlight.budget.total_spent())
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: spike threshold T")
+    print(f"{'T':>5} {'detections':>11} {'cost ($)':>10}")
+    for threshold, found, cost in rows:
+        print(f"{threshold:>4.1f}x {found:>11} {cost:>10.1f}")
+    costs = {t: c for t, _, c in rows}
+    assert costs[4.0] <= costs[0.5]
+
+
+def test_ablation_sampling_probability(benchmark):
+    """Halving p roughly halves spike-triggered probes (and cost)."""
+
+    def sweep():
+        rows = []
+        for p in (1.0, 0.5, 0.1):
+            _, spotlight = deploy(sampling_probability=p)
+            spike_probes = sum(
+                1
+                for record in spotlight.database.probes()
+                if record.trigger is ProbeTrigger.PRICE_SPIKE
+            )
+            rows.append((p, spike_probes, spotlight.budget.total_spent()))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: sampling ratio p")
+    for p, probes, cost in rows:
+        print(f"  p={p:<4} spike probes={probes:<6} cost=${cost:.1f}")
+    by_p = {p: probes for p, probes, _ in rows}
+    assert by_p[0.1] < by_p[1.0]
+
+
+def test_ablation_family_fanout(benchmark):
+    """Disabling related-market probing loses most detections (Fig 5.7)."""
+
+    def run_both():
+        _, with_fanout = deploy(probe_related_family=True)
+        _, without = deploy(probe_related_family=False)
+        return detections(with_fanout), detections(without)
+
+    found_with, found_without = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(f"\nAblation: family fan-out on={found_with} off={found_without}")
+    if found_with == 0:
+        pytest.skip("seed produced no detections")
+    assert found_without <= found_with
+
+
+def test_ablation_reprobe_interval(benchmark):
+    """A coarser delta measures durations at lower resolution/cost."""
+
+    def sweep():
+        rows = []
+        for delta in (300.0, 1200.0):
+            _, spotlight = deploy(reprobe_interval=delta)
+            recovery_probes = sum(
+                1
+                for record in spotlight.database.probes()
+                if record.trigger is ProbeTrigger.RECOVERY
+            )
+            rows.append((delta, recovery_probes))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: re-probe interval delta")
+    for delta, probes in rows:
+        print(f"  delta={delta:>6.0f}s recovery probes={probes}")
+    by_delta = dict(rows)
+    assert by_delta[1200.0] <= by_delta[300.0]

@@ -1,0 +1,33 @@
+"""Figure 2.1 — spot prices vary dynamically and may exceed on-demand.
+
+Regenerates the c3.2xlarge us-east-1d series (two weeks) and reports
+how often and how far the spot price exceeded the $0.42 on-demand line.
+"""
+
+from repro.traces import SpotPriceTraceGenerator, profile
+
+TWO_WEEKS = 14 * 86400.0
+
+
+def test_fig_2_1(benchmark):
+    config = profile("c3.2xlarge-us-east-1d")
+
+    def generate():
+        return SpotPriceTraceGenerator(config, seed=915).generate(TWO_WEEKS)
+
+    events = benchmark(generate)
+    od = config.on_demand_price
+    above = [(t, p) for t, p in events if p > od]
+    peak = max(p for _, p in events)
+
+    # Shape: the price is usually far below on-demand but periodically
+    # exceeds it — by several multiples at the peak.
+    assert above, "spot price must exceed the on-demand price sometimes"
+    assert len(above) < len(events) * 0.5
+    assert peak > 2 * od
+
+    print(f"\nFigure 2.1 — c3.2xlarge us-east-1d, 14 days, od=${od}/hr")
+    print(f"  price events:          {len(events)}")
+    print(f"  events above od:       {len(above)} ({len(above)/len(events):.1%})")
+    print(f"  peak price:            ${peak:.4f} ({peak/od:.1f}x od)")
+    print(f"  min price:             ${min(p for _, p in events):.4f}")

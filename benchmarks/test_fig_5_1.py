@@ -1,0 +1,80 @@
+"""Figure 5.1 — inefficient spot markets.
+
+(a) within-family price inversions in c3.* (us-east-1d): the smaller
+type sometimes costs more *per unit* than the larger (arbitrage);
+(b) cross-zone divergence for c3.2xlarge: max/min ratios of 5-6x.
+"""
+
+from repro.analysis.efficiency import cross_zone_divergence, family_inversions
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.records import PriceRecord
+from repro.traces import SpotPriceTraceGenerator, profile
+
+TWO_WEEKS = 14 * 86400.0
+
+FAMILY = [
+    ("c3.2xlarge-us-east-1d", MarketID("us-east-1d", "c3.2xlarge", "Linux/UNIX"), 8),
+    ("c3.4xlarge-us-east-1d", MarketID("us-east-1d", "c3.4xlarge", "Linux/UNIX"), 16),
+    ("c3.8xlarge-us-east-1d", MarketID("us-east-1d", "c3.8xlarge", "Linux/UNIX"), 32),
+]
+
+
+def _build_db(seed_base=51):
+    db = ProbeDatabase()
+    for offset, (name, market, _units) in enumerate(FAMILY):
+        events = SpotPriceTraceGenerator(
+            profile(name), seed=seed_base + offset
+        ).generate(TWO_WEEKS)
+        for t, p in events:
+            db.insert_price(PriceRecord(t, market, p))
+    return db
+
+
+def test_fig_5_1a_family_inversions(benchmark):
+    db = _build_db()
+    markets = [market for _, market, _ in FAMILY]
+    units = {m.instance_type: u for _, m, u in FAMILY}
+
+    inversions = benchmark(lambda: family_inversions(db, markets, units, 900.0))
+
+    assert inversions, "an inefficient market must show per-unit inversions"
+    worst = max(inversions, key=lambda w: w.unit_ratio)
+    assert worst.unit_ratio > 1.0
+
+    print("\nFigure 5.1(a) — c3.* family inversions, us-east-1d, 14 days")
+    print(f"  inversion windows:  {len(inversions)}")
+    print(
+        f"  worst: {worst.small_type} at ${worst.small_price:.3f} vs "
+        f"{worst.large_type} at ${worst.large_price:.3f} "
+        f"({worst.unit_ratio:.1f}x per-unit)"
+    )
+
+
+def test_fig_5_1b_cross_zone_divergence(benchmark):
+    markets = [
+        MarketID(az, "c3.2xlarge", "Linux/UNIX")
+        for az in ("us-east-1a", "us-east-1b", "us-east-1d")
+    ]
+    db = ProbeDatabase()
+    config = profile("c3.2xlarge-us-east-1d")
+    generator = SpotPriceTraceGenerator(config, seed=77)
+    for market, events in zip(
+        markets, generator.generate_correlated(TWO_WEEKS, siblings=3, correlation=0.3)
+    ):
+        for t, p in events:
+            db.insert_price(PriceRecord(t, market, p))
+
+    series = benchmark(lambda: cross_zone_divergence(db, markets, 900.0))
+
+    assert series
+    peak_ratio = max(r for _, r in series)
+    median_ratio = sorted(r for _, r in series)[len(series) // 2]
+    # Zones usually track each other loosely but diverge several-fold
+    # at times (the paper observes 5-6x).
+    assert peak_ratio > 3.0
+
+    print("\nFigure 5.1(b) — c3.2xlarge across us-east-1{a,b,d}, 14 days")
+    print(f"  samples:        {len(series)}")
+    print(f"  median max/min: {median_ratio:.2f}x")
+    print(f"  peak max/min:   {peak_ratio:.1f}x")

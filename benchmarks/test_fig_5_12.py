@@ -1,0 +1,32 @@
+"""Figure 5.12 — on-demand vs spot unavailability relationship.
+
+Four conditionals vs window size.  Orderings from the paper: od-od is
+the strongest relationship, spot-spot next, and the two cross-contract
+measures are the weakest (it is rare for both pools to be out at once —
+Figure 2.2's buffer of reserved-not-running servers).
+"""
+
+from repro.analysis import cross as cr
+
+WINDOWS = (300.0, 900.0, 1800.0, 2400.0, 3600.0)
+
+
+def test_fig_5_12(benchmark, bench_run):
+    _, _, context = bench_run
+
+    result = benchmark(lambda: cr.cross_unavailability(context, windows=WINDOWS))
+
+    print("\nFigure 5.12 — related-unavailability conditionals")
+    print("pair        " + "".join(f"{int(w):>8}s" for w in WINDOWS))
+    for pair in ("od-od", "spot-spot", "od-spot", "spot-od"):
+        cells = "".join(f"{result[pair][w] * 100:>8.1f}%" for w in WINDOWS)
+        print(f"{pair:<11} {cells}")
+
+    at_1h = {pair: result[pair][3600.0] for pair in result}
+    # Orderings the paper reports.
+    assert at_1h["od-od"] >= at_1h["spot-od"]
+    assert at_1h["od-od"] >= at_1h["od-spot"]
+    assert at_1h["spot-od"] < 0.15  # cross-contract co-unavailability is rare
+    # Probabilities grow with the window.
+    for pair in result:
+        assert result[pair][3600.0] >= result[pair][300.0] - 0.02

@@ -1,0 +1,33 @@
+"""Figure 5.4 — P(on-demand unavailable) vs spot price spike size.
+
+Global, one line per clustering window: near zero below 1x, rising to
+high single digits above 7-10x; larger windows sit higher.
+"""
+
+from repro.analysis import availability as av
+from repro.analysis.spikes import bucket_label
+
+WINDOWS = (900.0, 1200.0, 1800.0, 2400.0, 3600.0, 7200.0)
+
+
+def test_fig_5_4(benchmark, bench_run):
+    _, _, context = bench_run
+
+    result = benchmark(lambda: av.unavailability_vs_spike(context, windows=WINDOWS))
+
+    print("\nFigure 5.4 — P(on-demand unavailable) vs spike size")
+    header = "window   " + "".join(f"{bucket_label(b):>8}" for b in sorted(result[900.0]))
+    print(header)
+    for window in WINDOWS:
+        row = result[window]
+        cells = "".join(f"{row[b] * 100:>7.2f}%" for b in sorted(row))
+        print(f"{window:>6.0f}s {cells}")
+
+    base = result[900.0]
+    # Shape: rises with spike size ...
+    assert base[0.0] < 0.03
+    assert base[5.0] > base[0.0]
+    # ... and larger windows never sit below smaller ones (small slack
+    # for re-clustering noise).
+    for bucket, p_short in result[900.0].items():
+        assert result[7200.0][bucket] >= p_short - 0.02

@@ -1,0 +1,32 @@
+"""Figure 5.5 — share of rejected probes per region vs spike size.
+
+The under-provisioned regions (sa-east-1, ap-southeast-1/2) dominate
+the rejected probes; us-east-1, the largest region, contributes few.
+"""
+
+from repro.analysis import availability as av
+from repro.analysis.spikes import interval_label
+
+HOT_REGIONS = {"sa-east-1", "ap-southeast-1", "ap-southeast-2"}
+
+
+def test_fig_5_5(benchmark, bench_run):
+    _, _, context = bench_run
+
+    result = benchmark(lambda: av.rejected_probes_by_region(context))
+
+    assert result, "the run must produce rejected spike probes"
+    buckets = sorted(next(iter(result.values())).keys())
+    print("\nFigure 5.5 — rejected-probe share per region")
+    print("region            " + "".join(f"{interval_label(b):>9}" for b in buckets))
+    for region in sorted(result):
+        cells = "".join(f"{result[region][b] * 100:>8.1f}%" for b in buckets)
+        print(f"{region:<17} {cells}")
+
+    # Aggregate over the low buckets: hot regions dominate.
+    low_buckets = [b for b in buckets if b[0] < 4.0]
+    hot = sum(result[r][b] for r in result if r in HOT_REGIONS for b in low_buckets)
+    cold = sum(
+        result[r][b] for r in result if r not in HOT_REGIONS for b in low_buckets
+    )
+    assert hot > cold

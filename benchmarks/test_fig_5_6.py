@@ -1,0 +1,35 @@
+"""Figure 5.6 — P(on-demand unavailable) per region vs spike size.
+
+Window 900 s.  us-east-1 stays under 1% at low spike sizes; sa-east-1
+is the worst; the ordering matches the provisioning regimes.
+"""
+
+from repro.analysis import availability as av
+from repro.analysis.spikes import bucket_label
+
+
+def test_fig_5_6(benchmark, bench_run):
+    _, _, context = bench_run
+
+    result = benchmark(lambda: av.unavailability_by_region(context, window=900.0))
+
+    print("\nFigure 5.6 — per-region P(unavailable), window 900 s")
+    buckets = sorted({b for row in result.values() for b in row})
+    print("region            " + "".join(f"{bucket_label(b):>8}" for b in buckets))
+    for region in sorted(result):
+        cells = "".join(
+            f"{result[region].get(b, float('nan')) * 100:>7.2f}%"
+            if b in result[region] else "      - "
+            for b in buckets
+        )
+        print(f"{region:<17} {cells}")
+
+    us_east = result["us-east-1"]
+    sa_east = result["sa-east-1"]
+    # us-east-1 (well provisioned) is under 1% at the trigger threshold.
+    assert us_east.get(1.0, 0.0) < 0.01
+    # sa-east-1 is the worst, roughly an order of magnitude above.
+    assert sa_east.get(1.0, 0.0) > us_east.get(1.0, 0.0)
+    for region, row in result.items():
+        if region not in ("sa-east-1",) and 1.0 in row:
+            assert sa_east.get(1.0, 0.0) >= row[1.0] - 0.02

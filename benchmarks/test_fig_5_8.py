@@ -1,0 +1,34 @@
+"""Figure 5.8 — P(related market in another zone also unavailable).
+
+Decreases with spike size (big spikes are local hotspots; small spikes
+accompany balanced regional demand) and grows with the window.
+"""
+
+from repro.analysis import related as rel
+from repro.analysis.spikes import bucket_label
+
+WINDOWS = (300.0, 600.0, 900.0, 1800.0, 2400.0, 3600.0)
+
+
+def test_fig_5_8(benchmark, bench_run):
+    _, _, context = bench_run
+
+    result = benchmark(lambda: rel.cross_zone_unavailability(context, windows=WINDOWS))
+
+    print("\nFigure 5.8 — P(another zone also unavailable)")
+    buckets = sorted(result[WINDOWS[0]])
+    print("window  " + "".join(f"{bucket_label(b):>8}" for b in buckets))
+    for window in WINDOWS:
+        row = result[window]
+        cells = "".join(f"{row.get(b, 0) * 100:>7.1f}%" for b in buckets)
+        print(f"{window:>5.0f}s {cells}")
+
+    longest = result[3600.0]
+    shortest = result[300.0]
+    # Grows with the window at every spike size.
+    for bucket in buckets:
+        assert longest.get(bucket, 0.0) >= shortest.get(bucket, 0.0) - 0.02
+    # Decreases with spike size: the largest observed bucket sits below
+    # the smallest.
+    observed = [b for b in buckets if b in longest]
+    assert longest[observed[-1]] <= longest[observed[0]] + 0.02

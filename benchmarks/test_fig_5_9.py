@@ -1,0 +1,30 @@
+"""Figure 5.9 — CDF of on-demand unavailability durations.
+
+Most periods (paper: >83%) are under an hour; a non-trivial tail lasts
+multiple hours.
+"""
+
+from repro.analysis import duration as du
+
+
+def test_fig_5_9(benchmark, bench_run):
+    _, _, context = bench_run
+
+    durations = benchmark(lambda: du.unavailability_durations(context))
+    cdf = du.duration_cdf(durations)
+    summary = du.duration_summary(durations)
+
+    print("\nFigure 5.9 — unavailability duration CDF "
+          f"({summary['count']} periods)")
+    for hours, p in cdf.items():
+        print(f"  <= {hours:>5.1f} h: {p * 100:>5.1f}%")
+    print(f"  under 1 h:  {summary['fraction_under_1h']:.1%}")
+    print(f"  over 10 h:  {summary['fraction_over_10h']:.1%}")
+    print(f"  median:     {summary['median_hours']:.2f} h")
+    print(f"  max:        {summary['max_hours']:.1f} h")
+
+    assert summary["count"] > 50
+    assert summary["fraction_under_1h"] > 0.7
+    assert summary["max_hours"] > 1.0  # a multi-hour tail exists
+    values = list(cdf.values())
+    assert values == sorted(values)

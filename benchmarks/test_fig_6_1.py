@@ -1,0 +1,61 @@
+"""Figure 6.1 — SpotCheck availability with and without SpotLight.
+
+The paper's six markets: d2.2xlarge/d2.8xlarge (Windows and Linux) in
+us-east-1e and two g2.8xlarge markets in ap-southeast-2.  Naive
+SpotCheck (fall back to the same market's on-demand pool) loses
+availability whenever revocations coincide with on-demand shortages;
+with SpotLight-picked uncorrelated fallbacks it returns to ~100%.
+"""
+
+from repro.apps.spotcheck import SpotCheckConfig, SpotCheckSimulator
+from repro.core.market_id import MarketID
+
+CASE_MARKETS = [
+    MarketID("us-east-1e", "d2.2xlarge", "Windows"),
+    MarketID("us-east-1e", "d2.8xlarge", "Windows"),
+    MarketID("us-east-1e", "d2.2xlarge", "Linux/UNIX"),
+    MarketID("us-east-1e", "d2.8xlarge", "Linux/UNIX"),
+    MarketID("ap-southeast-2a", "g2.8xlarge", "Linux/UNIX"),
+    MarketID("ap-southeast-2b", "g2.8xlarge", "Linux/UNIX"),
+]
+
+# SpotLight fallbacks: a different family in a well-provisioned region.
+FALLBACKS = [
+    MarketID("us-west-2a", "m3.2xlarge", "Linux/UNIX"),
+    MarketID("us-west-2b", "m3.2xlarge", "Linux/UNIX"),
+    MarketID("us-west-2c", "m3.xlarge", "Linux/UNIX"),
+]
+
+
+def test_fig_6_1(benchmark, apps_run):
+    sim, spotlight = apps_run
+    simulator = SpotCheckSimulator(spotlight.query)
+    horizon = (0.0, sim.now)
+
+    def evaluate():
+        rows = []
+        for market in CASE_MARKETS:
+            config = SpotCheckConfig(market=market)
+            naive = simulator.run_naive(config, *horizon)
+            informed = simulator.run_with_spotlight(
+                config, *horizon, candidates=FALLBACKS
+            )
+            rows.append((market, naive, informed))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    print("\nFigure 6.1 — SpotCheck availability (%)")
+    print(f"{'market':<42} {'revocs':>6} {'naive':>8} {'SpotLight':>10}")
+    for market, naive, informed in rows:
+        print(
+            f"{str(market):<42} {naive.revocations:>6} "
+            f"{naive.availability * 100:>7.2f}% {informed.availability * 100:>9.3f}%"
+        )
+
+    # Shape: SpotLight never hurts and repairs the failure-prone markets.
+    for _, naive, informed in rows:
+        assert informed.availability >= naive.availability - 1e-9
+        assert informed.availability > 0.999
+    # At least one market shows the paper's headline gap (naive < 99.9%).
+    assert any(naive.availability < 0.999 for _, naive, _ in rows)

@@ -1,0 +1,40 @@
+"""Substrate throughput: how fast the simulated platform runs.
+
+Not a paper figure, but the property that makes the reproduction
+practical: a 405-market fleet must simulate days of platform time in
+seconds of wall time, and the full ~4100-market catalog must at least
+construct and step.
+"""
+
+from repro import EC2Simulator, FleetConfig
+from repro.ec2.catalog import default_catalog, small_catalog
+
+
+def test_mid_fleet_day_throughput(benchmark):
+    """Simulate one platform-day on a 126-market fleet per round."""
+    catalog = small_catalog(
+        regions=["us-east-1", "sa-east-1", "ap-southeast-2"], families=["c3", "m3"]
+    )
+
+    def one_day():
+        sim = EC2Simulator(FleetConfig(catalog=catalog, seed=1, tick_interval=300.0))
+        sim.run_for(86400.0)
+        return sim
+
+    sim = benchmark.pedantic(one_day, rounds=3, iterations=1)
+    assert any(m.price_history() for m in sim.markets.values())
+
+
+def test_full_catalog_constructs_and_steps(benchmark):
+    """The full paper-scale catalog (~4100 markets over 9 regions)."""
+    catalog = default_catalog()
+
+    def construct_and_step():
+        sim = EC2Simulator(FleetConfig(catalog=catalog, seed=1, tick_interval=600.0))
+        sim.run_for(1200.0)  # two demand ticks over every market
+        return sim
+
+    sim = benchmark.pedantic(construct_and_step, rounds=1, iterations=1)
+    assert len(sim.markets) > 4000
+    print(f"\nfull catalog: {len(sim.markets)} markets, "
+          f"{len(sim.pools)} pools across {len(sim.catalog.regions)} regions")

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Probing under a budget (Section 3.4).
+
+Each fulfilled probe costs an hour of server time, so SpotLight fits
+its spike threshold T and sampling ratio p to a monthly budget using
+historical spike data.  This example derives both from a synthetic
+price history and then runs a budget-capped deployment.
+
+    python examples/budget_planning.py
+"""
+
+from repro import EC2Simulator, FleetConfig, SpotLight, SpotLightConfig
+from repro.core.budget import BudgetController
+from repro.ec2.catalog import small_catalog
+from repro.traces import SpotPriceTraceGenerator, profile
+
+
+def main() -> None:
+    # 1. Derive T and p from a month of historical prices.
+    config = profile("c3.2xlarge-us-east-1d")
+    history = SpotPriceTraceGenerator(config, seed=5).generate(30 * 86400)
+    multiples = [price / config.on_demand_price for _, price in history]
+    probe_cost = config.on_demand_price  # one hour of on-demand time
+
+    for budget in (100.0, 10.0, 1.0):
+        threshold = BudgetController.derive_threshold(multiples, probe_cost, budget)
+        p = BudgetController.derive_sampling_probability(
+            multiples, threshold, probe_cost, budget
+        )
+        print(
+            f"monthly budget ${budget:>6.0f}/market: "
+            f"threshold T={threshold:.1f}x, sampling p={p:.2f}"
+        )
+
+    interval = BudgetController.spot_probe_interval(
+        average_spot_price=sum(p for _, p in history) / len(history),
+        budget=10.0,
+        window=30 * 86400,
+    )
+    print(f"periodic spot probes affordable every {interval / 3600:.1f} h")
+
+    # 2. Run a deployment under a hard budget and watch it stop probing.
+    catalog = small_catalog(regions=["sa-east-1"], families=["c3"])
+    simulator = EC2Simulator(FleetConfig(catalog=catalog, seed=13))
+    spotlight = SpotLight(
+        simulator,
+        SpotLightConfig(budget=5.0, budget_window=30 * 86400),
+    )
+    spotlight.start()
+    simulator.run_for(3 * 86400)
+    window = spotlight.budget.windows[-1]
+    print(
+        f"\nbudget-capped run: spent ${window.spent:.2f} of $5.00, "
+        f"{window.probes_charged} probes charged, "
+        f"{window.probes_suppressed} suppressed"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""SpotLight: an information service for the cloud (reproduction).
+
+This package reproduces the system from "SpotLight: An Information
+Service for the Cloud" (Ouyang, UMass Amherst, 2016): a service that
+actively probes an IaaS platform to learn the availability of
+on-demand and spot servers, exploiting the loose correlation between
+spot price spikes and on-demand unavailability.
+
+Layout:
+
+* :mod:`repro.ec2` — the simulated EC2 substrate (capacity pools,
+  spot auctions, demand, lifecycles, limits, a boto3-like client);
+* :mod:`repro.core` — SpotLight itself (probing policies, database,
+  budget, query API);
+* :mod:`repro.analysis` — the Chapter 5 analyses (one per figure);
+* :mod:`repro.apps` — the Chapter 6 case studies (SpotCheck, SpotOn);
+* :mod:`repro.traces` — synthetic spot-price trace generation.
+
+Quickstart::
+
+    from repro import EC2Simulator, FleetConfig, SpotLight, SpotLightConfig
+    from repro.ec2.catalog import small_catalog
+
+    sim = EC2Simulator(FleetConfig(catalog=small_catalog(), seed=1))
+    spotlight = SpotLight(sim, SpotLightConfig(threshold_multiple=1.0))
+    spotlight.start()
+    sim.run_for(7 * 86400)          # monitor for a simulated week
+    print(spotlight.stats())
+    for period in spotlight.query.unavailability_periods():
+        print(period.market, period.duration / 3600, "hours")
+"""
+
+from repro.core import (
+    BudgetController,
+    MarketID,
+    ProbeDatabase,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+    SpotLight,
+    SpotLightConfig,
+    SpotLightQuery,
+    UnavailabilityPeriod,
+)
+from repro.ec2 import EC2Client, EC2Simulator
+from repro.ec2.catalog import Catalog, default_catalog, small_catalog
+from repro.ec2.platform import FleetConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SpotLight",
+    "SpotLightConfig",
+    "SpotLightQuery",
+    "ProbeDatabase",
+    "BudgetController",
+    "MarketID",
+    "ProbeKind",
+    "ProbeRecord",
+    "ProbeTrigger",
+    "UnavailabilityPeriod",
+    "EC2Simulator",
+    "EC2Client",
+    "FleetConfig",
+    "Catalog",
+    "default_catalog",
+    "small_catalog",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Chapter 5 analyses, one module per figure family.
+
+Each function takes a :class:`~repro.core.database.ProbeDatabase`
+(usually via :class:`AnalysisContext`) and returns plain data series —
+the same rows/series the paper's figures plot.
+
+* :mod:`repro.analysis.spikes` — spike-event extraction and the
+  cumulative ``>kX`` bucketing used throughout;
+* :mod:`repro.analysis.availability` — Figures 5.4, 5.5, 5.6;
+* :mod:`repro.analysis.related` — Figures 5.7, 5.8;
+* :mod:`repro.analysis.duration` — Figure 5.9;
+* :mod:`repro.analysis.spot` — Figures 5.10, 5.11;
+* :mod:`repro.analysis.cross` — Figure 5.12;
+* :mod:`repro.analysis.efficiency` — Figure 5.1 (market inefficiency);
+* :mod:`repro.analysis.intrinsic` — Figures 5.2, 5.3.
+"""
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.spikes import (
+    CUMULATIVE_SPIKE_BUCKETS,
+    SpikeEvent,
+    bucket_label,
+    cluster_spikes,
+    extract_spike_events,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "SpikeEvent",
+    "extract_spike_events",
+    "cluster_spikes",
+    "CUMULATIVE_SPIKE_BUCKETS",
+    "bucket_label",
+]

@@ -1,0 +1,139 @@
+"""On-demand unavailability analyses — Figures 5.4, 5.5, 5.6.
+
+* Figure 5.4: global P(on-demand unavailable) as a function of spike
+  size, one line per clustering window.
+* Figure 5.5: the share of rejected probes falling in each region, per
+  (non-cumulative) spike-size bucket.
+* Figure 5.6: P(unavailable) per region vs spike size, window 900 s.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.spikes import (
+    CUMULATIVE_SPIKE_BUCKETS,
+    INTERVAL_SPIKE_BUCKETS,
+    SpikeEvent,
+    cluster_spikes,
+    extract_spike_events,
+)
+from repro.core.records import ProbeKind, ProbeTrigger
+
+
+def _spike_events(
+    context: AnalysisContext, threshold: float = 0.0
+) -> list[SpikeEvent]:
+    from repro.core.query import SpotLightQuery
+
+    query = SpotLightQuery(context.database, context.catalog)
+    return extract_spike_events(
+        context.database, query.on_demand_price, threshold_multiple=threshold
+    )
+
+
+def unavailability_vs_spike(
+    context: AnalysisContext,
+    windows: tuple[float, ...] = (900.0, 1200.0, 1800.0, 2400.0, 3600.0, 7200.0),
+    buckets: tuple[float, ...] = CUMULATIVE_SPIKE_BUCKETS,
+    regions: list[str] | None = None,
+) -> dict[float, dict[float, float]]:
+    """Figure 5.4: ``{window: {bucket_threshold: P(unavailable)}}``.
+
+    For each clustering window, the fraction of (clustered) spike
+    events at/above each threshold that were followed by a rejected
+    on-demand probe of the same market within the window.
+    """
+    events = _spike_events(context)
+    if regions is not None:
+        events = [e for e in events if e.market.region in regions]
+    result: dict[float, dict[float, float]] = {}
+    for window in windows:
+        clustered = cluster_spikes(events, window)
+        hits: dict[float, int] = defaultdict(int)
+        totals: dict[float, int] = defaultdict(int)
+        for event in clustered:
+            rejected = context.rejected_within(
+                event.market, ProbeKind.ON_DEMAND, event.time, window
+            )
+            for threshold in buckets:
+                if event.multiple > threshold or (
+                    threshold == 0.0 and event.multiple > 0.0
+                ):
+                    totals[threshold] += 1
+                    if rejected:
+                        hits[threshold] += 1
+        result[window] = {
+            threshold: (hits[threshold] / totals[threshold] if totals[threshold] else 0.0)
+            for threshold in buckets
+        }
+    return result
+
+
+def rejected_probes_by_region(
+    context: AnalysisContext,
+    buckets: tuple[tuple[float, float], ...] = INTERVAL_SPIKE_BUCKETS,
+) -> dict[str, dict[tuple[float, float], float]]:
+    """Figure 5.5: per spike-size interval, each region's share of the
+    rejected spike-triggered probes (shares sum to 1 per bucket)."""
+    counts: dict[tuple[float, float], dict[str, int]] = defaultdict(
+        lambda: defaultdict(int)
+    )
+    for record in context.database.probes(
+        kind=ProbeKind.ON_DEMAND, rejected=True
+    ):
+        if record.trigger is not ProbeTrigger.PRICE_SPIKE:
+            continue
+        for bucket in buckets:
+            lo, hi = bucket
+            if lo <= record.spike_multiple < hi:
+                counts[bucket][record.market.region] += 1
+                break
+    regions = sorted(
+        {region for bucket_counts in counts.values() for region in bucket_counts}
+    )
+    result: dict[str, dict[tuple[float, float], float]] = {
+        region: {} for region in regions
+    }
+    for bucket in buckets:
+        total = sum(counts[bucket].values())
+        for region in regions:
+            share = counts[bucket][region] / total if total else 0.0
+            result[region][bucket] = share
+    return result
+
+
+def unavailability_by_region(
+    context: AnalysisContext,
+    window: float = 900.0,
+    buckets: tuple[float, ...] = CUMULATIVE_SPIKE_BUCKETS,
+) -> dict[str, dict[float, float]]:
+    """Figure 5.6: ``{region: {bucket: P(unavailable)}}`` at one window."""
+    events = cluster_spikes(_spike_events(context), window)
+    hits: dict[str, dict[float, int]] = defaultdict(lambda: defaultdict(int))
+    totals: dict[str, dict[float, int]] = defaultdict(lambda: defaultdict(int))
+    for event in events:
+        region = event.market.region
+        rejected = context.rejected_within(
+            event.market, ProbeKind.ON_DEMAND, event.time, window
+        )
+        for threshold in buckets:
+            if event.multiple > threshold or (
+                threshold == 0.0 and event.multiple > 0.0
+            ):
+                totals[region][threshold] += 1
+                if rejected:
+                    hits[region][threshold] += 1
+    return {
+        region: {
+            threshold: (
+                hits[region][threshold] / totals[region][threshold]
+                if totals[region][threshold]
+                else 0.0
+            )
+            for threshold in buckets
+            if totals[region][threshold] > 0
+        }
+        for region in totals
+    }

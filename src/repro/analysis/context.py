@@ -1,0 +1,114 @@
+"""Shared indexes over a probe database for the Chapter 5 analyses."""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.records import ProbeKind, ProbeRecord
+from repro.ec2.catalog import Catalog
+
+
+class AnalysisContext:
+    """Precomputed per-market indexes used by every analysis."""
+
+    def __init__(self, database: ProbeDatabase, catalog: Catalog) -> None:
+        self.database = database
+        self.catalog = catalog
+        # (market, kind) -> sorted times of rejected / fulfilled probes
+        self._rejected_times: dict[tuple[MarketID, ProbeKind], list[float]] = (
+            defaultdict(list)
+        )
+        self._probe_times: dict[tuple[MarketID, ProbeKind], list[float]] = (
+            defaultdict(list)
+        )
+        for record in database.probes():
+            key = (record.market, record.kind)
+            self._probe_times[key].append(record.time)
+            if record.rejected and self._is_capacity_rejection(record):
+                self._rejected_times[key].append(record.time)
+        self._related_cache: dict[MarketID, list[MarketID]] = {}
+
+    @staticmethod
+    def _is_capacity_rejection(record: ProbeRecord) -> bool:
+        """Only genuine capacity errors count as unavailability.
+
+        ``capacity-oversubscribed`` is a bid-level tie (too many bids at
+        the clearing price) that a higher bid resolves — SpotLight's
+        BidSpread treats it as "raise the bid", not "no capacity".
+        """
+        return record.outcome in (
+            "InsufficientInstanceCapacity",
+            "capacity-not-available",
+        )
+
+    # -- lookups -----------------------------------------------------------
+    def rejected_within(
+        self,
+        market: MarketID,
+        kind: ProbeKind,
+        start: float,
+        window: float,
+    ) -> bool:
+        """Any capacity rejection of (market, kind) in [start, start+window]."""
+        times = self._rejected_times.get((market, kind), [])
+        idx = bisect_left(times, start)
+        return idx < len(times) and times[idx] <= start + window
+
+    def probed_within(
+        self, market: MarketID, kind: ProbeKind, start: float, window: float
+    ) -> bool:
+        """Any probe at all of (market, kind) in the window."""
+        times = self._probe_times.get((market, kind), [])
+        idx = bisect_left(times, start)
+        return idx < len(times) and times[idx] <= start + window
+
+    def rejection_count(
+        self, market: MarketID, kind: ProbeKind
+    ) -> int:
+        return len(self._rejected_times.get((market, kind), []))
+
+    def related_markets(
+        self, market: MarketID, other_zones_only: bool = False
+    ) -> list[MarketID]:
+        """Markets in the same family/region/product (the fan-out set)."""
+        if market not in self._related_cache:
+            zones = self.catalog.zones_in_region(market.region)
+            family_types = [
+                t.name for t in self.catalog.types_in_family(market.family)
+            ]
+            self._related_cache[market] = [
+                MarketID(az, itype, market.product)
+                for az in zones
+                for itype in family_types
+                if not (az == market.availability_zone
+                        and itype == market.instance_type)
+            ]
+        related = self._related_cache[market]
+        if other_zones_only:
+            return [
+                m for m in related
+                if m.availability_zone != market.availability_zone
+            ]
+        return related
+
+    def detections(
+        self, kind: ProbeKind, triggers=None
+    ) -> list[tuple[float, MarketID, float]]:
+        """Capacity rejections as (time, market, spike_multiple).
+
+        ``triggers`` restricts to initial detections (e.g. only
+        spike-triggered probes), excluding the recovery re-probes that
+        would otherwise over-count long unavailability periods.
+        """
+        out = []
+        for record in self.database.probes(kind=kind, rejected=True):
+            if not self._is_capacity_rejection(record):
+                continue
+            if triggers is not None and record.trigger not in triggers:
+                continue
+            out.append((record.time, record.market, record.spike_multiple))
+        out.sort(key=lambda item: item[0])
+        return out

@@ -1,0 +1,55 @@
+"""Unavailability duration CDF — Figure 5.9.
+
+The paper: more than 83% of on-demand unavailability periods last under
+an hour, but a non-trivial tail lasts multiple hours, with ~5% beyond
+ten hours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.core.records import ProbeKind
+
+
+def unavailability_durations(
+    context: AnalysisContext,
+    kind: ProbeKind = ProbeKind.ON_DEMAND,
+    horizon: float | None = None,
+) -> list[float]:
+    """All measured unavailability durations, in seconds."""
+    periods = context.database.unavailability_periods(kind=kind, horizon=horizon)
+    return [p.duration for p in periods]
+
+
+def duration_cdf(
+    durations: list[float],
+    grid_hours: tuple[float, ...] = (0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256),
+) -> dict[float, float]:
+    """CDF evaluated on the paper's log-scale hour grid:
+    ``{hours: P(duration <= hours)}``."""
+    if not durations:
+        return {h: 1.0 for h in grid_hours}
+    arr = np.asarray(durations) / 3600.0
+    return {h: float((arr <= h).mean()) for h in grid_hours}
+
+
+def duration_summary(durations: list[float]) -> dict[str, float]:
+    """Headline numbers the paper quotes for Figure 5.9."""
+    if not durations:
+        return {
+            "count": 0,
+            "fraction_under_1h": 1.0,
+            "fraction_over_10h": 0.0,
+            "median_hours": 0.0,
+            "max_hours": 0.0,
+        }
+    arr = np.asarray(durations) / 3600.0
+    return {
+        "count": int(arr.size),
+        "fraction_under_1h": float((arr < 1.0).mean()),
+        "fraction_over_10h": float((arr > 10.0).mean()),
+        "median_hours": float(np.median(arr)),
+        "max_hours": float(arr.max()),
+    }

@@ -1,0 +1,119 @@
+"""Spot market inefficiency — Figure 5.1 and the arbitrage observation.
+
+Two phenomena the paper demonstrates with price series:
+
+* *within-family inversion* (Figure 5.1a): a smaller type (c3.2xlarge)
+  sometimes trades above a larger one (c3.8xlarge), so one could buy
+  the large instance cheap, split it, and resell — arbitrage an
+  efficient market would not allow;
+* *cross-zone divergence* (Figure 5.1b): the same type's price differs
+  by 5-6x between availability zones of one region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+
+
+def _price_series(db: ProbeDatabase, market: MarketID) -> list[tuple[float, float]]:
+    return [(r.time, r.price) for r in db.prices(market)]
+
+
+def _price_at(series: list[tuple[float, float]], when: float) -> float | None:
+    """Step-function lookup (None before the first sample)."""
+    result = None
+    for t, p in series:
+        if t > when:
+            break
+        result = p
+    return result
+
+
+@dataclass(frozen=True)
+class ArbitrageWindow:
+    """A period where a smaller type cost more per unit than a larger one."""
+
+    time: float
+    small_type: str
+    large_type: str
+    small_price: float
+    large_price: float
+
+    @property
+    def unit_ratio(self) -> float:
+        """Small type's price relative to the same capacity bought large.
+
+        Sizes within a family differ by powers of two; a ratio above 1
+        means you could buy the large instance, split it, and undercut.
+        """
+        return self.small_price / self.large_price
+
+
+def family_inversions(
+    db: ProbeDatabase,
+    markets: list[MarketID],
+    units: dict[str, int],
+    sample_interval: float = 900.0,
+) -> list[ArbitrageWindow]:
+    """Figure 5.1a: times when a smaller family member's *per-unit*
+    price exceeded a larger member's.
+
+    ``units`` maps instance type name to its capacity units.
+    """
+    series = {m: _price_series(db, m) for m in markets}
+    times = sorted({t for s in series.values() for t, _ in s})
+    if not times:
+        return []
+    inversions: list[ArbitrageWindow] = []
+    clock = times[0]
+    while clock <= times[-1]:
+        ordered = sorted(markets, key=lambda m: units[m.instance_type])
+        for i, small in enumerate(ordered):
+            for large in ordered[i + 1:]:
+                ps = _price_at(series[small], clock)
+                pl = _price_at(series[large], clock)
+                if ps is None or pl is None:
+                    continue
+                per_unit_small = ps / units[small.instance_type]
+                per_unit_large = pl / units[large.instance_type]
+                if per_unit_small > per_unit_large:
+                    inversions.append(
+                        ArbitrageWindow(
+                            clock,
+                            small.instance_type,
+                            large.instance_type,
+                            ps,
+                            pl,
+                        )
+                    )
+        clock += sample_interval
+    return inversions
+
+
+def cross_zone_divergence(
+    db: ProbeDatabase,
+    markets: list[MarketID],
+    sample_interval: float = 900.0,
+) -> list[tuple[float, float]]:
+    """Figure 5.1b: (time, max/min price ratio) across zones for one
+    instance type.  An efficient market would keep the ratio near 1;
+    the paper observes ratios of 5-6x."""
+    series = {m: _price_series(db, m) for m in markets}
+    times = sorted({t for s in series.values() for t, _ in s})
+    if not times:
+        return []
+    out: list[tuple[float, float]] = []
+    clock = times[0]
+    while clock <= times[-1]:
+        prices = [
+            p
+            for m in markets
+            if (p := _price_at(series[m], clock)) is not None
+        ]
+        if len(prices) >= 2 and min(prices) > 0:
+            out.append((clock, max(prices) / min(prices)))
+        clock += sample_interval
+    return out

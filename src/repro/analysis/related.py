@@ -1,0 +1,115 @@
+"""Related-market analyses — Figures 5.7 and 5.8.
+
+* Figure 5.7: of all rejected on-demand probes, what share was found by
+  the related-market fan-out versus by the price-spike trigger itself,
+  per spike-size bucket (the paper: roughly 70% / 30%, flat in size).
+* Figure 5.8: after detecting an unavailable on-demand server, the
+  probability that at least one related market in *another*
+  availability zone is also unavailable within a window — decreasing
+  in spike size (big spikes are local hotspots).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.spikes import CUMULATIVE_SPIKE_BUCKETS
+from repro.core.records import ProbeKind, ProbeTrigger
+
+#: Trigger classes counted as "found by related probing".
+RELATED_TRIGGERS = frozenset(
+    {ProbeTrigger.RELATED_FAMILY, ProbeTrigger.RELATED_ZONE}
+)
+
+
+def rejection_attribution(
+    context: AnalysisContext,
+    buckets: tuple[float, ...] = CUMULATIVE_SPIKE_BUCKETS,
+) -> dict[str, dict[float, float]]:
+    """Figure 5.7: ``{"by_price_spikes"|"by_related_markets":
+    {bucket: share}}`` — shares of rejected on-demand probes by what
+    triggered them, cumulative in spike size."""
+    spike_counts: dict[float, int] = defaultdict(int)
+    related_counts: dict[float, int] = defaultdict(int)
+    for record in context.database.probes(
+        kind=ProbeKind.ON_DEMAND, rejected=True
+    ):
+        if record.trigger is ProbeTrigger.PRICE_SPIKE:
+            target = spike_counts
+        elif record.trigger in RELATED_TRIGGERS:
+            target = related_counts
+        else:
+            continue
+        for threshold in buckets:
+            if record.spike_multiple > threshold or (
+                threshold == 0.0 and record.spike_multiple > 0.0
+            ):
+                target[threshold] += 1
+    result = {"by_price_spikes": {}, "by_related_markets": {}}
+    for threshold in buckets:
+        total = spike_counts[threshold] + related_counts[threshold]
+        if total == 0:
+            continue
+        result["by_price_spikes"][threshold] = spike_counts[threshold] / total
+        result["by_related_markets"][threshold] = related_counts[threshold] / total
+    return result
+
+
+def related_detections_per_trigger(context: AnalysisContext) -> float:
+    """Average number of related-market rejections per spike-triggered
+    rejection (the paper: "on average ... two servers within the same
+    family")."""
+    spike_rejections = 0
+    related_rejections = 0
+    for record in context.database.probes(kind=ProbeKind.ON_DEMAND, rejected=True):
+        if record.trigger is ProbeTrigger.PRICE_SPIKE:
+            spike_rejections += 1
+        elif record.trigger in RELATED_TRIGGERS:
+            related_rejections += 1
+    if spike_rejections == 0:
+        return 0.0
+    return related_rejections / spike_rejections
+
+
+def cross_zone_unavailability(
+    context: AnalysisContext,
+    windows: tuple[float, ...] = (300.0, 600.0, 900.0, 1800.0, 2400.0, 3600.0),
+    buckets: tuple[float, ...] = CUMULATIVE_SPIKE_BUCKETS,
+) -> dict[float, dict[float, float]]:
+    """Figure 5.8: ``{window: {bucket: P(related zone unavailable)}}``.
+
+    For each detected on-demand rejection (the *initial*, spike-
+    triggered ones), whether at least one same-family market in a
+    different availability zone was also rejected within the window.
+    """
+    detections = [
+        (record.time, record.market, record.spike_multiple)
+        for record in context.database.probes(
+            kind=ProbeKind.ON_DEMAND, rejected=True
+        )
+        if record.trigger is ProbeTrigger.PRICE_SPIKE
+    ]
+    result: dict[float, dict[float, float]] = {}
+    for window in windows:
+        hits: dict[float, int] = defaultdict(int)
+        totals: dict[float, int] = defaultdict(int)
+        for when, market, multiple in detections:
+            related = context.related_markets(market, other_zones_only=True)
+            found = any(
+                context.rejected_within(rel, ProbeKind.ON_DEMAND, when, window)
+                for rel in related
+            )
+            for threshold in buckets:
+                if multiple > threshold or (
+                    threshold == 0.0 and multiple > 0.0
+                ):
+                    totals[threshold] += 1
+                    if found:
+                        hits[threshold] += 1
+        result[window] = {
+            threshold: hits[threshold] / totals[threshold]
+            for threshold in buckets
+            if totals[threshold] > 0
+        }
+    return result

@@ -1,0 +1,89 @@
+"""Study report generation.
+
+Renders a complete availability-study report (the Chapter 5 numbers)
+from a monitoring run as markdown — what a deployed SpotLight would
+publish to its users on a schedule.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.analysis import availability as av
+from repro.analysis import cross as cr
+from repro.analysis import duration as du
+from repro.analysis import related as rel
+from repro.analysis import spot as spa
+from repro.analysis.context import AnalysisContext
+from repro.analysis.spikes import bucket_label
+from repro.core.records import ProbeKind
+from repro.core.service import SpotLight
+
+
+def render_study_report(
+    spotlight: SpotLight,
+    context: AnalysisContext | None = None,
+    windows: tuple[float, ...] = (900.0, 3600.0),
+) -> str:
+    """Render the full availability study as a markdown document."""
+    context = context or AnalysisContext(
+        spotlight.database, spotlight.simulator.catalog
+    )
+    out = StringIO()
+    stats = spotlight.stats()
+
+    out.write("# SpotLight availability study\n\n")
+    out.write(f"- markets monitored: {stats['monitored_markets']}\n")
+    out.write(f"- probes issued: {stats['probes_logged']}\n")
+    out.write(f"- unavailability detections: {stats['unavailability_detections']}\n")
+    out.write(f"- probing spend: ${stats['budget_spent']:.2f}\n\n")
+
+    out.write("## On-demand unavailability vs spot price spikes\n\n")
+    result = av.unavailability_vs_spike(context, windows=windows)
+    buckets = sorted(result[windows[0]])
+    out.write("| window | " + " | ".join(bucket_label(b) for b in buckets) + " |\n")
+    out.write("|" + "---|" * (len(buckets) + 1) + "\n")
+    for window in windows:
+        row = result[window]
+        cells = " | ".join(f"{row[b]:.2%}" for b in buckets)
+        out.write(f"| {window:.0f} s | {cells} |\n")
+
+    out.write("\n## Per-region picture (window 900 s)\n\n")
+    by_region = av.unavailability_by_region(context, window=900.0)
+    out.write("| region | P(unavailable) at >1x |\n|---|---|\n")
+    for region in sorted(by_region, key=lambda r: -by_region[r].get(1.0, 0.0)):
+        out.write(f"| {region} | {by_region[region].get(1.0, 0.0):.2%} |\n")
+
+    out.write("\n## Related-market probing\n\n")
+    attribution = rel.rejection_attribution(context)
+    share = attribution["by_related_markets"].get(0.0, 0.0)
+    ratio = rel.related_detections_per_trigger(context)
+    out.write(
+        f"{share:.0%} of rejections were found by probing related markets "
+        f"({ratio:.1f} related rejections per spike-triggered one).\n"
+    )
+
+    out.write("\n## Unavailability durations\n\n")
+    summary = du.duration_summary(du.unavailability_durations(context))
+    out.write(
+        f"{summary['count']} periods; {summary['fraction_under_1h']:.0%} under "
+        f"an hour; median {summary['median_hours']:.2f} h; "
+        f"max {summary['max_hours']:.1f} h.\n"
+    )
+
+    out.write("\n## Spot capacity\n\n")
+    below = spa.fraction_below_on_demand(context)
+    spot_periods = context.database.unavailability_periods(kind=ProbeKind.SPOT)
+    out.write(
+        f"{len(spot_periods)} spot capacity-not-available periods; "
+        f"{below:.0%} of insufficiency events occurred below the on-demand "
+        f"price.\n"
+    )
+
+    out.write("\n## On-demand vs spot relationship (1 h window)\n\n")
+    pairs = cr.cross_unavailability(context, windows=(3600.0,))
+    out.write("| pair | probability |\n|---|---|\n")
+    for pair in ("od-od", "spot-spot", "od-spot", "spot-od"):
+        out.write(f"| {pair} | {pairs[pair][3600.0]:.1%} |\n")
+
+    return out.getvalue()

@@ -1,0 +1,97 @@
+"""Spike-event extraction and bucketing.
+
+Throughout Chapter 5 the x-axis is the size of a spot price spike in
+multiples of the on-demand price (``>kX`` cumulative buckets), and
+"short periods of unavailability are clustered together": within a
+window, only the first spike that correlates with a rejection counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+
+#: The paper's cumulative spike buckets: ``>0, >1X, ..., >10X``.
+CUMULATIVE_SPIKE_BUCKETS: tuple[float, ...] = (
+    0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0,
+)
+
+#: Non-cumulative interval buckets ``<1X, 1X-2X, ..., >10X`` (Fig 5.5).
+INTERVAL_SPIKE_BUCKETS: tuple[tuple[float, float], ...] = tuple(
+    [(0.0, 1.0)]
+    + [(float(k), float(k + 1)) for k in range(1, 10)]
+    + [(10.0, float("inf"))]
+)
+
+
+def bucket_label(threshold: float) -> str:
+    """``1.0`` -> ``">1X"`` (``0.0`` -> ``">0"``), matching the paper."""
+    if threshold == 0.0:
+        return ">0"
+    return f">{threshold:g}X"
+
+
+def interval_label(bucket: tuple[float, float]) -> str:
+    lo, hi = bucket
+    if lo == 0.0:
+        return "<1X"
+    if hi == float("inf"):
+        return ">10X"
+    return f"{lo:g}X-{hi:g}X"
+
+
+@dataclass(frozen=True)
+class SpikeEvent:
+    """A spot price observation at or above a trigger threshold."""
+
+    time: float
+    market: MarketID
+    multiple: float  # price / on-demand price
+
+
+def extract_spike_events(
+    database: ProbeDatabase,
+    on_demand_price,
+    threshold_multiple: float = 1.0,
+    markets: list[MarketID] | None = None,
+) -> list[SpikeEvent]:
+    """All price observations at/above ``threshold x on-demand``.
+
+    ``on_demand_price`` is a callable ``MarketID -> float`` (usually
+    ``SpotLightQuery.on_demand_price``).
+    """
+    events: list[SpikeEvent] = []
+    for market, records in database.iter_price_series():
+        if markets is not None and market not in markets:
+            continue
+        od = on_demand_price(market)
+        for record in records:
+            multiple = record.price / od
+            if multiple >= threshold_multiple:
+                events.append(SpikeEvent(record.time, market, multiple))
+    events.sort(key=lambda e: (e.time, e.market))
+    return events
+
+
+def cluster_spikes(
+    events: list[SpikeEvent], window: float
+) -> list[SpikeEvent]:
+    """Keep only the first spike per market per ``window`` seconds.
+
+    This is the paper's clustering rule: "if the window is one hour,
+    and there are multiple spikes within the hour ... we only count the
+    first spike within the hour".
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive: {window}")
+    last_kept: dict[MarketID, float] = {}
+    kept: list[SpikeEvent] = []
+    for event in events:
+        last = last_kept.get(event.market)
+        if last is not None and event.time - last < window:
+            continue
+        last_kept[event.market] = event.time
+        kept.append(event)
+    return kept

@@ -1,0 +1,131 @@
+"""Spot unavailability analyses — Figures 5.10 and 5.11.
+
+Spot availability moves opposite to on-demand: the *lower* the spot
+price, the more likely a spot request is held ``capacity-not-available``
+(EC2 will not sell below its operating cost).  Figure 5.10 plots the
+cumulative probability per price level and region; Figure 5.11 the
+distribution of insufficiency events over price levels.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.context import AnalysisContext
+from repro.common import errors
+from repro.core.records import ProbeKind, ProbeTrigger
+
+#: Figures 5.10/5.11 sample the spot market with the *periodic*
+#: CheckCapacity probes only — recovery re-probes and cross-checks are
+#: issued exactly when unavailability is suspected and would bias the
+#: estimate upward.
+UNBIASED_TRIGGERS = frozenset({ProbeTrigger.PERIODIC})
+
+
+def _unbiased_spot_probes(context: AnalysisContext):
+    for record in context.database.probes(kind=ProbeKind.SPOT):
+        if record.trigger in UNBIASED_TRIGGERS:
+            yield record
+
+#: Figure 5.10 cumulative price-level thresholds: the spot price as a
+#: fraction of the on-demand price (``<1/10X`` ... ``<1X``, then >1X).
+CUMULATIVE_PRICE_LEVELS: tuple[float, ...] = (
+    1 / 10, 1 / 9, 1 / 8, 1 / 7, 1 / 6, 1 / 5, 1 / 4, 1 / 3, 1 / 2, 1.0,
+)
+
+#: Figure 5.11 interval price levels.
+INTERVAL_PRICE_LEVELS: tuple[tuple[float, float], ...] = (
+    (0.0, 1 / 10),
+    (1 / 10, 1 / 9),
+    (1 / 9, 1 / 8),
+    (1 / 8, 1 / 7),
+    (1 / 7, 1 / 6),
+    (1 / 6, 1 / 5),
+    (1 / 5, 1 / 4),
+    (1 / 4, 1 / 3),
+    (1 / 3, 1 / 2),
+    (1 / 2, 1.0),
+    (1.0, float("inf")),
+)
+
+
+def price_level_label(level: float) -> str:
+    """``0.1`` -> ``"<1/10X"``, ``1.0`` -> ``"<1X"``."""
+    if level >= 1.0:
+        return "<1X"
+    return f"<1/{round(1 / level)}X"
+
+
+def spot_unavailability_by_price(
+    context: AnalysisContext,
+    levels: tuple[float, ...] = CUMULATIVE_PRICE_LEVELS,
+    by_region: bool = True,
+) -> dict[str, dict[float, float]]:
+    """Figure 5.10: ``{region (or "all"): {level: P(capacity-not-available)}}``.
+
+    Among spot probes whose trigger-time price fraction was below each
+    level, the fraction held ``capacity-not-available``.
+    """
+    totals: dict[str, dict[float, int]] = defaultdict(lambda: defaultdict(int))
+    hits: dict[str, dict[float, int]] = defaultdict(lambda: defaultdict(int))
+
+    for record in _unbiased_spot_probes(context):
+        fraction = record.spike_multiple  # spot price / on-demand price
+        cna = record.outcome == errors.STATUS_CAPACITY_NOT_AVAILABLE
+        keys = ["all"]
+        if by_region:
+            keys.append(record.market.region)
+        for level in levels:
+            if fraction < level:
+                for key in keys:
+                    totals[key][level] += 1
+                    if cna:
+                        hits[key][level] += 1
+    return {
+        key: {
+            level: hits[key][level] / totals[key][level]
+            for level in levels
+            if totals[key][level] > 0
+        }
+        for key in totals
+    }
+
+
+def spot_insufficiency_distribution(
+    context: AnalysisContext,
+    levels: tuple[tuple[float, float], ...] = INTERVAL_PRICE_LEVELS,
+) -> dict[str, dict[tuple[float, float], float]]:
+    """Figure 5.11: per region, the share of its capacity-not-available
+    events falling in each price-level interval (shares sum to 1)."""
+    counts: dict[str, dict[tuple[float, float], int]] = defaultdict(
+        lambda: defaultdict(int)
+    )
+    for record in _unbiased_spot_probes(context):
+        if record.outcome != errors.STATUS_CAPACITY_NOT_AVAILABLE:
+            continue
+        for bucket in levels:
+            lo, hi = bucket
+            if lo <= record.spike_multiple < hi:
+                counts[record.market.region][bucket] += 1
+                break
+    result: dict[str, dict[tuple[float, float], float]] = {}
+    for region, region_counts in counts.items():
+        total = sum(region_counts.values())
+        result[region] = {
+            bucket: region_counts[bucket] / total for bucket in levels
+        }
+    return result
+
+
+def fraction_below_on_demand(context: AnalysisContext) -> float:
+    """The paper's headline: ~98% of spot insufficiency happens while
+    the spot price is below the on-demand price."""
+    below = 0
+    total = 0
+    for record in _unbiased_spot_probes(context):
+        if record.outcome != errors.STATUS_CAPACITY_NOT_AVAILABLE:
+            continue
+        total += 1
+        if record.spike_multiple < 1.0:
+            below += 1
+    return below / total if total else 0.0

@@ -1,0 +1,19 @@
+"""Chapter 6 case studies: SpotCheck and SpotOn.
+
+Both derivative cloud systems run workloads on spot servers and fail
+over to on-demand servers on revocation — implicitly assuming on-demand
+servers are always available.  SpotLight's data shows they are least
+available exactly when spot servers are revoked; these simulations
+quantify the damage and the repair (informed fallback selection).
+"""
+
+from repro.apps.spotcheck import SpotCheckConfig, SpotCheckSimulator
+from repro.apps.spoton import FaultTolerance, JobConfig, SpotOnSimulator
+
+__all__ = [
+    "SpotCheckSimulator",
+    "SpotCheckConfig",
+    "SpotOnSimulator",
+    "JobConfig",
+    "FaultTolerance",
+]

@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+Three subcommands mirror the ways the paper's prototype was used:
+
+* ``study`` — deploy SpotLight on a simulated fleet, monitor for N
+  days, and print the availability report (optionally exporting the
+  probe log to CSV);
+* ``trace`` — generate a synthetic spot-price trace CSV from a named
+  profile;
+* ``figures`` — run a monitoring deployment and print the Chapter 5
+  figure series.
+
+Examples::
+
+    python -m repro study --days 3 --regions us-east-1 sa-east-1 --seed 7
+    python -m repro trace --profile c3.2xlarge-us-east-1d --days 14 -o trace.csv
+    python -m repro figures --days 5 --seed 11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import EC2Simulator, FleetConfig, SpotLight, SpotLightConfig
+from repro.analysis import availability as av
+from repro.analysis import duration as du
+from repro.analysis import related as rel
+from repro.analysis.context import AnalysisContext
+from repro.analysis.spikes import bucket_label
+from repro.core.records import ProbeKind
+from repro.ec2.catalog import small_catalog
+from repro.traces import SpotPriceTraceGenerator, profile, save_trace_csv
+
+DEFAULT_REGIONS = ["us-east-1", "sa-east-1", "ap-southeast-2"]
+DEFAULT_FAMILIES = ["c3", "m3"]
+
+
+def _deploy(args) -> tuple[EC2Simulator, SpotLight]:
+    catalog = small_catalog(regions=args.regions, families=args.families)
+    simulator = EC2Simulator(
+        FleetConfig(catalog=catalog, seed=args.seed, tick_interval=300.0)
+    )
+    spotlight = SpotLight(
+        simulator,
+        SpotLightConfig(
+            threshold_multiple=args.threshold,
+            sampling_probability=args.sampling,
+            spot_probe_interval=4 * 3600.0,
+        ),
+    )
+    spotlight.start()
+    print(
+        f"monitoring {len(spotlight.markets)} markets for {args.days} "
+        f"simulated day(s)...",
+        file=sys.stderr,
+    )
+    simulator.run_for(args.days * 86400.0)
+    return simulator, spotlight
+
+
+def cmd_study(args) -> int:
+    simulator, spotlight = _deploy(args)
+    stats = spotlight.stats()
+    print(f"probes issued:      {stats['probes_logged']}")
+    print(f"detections:         {stats['unavailability_detections']}")
+    print(f"probing spend:      ${stats['budget_spent']:.2f}")
+
+    periods = spotlight.query.unavailability_periods(kind=ProbeKind.ON_DEMAND)
+    print(f"unavailability periods: {len(periods)}")
+    by_region: dict[str, float] = {}
+    for period in periods:
+        by_region[period.market.region] = (
+            by_region.get(period.market.region, 0.0) + period.duration
+        )
+    for region, total in sorted(by_region.items(), key=lambda kv: -kv[1]):
+        print(f"  {region:<18} {total / 3600:8.1f} market-hours unavailable")
+
+    if args.export:
+        rows = spotlight.database.export_probes_csv(args.export)
+        print(f"exported {rows} probe records to {args.export}")
+    if args.report:
+        from pathlib import Path
+
+        from repro.analysis.report import render_study_report
+
+        Path(args.report).write_text(render_study_report(spotlight))
+        print(f"wrote study report to {args.report}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    config = profile(args.profile)
+    events = SpotPriceTraceGenerator(config, seed=args.seed).generate(
+        args.days * 86400.0
+    )
+    count = save_trace_csv(args.output, events, market=args.profile)
+    above = sum(1 for _, p in events if p > config.on_demand_price)
+    print(f"wrote {count} price events to {args.output} "
+          f"({above} above the on-demand price)")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    simulator, spotlight = _deploy(args)
+    context = AnalysisContext(spotlight.database, simulator.catalog)
+
+    print("\n[Fig 5.4] P(on-demand unavailable) vs spike size (900 s window):")
+    row = av.unavailability_vs_spike(context, windows=(900.0,))[900.0]
+    for bucket in sorted(row):
+        print(f"  {bucket_label(bucket):>5}: {row[bucket]:.2%}")
+
+    print("\n[Fig 5.6] per-region P(unavailable) at >1x:")
+    for region, values in sorted(av.unavailability_by_region(context).items()):
+        print(f"  {region:<18} {values.get(1.0, 0.0):.2%}")
+
+    attribution = rel.rejection_attribution(context)
+    share = attribution["by_related_markets"].get(0.0, 0.0)
+    print(f"\n[Fig 5.7] related-market share of rejections: {share:.0%}")
+
+    summary = du.duration_summary(du.unavailability_durations(context))
+    print(f"[Fig 5.9] {summary['count']} periods, "
+          f"{summary['fraction_under_1h']:.0%} under 1 h, "
+          f"max {summary['max_hours']:.1f} h")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SpotLight reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_deploy_args(p):
+        p.add_argument("--days", type=float, default=2.0)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--regions", nargs="+", default=DEFAULT_REGIONS)
+        p.add_argument("--families", nargs="+", default=DEFAULT_FAMILIES)
+        p.add_argument("--threshold", type=float, default=1.0,
+                       help="spike threshold T in multiples of on-demand")
+        p.add_argument("--sampling", type=float, default=1.0,
+                       help="sampling ratio p")
+
+    study = sub.add_parser("study", help="run a monitoring study")
+    add_deploy_args(study)
+    study.add_argument("--export", help="write the probe log to this CSV path")
+    study.add_argument("--report", help="write a markdown study report here")
+    study.set_defaults(func=cmd_study)
+
+    trace = sub.add_parser("trace", help="generate a synthetic price trace")
+    trace.add_argument("--profile", default="c3.2xlarge-us-east-1d")
+    trace.add_argument("--days", type=float, default=14.0)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("-o", "--output", default="trace.csv")
+    trace.set_defaults(func=cmd_trace)
+
+    figures = sub.add_parser("figures", help="print the Chapter 5 series")
+    add_deploy_args(figures)
+    figures.set_defaults(func=cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Shared simulation kernel: clock, event queue, errors, ids, RNG streams.
+
+These utilities underpin both the EC2 simulator substrate (``repro.ec2``)
+and the SpotLight service (``repro.core``).  Everything here is
+deterministic: time is simulated, and randomness comes from named,
+seed-split streams so experiments reproduce bit-for-bit.
+"""
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    BadParametersError,
+    EC2Error,
+    InsufficientInstanceCapacityError,
+    InvalidStateTransition,
+    RequestLimitExceededError,
+    ServiceLimitExceededError,
+)
+from repro.common.events import Event, EventQueue
+from repro.common.ids import IdGenerator
+from repro.common.rng import RngStream
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventQueue",
+    "IdGenerator",
+    "RngStream",
+    "EC2Error",
+    "InsufficientInstanceCapacityError",
+    "RequestLimitExceededError",
+    "ServiceLimitExceededError",
+    "BadParametersError",
+    "InvalidStateTransition",
+]

@@ -1,0 +1,48 @@
+"""Simulated clock.
+
+All components share a single :class:`SimClock`.  Time is a float number
+of seconds since the start of the simulation.  Only the event loop (or a
+test) advances the clock; everyone else reads it.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+class SimClock:
+    """Monotonically non-decreasing simulated time source."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when`` (never backward)."""
+        if when < self._now:
+            raise ValueError(
+                f"clock cannot move backward: now={self._now}, requested={when}"
+            )
+        self._now = float(when)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds."""
+        if delta < 0:
+            raise ValueError(f"cannot advance by negative delta: {delta}")
+        self._now += float(delta)
+
+    def hours(self) -> float:
+        """Current time expressed in hours."""
+        return self._now / SECONDS_PER_HOUR
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.1f}s)"

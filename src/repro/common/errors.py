@@ -1,0 +1,77 @@
+"""EC2-style error codes and exceptions.
+
+The simulator raises the same error *codes* the real EC2 API returns, so
+SpotLight's probing logic is written against realistic failure modes.
+``InsufficientInstanceCapacity`` is the one the paper is built around: it
+is EC2's signal that the demand for a server type currently exceeds the
+available supply.
+"""
+
+from __future__ import annotations
+
+# Error code strings as returned by the EC2 API.
+INSUFFICIENT_INSTANCE_CAPACITY = "InsufficientInstanceCapacity"
+REQUEST_LIMIT_EXCEEDED = "RequestLimitExceeded"
+INSTANCE_LIMIT_EXCEEDED = "InstanceLimitExceeded"
+SPOT_REQUEST_LIMIT_EXCEEDED = "MaxSpotInstanceCountExceeded"
+BAD_PARAMETERS = "InvalidParameterValue"
+SPOT_BID_TOO_HIGH = "SpotMaxPriceTooHigh"
+
+# Spot request status codes (Figure 3.2 of the paper).
+STATUS_PENDING_EVALUATION = "pending-evaluation"
+STATUS_PENDING_FULFILLMENT = "pending-fulfillment"
+STATUS_FULFILLED = "fulfilled"
+STATUS_CAPACITY_NOT_AVAILABLE = "capacity-not-available"
+STATUS_CAPACITY_OVERSUBSCRIBED = "capacity-oversubscribed"
+STATUS_PRICE_TOO_LOW = "price-too-low"
+STATUS_BAD_PARAMETERS = "bad-parameters"
+STATUS_SYSTEM_ERROR = "system-error"
+STATUS_CANCELED_BEFORE_FULFILLMENT = "canceled-before-fulfillment"
+STATUS_REQUEST_CANCELED_INSTANCE_RUNNING = "request-canceled-and-instance-running"
+STATUS_MARKED_FOR_TERMINATION = "marked-for-termination"
+STATUS_TERMINATED_BY_PRICE = "instance-terminated-by-price"
+STATUS_TERMINATED_BY_USER = "instance-terminated-by-user"
+
+
+class EC2Error(Exception):
+    """Base class for simulated EC2 API errors."""
+
+    code = "InternalError"
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__(message or self.code)
+        self.message = message or self.code
+
+
+class InsufficientInstanceCapacityError(EC2Error):
+    """Raised when a pool cannot satisfy an on-demand request."""
+
+    code = INSUFFICIENT_INSTANCE_CAPACITY
+
+
+class RequestLimitExceededError(EC2Error):
+    """Raised when a caller exceeds the per-region API rate limit."""
+
+    code = REQUEST_LIMIT_EXCEEDED
+
+
+class ServiceLimitExceededError(EC2Error):
+    """Raised when a caller exceeds a per-region instance/request limit."""
+
+    code = INSTANCE_LIMIT_EXCEEDED
+
+
+class BadParametersError(EC2Error):
+    """Raised for malformed requests (unknown market, negative bid, ...)."""
+
+    code = BAD_PARAMETERS
+
+
+class SpotBidTooHighError(EC2Error):
+    """Raised when a spot bid exceeds the 10x on-demand price cap."""
+
+    code = SPOT_BID_TOO_HIGH
+
+
+class InvalidStateTransition(Exception):
+    """Raised when a lifecycle state machine is driven illegally."""

@@ -1,0 +1,109 @@
+"""Deterministic discrete-event scheduler.
+
+A tiny, allocation-light event queue.  Events fire in (time, sequence)
+order, so two events scheduled for the same instant run in the order they
+were scheduled — this keeps every simulation run deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, seq)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` bound to a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    @property
+    def clock(self) -> SimClock:
+        return self._clock
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule_at(
+        self, when: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run at absolute time ``when``."""
+        if when < self._clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: now={self._clock.now}, when={when}"
+            )
+        event = Event(when, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self._clock.now + delay, callback, label)
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> Event | None:
+        """Run the next event, advancing the clock to its time."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._clock.advance_to(event.time)
+            event.callback()
+            return event
+        return None
+
+    def run_until(self, when: float) -> int:
+        """Run all events scheduled up to and including ``when``.
+
+        Returns the number of events executed.  The clock finishes exactly
+        at ``when`` even if the last event fired earlier.
+        """
+        executed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > when:
+                break
+            self.step()
+            executed += 1
+        if when > self._clock.now:
+            self._clock.advance_to(when)
+        return executed
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        executed = 0
+        while executed < max_events:
+            if self.step() is None:
+                return executed
+            executed += 1
+        raise RuntimeError(f"event queue did not drain after {max_events} events")

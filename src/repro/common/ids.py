@@ -1,0 +1,33 @@
+"""Deterministic resource-id generation.
+
+EC2 identifies instances as ``i-0123abcd...`` and spot requests as
+``sir-abcd1234``.  The simulator mints ids from a counter so runs are
+reproducible and ids are unique within a simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class IdGenerator:
+    """Mints EC2-style identifiers from a deterministic counter."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = {}
+
+    def _next(self, prefix: str) -> int:
+        counter = self._counters.setdefault(prefix, itertools.count(1))
+        return next(counter)
+
+    def instance_id(self) -> str:
+        """A fresh ``i-`` instance id."""
+        return f"i-{self._next('i'):017x}"
+
+    def spot_request_id(self) -> str:
+        """A fresh ``sir-`` spot instance request id."""
+        return f"sir-{self._next('sir'):08x}"
+
+    def reservation_id(self) -> str:
+        """A fresh ``r-`` reservation id."""
+        return f"r-{self._next('r'):017x}"

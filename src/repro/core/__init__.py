@@ -1,0 +1,48 @@
+"""SpotLight — the information service itself.
+
+SpotLight watches the spot price of every monitored market and
+*actively probes* the platform to learn availability information the
+cloud does not publish:
+
+* :class:`~repro.core.service.SpotLight` — the service: subscribes to
+  price updates, triggers probes, owns the database and budget;
+* :mod:`repro.core.probes` — the five probe functions of Chapter 4
+  (RequestOnDemand, RequestInsufficiency, CheckCapacity, BidSpread,
+  Revocation);
+* :class:`~repro.core.probe_manager.ProbeManager` — per-market trigger
+  logic (spike threshold, sampling, cooldowns, recovery re-probing);
+* :class:`~repro.core.database.ProbeDatabase` — the probe/price log and
+  its derived unavailability periods;
+* :class:`~repro.core.query.SpotLightQuery` — the query API
+  applications use (availability, MTTR, most-stable markets, ...).
+"""
+
+from repro.core.budget import BudgetController
+from repro.core.config import SpotLightConfig
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.query import SpotLightQuery
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+    UnavailabilityPeriod,
+)
+from repro.core.service import SpotLight
+
+__all__ = [
+    "SpotLight",
+    "SpotLightConfig",
+    "SpotLightQuery",
+    "ProbeDatabase",
+    "BudgetController",
+    "MarketID",
+    "ProbeRecord",
+    "PriceRecord",
+    "ProbeKind",
+    "ProbeTrigger",
+    "UnavailabilityPeriod",
+    "OUTCOME_FULFILLED",
+]

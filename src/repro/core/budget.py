@@ -1,0 +1,123 @@
+"""Probing cost control (Section 3.4).
+
+Each fulfilled probe costs at least an hour of server time, so
+SpotLight budgets: it tracks spend over a configurable window and stops
+probing when the window's budget is gone.  It also offers the paper's
+two knobs for fitting a budget — raising the spike threshold ``T`` and
+lowering the sampling probability ``p`` — including the helper that
+derives a workable ``T`` from historical spike frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WindowSpend:
+    """Spend accounting for one budget window."""
+
+    window_start: float
+    spent: float = 0.0
+    probes_charged: int = 0
+    probes_suppressed: int = 0
+
+
+@dataclass
+class BudgetController:
+    """Tracks probing spend over fixed windows."""
+
+    budget: float
+    window: float
+    windows: list[WindowSpend] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError(f"budget must be positive: {self.budget}")
+        if self.window <= 0:
+            raise ValueError(f"window must be positive: {self.window}")
+
+    def _current(self, now: float) -> WindowSpend:
+        index = int(now // self.window)
+        start = index * self.window
+        if not self.windows or self.windows[-1].window_start < start:
+            self.windows.append(WindowSpend(start))
+        return self.windows[-1]
+
+    def can_spend(self, now: float, amount: float = 0.0) -> bool:
+        """Whether the current window still has budget for ``amount``."""
+        current = self._current(now)
+        allowed = current.spent + amount <= self.budget
+        if not allowed:
+            current.probes_suppressed += 1
+        return allowed
+
+    def charge(self, now: float, amount: float) -> None:
+        """Record actual spend (may exceed the budget: charges land
+        after the decision to probe, exactly as on the real platform)."""
+        if amount < 0:
+            raise ValueError(f"cannot charge a negative amount: {amount}")
+        current = self._current(now)
+        current.spent += amount
+        current.probes_charged += 1
+
+    def total_spent(self) -> float:
+        return sum(w.spent for w in self.windows)
+
+    # -- threshold derivation (Section 3.4) ----------------------------------
+    @staticmethod
+    def derive_threshold(
+        spike_multiples: list[float],
+        probe_cost: float,
+        budget: float,
+        candidate_thresholds: tuple[float, ...] = (
+            0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 7.0, 10.0,
+        ),
+    ) -> float:
+        """Pick the lowest threshold ``T`` whose historical spike count
+        fits the budget.
+
+        ``spike_multiples`` is the history of observed spike sizes (in
+        multiples of the on-demand price) over a past window of the
+        same length the budget covers.  Returns the smallest candidate
+        ``T`` such that ``count(spikes >= T) * probe_cost <= budget``;
+        if even the largest candidate is too expensive, returns it
+        anyway (the caller should then also lower ``p``).
+        """
+        if probe_cost <= 0:
+            raise ValueError(f"probe cost must be positive: {probe_cost}")
+        for threshold in sorted(candidate_thresholds):
+            expected_probes = sum(1 for m in spike_multiples if m >= threshold)
+            if expected_probes * probe_cost <= budget:
+                return threshold
+        return max(candidate_thresholds)
+
+    @staticmethod
+    def derive_sampling_probability(
+        spike_multiples: list[float],
+        threshold: float,
+        probe_cost: float,
+        budget: float,
+    ) -> float:
+        """Given a fixed ``T``, the sampling ratio ``p`` that fits the
+        budget (clamped to [0, 1])."""
+        if probe_cost <= 0:
+            raise ValueError(f"probe cost must be positive: {probe_cost}")
+        expected = sum(1 for m in spike_multiples if m >= threshold)
+        if expected == 0:
+            return 1.0
+        return max(0.0, min(1.0, budget / (expected * probe_cost)))
+
+    @staticmethod
+    def spot_probe_interval(
+        average_spot_price: float, budget: float, window: float
+    ) -> float:
+        """Rate-limit periodic spot probes: divide the budget by the
+        average historical spot price to find how many probes the
+        window affords (Section 3.3)."""
+        if average_spot_price <= 0:
+            raise ValueError(f"average price must be positive: {average_spot_price}")
+        if budget <= 0:
+            raise ValueError(f"budget must be positive: {budget}")
+        affordable = budget / average_spot_price
+        return window / max(affordable, 1.0)

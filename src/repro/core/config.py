@@ -1,0 +1,70 @@
+"""SpotLight configuration.
+
+The tunables come straight from Chapter 3:
+
+* ``threshold_multiple`` — the spike threshold ``T`` in multiples of the
+  on-demand price; a spot price at or above ``T x on-demand`` triggers
+  an on-demand probe.  The prototype used ``T = 1`` to maximise data
+  collection.
+* ``sampling_probability`` — the ratio ``p``: probe a qualifying spike
+  only with probability ``p``, so a small budget can still sample
+  less-volatile events at a lower ``T``.
+* ``reprobe_interval`` — after detecting unavailability, re-probe every
+  ``delta`` seconds until a probe is fulfilled.
+* budgeting over a configurable window; when the budget is consumed the
+  service simply stops probing until the next window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import SECONDS_PER_DAY
+
+
+@dataclass
+class SpotLightConfig:
+    """All SpotLight tunables, with the paper's defaults."""
+
+    # -- spike trigger (Section 3.2) ---------------------------------------
+    threshold_multiple: float = 1.0
+    sampling_probability: float = 1.0
+    spike_cooldown: float = 900.0  # one trigger per market per cooldown
+
+    # -- recovery / fan-out (Sections 3.1-3.2) --------------------------------
+    reprobe_interval: float = 300.0  # delta
+    max_recovery_duration: float = 24 * 3600.0  # stop chasing after this
+    probe_related_family: bool = True
+    probe_related_zones: bool = True
+    related_probe_cooldown: float = 900.0
+    cross_check_spot_on_unavailable: bool = True  # od-spot data for Fig 5.12
+    cross_check_od_on_spot_unavailable: bool = True  # spot-od data
+
+    # -- spot probing (Section 3.3) ----------------------------------------------
+    spot_probe_interval: float = 4 * 3600.0  # periodic CheckCapacity cadence
+    bid_spread_max_requests: int = 6
+    bid_increase_factor: float = 2.0  # exponential upper-bound search
+
+    # -- cost control (Section 3.4) ------------------------------------------------
+    budget: float = float("inf")  # dollars per window
+    budget_window: float = 30 * SECONDS_PER_DAY
+    seed: int = 20160501
+
+    # -- scope ------------------------------------------------------------------------
+    regions: list[str] = field(default_factory=list)  # empty = all
+    families: list[str] = field(default_factory=list)  # empty = all
+    products: list[str] = field(default_factory=list)  # empty = all
+
+    def __post_init__(self) -> None:
+        if self.threshold_multiple < 0:
+            raise ValueError(f"threshold must be non-negative: {self.threshold_multiple}")
+        if not 0.0 <= self.sampling_probability <= 1.0:
+            raise ValueError(
+                f"sampling probability must be in [0, 1]: {self.sampling_probability}"
+            )
+        if self.reprobe_interval <= 0:
+            raise ValueError(f"re-probe interval must be positive: {self.reprobe_interval}")
+        if self.bid_spread_max_requests < 2:
+            raise ValueError("bid spread needs at least two requests")
+        if self.budget <= 0:
+            raise ValueError(f"budget must be positive: {self.budget}")

@@ -1,0 +1,208 @@
+"""SpotLight's probe/price database.
+
+The prototype logged every request, status change, and price sample to
+a database through a dedicated manager to avoid write conflicts between
+concurrent markets; here the database is an in-memory, indexed store
+with CSV export/import.  Everything the analysis chapter needs is
+derived from it: rejected-probe sets, unavailability periods, and price
+series.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.market_id import MarketID
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    UnavailabilityPeriod,
+)
+
+
+class ProbeDatabase:
+    """Indexed in-memory store of probe and price records."""
+
+    def __init__(self) -> None:
+        self._probes: list[ProbeRecord] = []
+        self._probes_by_market: dict[MarketID, list[ProbeRecord]] = defaultdict(list)
+        self._prices_by_market: dict[MarketID, list[PriceRecord]] = defaultdict(list)
+
+    # -- ingestion -----------------------------------------------------------
+    def insert_probe(self, record: ProbeRecord) -> None:
+        """Append a probe record (times must be non-decreasing per market)."""
+        per_market = self._probes_by_market[record.market]
+        if per_market and record.time < per_market[-1].time:
+            raise ValueError(
+                f"probe records must arrive in time order for {record.market}"
+            )
+        self._probes.append(record)
+        per_market.append(record)
+
+    def insert_price(self, record: PriceRecord) -> None:
+        per_market = self._prices_by_market[record.market]
+        if per_market and record.time < per_market[-1].time:
+            raise ValueError(
+                f"price records must arrive in time order for {record.market}"
+            )
+        per_market.append(record)
+
+    # -- raw queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    @property
+    def markets(self) -> list[MarketID]:
+        """All markets with at least one probe or price record."""
+        return sorted(set(self._probes_by_market) | set(self._prices_by_market))
+
+    def probes(
+        self,
+        market: MarketID | None = None,
+        kind: ProbeKind | None = None,
+        rejected: bool | None = None,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> list[ProbeRecord]:
+        """Probe records filtered by market/kind/outcome/time range."""
+        source: Iterable[ProbeRecord]
+        if market is not None:
+            source = self._probes_by_market.get(market, [])
+        else:
+            source = self._probes
+        out = []
+        for record in source:
+            if kind is not None and record.kind is not kind:
+                continue
+            if rejected is not None and record.rejected != rejected:
+                continue
+            if start is not None and record.time < start:
+                continue
+            if end is not None and record.time > end:
+                continue
+            out.append(record)
+        return out
+
+    def prices(
+        self,
+        market: MarketID,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> list[PriceRecord]:
+        """Price records for one market, time-ordered."""
+        records = self._prices_by_market.get(market, [])
+        if start is None and end is None:
+            return list(records)
+        times = [r.time for r in records]
+        lo = 0 if start is None else bisect_left(times, start)
+        hi = len(records) if end is None else bisect_right(times, end)
+        return records[lo:hi]
+
+    def price_at(self, market: MarketID, when: float) -> float | None:
+        """The last observed price at or before ``when`` (None if unseen)."""
+        records = self._prices_by_market.get(market, [])
+        times = [r.time for r in records]
+        idx = bisect_right(times, when) - 1
+        return records[idx].price if idx >= 0 else None
+
+    # -- derived data -------------------------------------------------------------
+    def unavailability_periods(
+        self,
+        market: MarketID | None = None,
+        kind: ProbeKind = ProbeKind.ON_DEMAND,
+        horizon: float | None = None,
+    ) -> list[UnavailabilityPeriod]:
+        """Contiguous rejection runs, per market.
+
+        A period starts at the first rejected probe after a fulfilled
+        one and ends at the next fulfilled probe.  ``horizon`` caps
+        still-open periods (monitoring end time).
+        """
+        markets = [market] if market is not None else self.markets
+        periods: list[UnavailabilityPeriod] = []
+        for mkt in markets:
+            run_start: float | None = None
+            run_count = 0
+            last_time = 0.0
+            for record in self._probes_by_market.get(mkt, []):
+                if record.kind is not kind:
+                    continue
+                last_time = record.time
+                if record.rejected:
+                    if run_start is None:
+                        run_start = record.time
+                        run_count = 0
+                    run_count += 1
+                elif run_start is not None:
+                    periods.append(
+                        UnavailabilityPeriod(
+                            mkt, kind, run_start, record.time, run_count
+                        )
+                    )
+                    run_start = None
+            if run_start is not None:
+                end = horizon if horizon is not None else last_time
+                periods.append(
+                    UnavailabilityPeriod(
+                        mkt, kind, run_start, max(end, run_start), run_count,
+                        end_observed=False,
+                    )
+                )
+        periods.sort(key=lambda p: (p.start, p.market))
+        return periods
+
+    def total_probe_cost(self) -> float:
+        return sum(record.cost for record in self._probes)
+
+    def rejection_rate(
+        self, market: MarketID | None = None, kind: ProbeKind | None = None
+    ) -> float:
+        """Fraction of probes rejected (0.0 when there are no probes)."""
+        records = self.probes(market=market, kind=kind)
+        if not records:
+            return 0.0
+        return sum(1 for r in records if r.rejected) / len(records)
+
+    # -- persistence --------------------------------------------------------------------
+    def export_probes_csv(self, path: str | Path) -> int:
+        """Write all probe records to CSV; returns the row count."""
+        rows = [record.to_row() for record in self._probes]
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            if not rows:
+                handle.write("")
+                return 0
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        return len(rows)
+
+    @classmethod
+    def import_probes_csv(cls, path: str | Path) -> "ProbeDatabase":
+        db = cls()
+        with Path(path).open(newline="") as handle:
+            for row in csv.DictReader(handle):
+                db.insert_probe(ProbeRecord.from_row(row))
+        return db
+
+    def export_prices_json(self, path: str | Path) -> int:
+        """Write all price series to JSON; returns the sample count."""
+        payload = {
+            str(market): [(r.time, r.price) for r in records]
+            for market, records in self._prices_by_market.items()
+        }
+        Path(path).write_text(json.dumps(payload))
+        return sum(len(v) for v in payload.values())
+
+    def iter_price_series(
+        self,
+    ) -> Iterator[tuple[MarketID, list[PriceRecord]]]:
+        for market, records in self._prices_by_market.items():
+            yield market, list(records)

@@ -1,0 +1,47 @@
+"""Market identity.
+
+The paper: "a market refers to a distinct server type offered under
+multiple contracts ... each instance type in a particular availability
+zone of a geographical region represents a distinct market."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class MarketID:
+    """One (availability zone, instance type, product) market."""
+
+    availability_zone: str
+    instance_type: str
+    product: str
+
+    @property
+    def region(self) -> str:
+        """``us-east-1d`` -> ``us-east-1``."""
+        return self.availability_zone.rstrip("abcdefgh")
+
+    @property
+    def family(self) -> str:
+        """``c3.2xlarge`` -> ``c3``."""
+        return self.instance_type.split(".", 1)[0]
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """The tuple key used by the simulator's market map."""
+        return (self.availability_zone, self.instance_type, self.product)
+
+    @property
+    def api_args(self) -> tuple[str, str, str]:
+        """Positional arguments for the platform API calls
+        (instance type first, matching ``run_instances`` and friends)."""
+        return (self.instance_type, self.availability_zone, self.product)
+
+    def same_family(self, other: "MarketID") -> bool:
+        """Related markets: same family (the paper's fan-out criterion)."""
+        return self.family == other.family
+
+    def __str__(self) -> str:
+        return f"{self.availability_zone}/{self.instance_type}/{self.product}"

@@ -1,0 +1,203 @@
+"""Per-market probe manager.
+
+Each monitored market gets a :class:`ProbeManager` that owns the
+trigger logic of Sections 3.1-3.3:
+
+* watch the spot price; when it crosses ``T x on-demand`` (and the
+  cooldown and sampling ratio allow), issue an on-demand probe;
+* on a detected rejection, re-probe every ``delta`` seconds until the
+  market is available again (measuring the unavailability duration);
+* accept related-market probe requests fanned out by the service;
+* run the periodic spot CheckCapacity probe and its recovery loop.
+
+The manager reports detected unavailability to the service, which
+performs the family/zone fan-out and cross-checks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common import errors
+from repro.common.rng import RngStream
+from repro.core.config import SpotLightConfig
+from repro.core.market_id import MarketID
+from repro.core.probes import ProbeExecutor
+from repro.core.records import OUTCOME_FULFILLED, ProbeKind, ProbeRecord, ProbeTrigger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.service import SpotLight
+
+#: Retry delay after an API-throttled / account-limited probe attempt.
+TRANSIENT_RETRY_DELAY = 15.0
+
+
+class ProbeManager:
+    """Trigger logic and recovery loops for one market."""
+
+    def __init__(
+        self,
+        market: MarketID,
+        service: "SpotLight",
+        executor: ProbeExecutor,
+        config: SpotLightConfig,
+        rng: RngStream,
+    ) -> None:
+        self.market = market
+        self.service = service
+        self.executor = executor
+        self.config = config
+        self.rng = rng
+        self.last_spike_trigger = float("-inf")
+        self.last_related_probe = float("-inf")
+        self.od_recovery_active = False
+        self.spot_recovery_active = False
+        self.probes_triggered = 0
+
+    # -- price watching ---------------------------------------------------------
+    def on_price(self, now: float, price: float) -> None:
+        """React to a spot price observation (the market-based trigger)."""
+        multiple = self.executor.spike_multiple(self.market, price)
+        if multiple < self.config.threshold_multiple:
+            return
+        if now - self.last_spike_trigger < self.config.spike_cooldown:
+            return
+        if not self.rng.bernoulli(self.config.sampling_probability):
+            # Sampled out: remember the spike so a sustained spike does
+            # not get re-sampled every tick.
+            self.last_spike_trigger = now
+            return
+        self.last_spike_trigger = now
+        self.probes_triggered += 1
+        record = self.executor.request_on_demand(
+            self.market, ProbeTrigger.PRICE_SPIKE, spike_multiple=multiple
+        )
+        self._handle_od_outcome(record, multiple)
+
+    # -- outcome handling ----------------------------------------------------------
+    def _handle_od_outcome(
+        self, record: ProbeRecord | None, multiple: float
+    ) -> None:
+        if record is None or not record.rejected:
+            return
+        if record.outcome == errors.INSUFFICIENT_INSTANCE_CAPACITY:
+            self.service.on_unavailable(self.market, ProbeKind.ON_DEMAND, multiple)
+            self._start_od_recovery()
+
+    def probe_related(self, trigger: ProbeTrigger, multiple: float) -> None:
+        """A related market detected a rejection; probe this one too."""
+        now = self.executor.now
+        if now - self.last_related_probe < self.config.related_probe_cooldown:
+            return
+        self.last_related_probe = now
+        record = self.executor.request_on_demand(
+            self.market, trigger, spike_multiple=multiple
+        )
+        if (
+            record is not None
+            and record.outcome == errors.INSUFFICIENT_INSTANCE_CAPACITY
+        ):
+            # Related rejections are logged and recovered from, but do
+            # not fan out again (no cascades).
+            self.service.on_related_unavailable(self.market, multiple)
+            self._start_od_recovery()
+
+    # -- on-demand recovery loop ------------------------------------------------------
+    def _start_od_recovery(self) -> None:
+        if self.od_recovery_active:
+            return
+        self.od_recovery_active = True
+        self._od_recovery_deadline = (
+            self.executor.now + self.config.max_recovery_duration
+        )
+        self.service.schedule(self.config.reprobe_interval, self._od_recovery_step)
+
+    def _od_recovery_step(self) -> None:
+        if not self.od_recovery_active:
+            return
+        record = self.executor.request_on_demand(
+            self.market,
+            ProbeTrigger.RECOVERY,
+            spike_multiple=self.executor.spike_multiple(self.market),
+        )
+        now = self.executor.now
+        if record is not None and record.outcome == OUTCOME_FULFILLED:
+            self.od_recovery_active = False
+            return
+        if now >= self._od_recovery_deadline:
+            # Budget exhaustion or persistent rejection: stop chasing.
+            self.od_recovery_active = False
+            return
+        delay = self.config.reprobe_interval
+        if record is None:
+            delay = min(delay, TRANSIENT_RETRY_DELAY)
+        self.service.schedule(delay, self._od_recovery_step)
+
+    # -- spot probing ----------------------------------------------------------------------
+    def periodic_spot_probe(self) -> None:
+        """The scheduled CheckCapacity probe for this market."""
+        record = self.executor.check_capacity(
+            self.market,
+            ProbeTrigger.PERIODIC,
+            spike_multiple=self.executor.spike_multiple(self.market),
+        )
+        self._handle_spot_outcome(record)
+
+    def _handle_spot_outcome(self, record: ProbeRecord | None) -> None:
+        if record is None:
+            return
+        if record.outcome == errors.STATUS_CAPACITY_NOT_AVAILABLE:
+            self.service.on_unavailable(
+                self.market,
+                ProbeKind.SPOT,
+                self.executor.spike_multiple(self.market),
+            )
+            self._start_spot_recovery()
+
+    def _start_spot_recovery(self) -> None:
+        if self.spot_recovery_active:
+            return
+        self.spot_recovery_active = True
+        self._spot_recovery_deadline = (
+            self.executor.now + self.config.max_recovery_duration
+        )
+        self.service.schedule(self.config.reprobe_interval, self._spot_recovery_step)
+
+    def _spot_recovery_step(self) -> None:
+        if not self.spot_recovery_active:
+            return
+        record = self.executor.check_capacity(
+            self.market,
+            ProbeTrigger.RECOVERY,
+            spike_multiple=self.executor.spike_multiple(self.market),
+        )
+        now = self.executor.now
+        if record is not None and record.outcome == OUTCOME_FULFILLED:
+            self.spot_recovery_active = False
+            return
+        if now >= self._spot_recovery_deadline:
+            self.spot_recovery_active = False
+            return
+        self.service.schedule(self.config.reprobe_interval, self._spot_recovery_step)
+
+    def cross_check_spot(self, multiple: float) -> None:
+        """Spot probe on this market after an on-demand rejection here."""
+        record = self.executor.check_capacity(
+            self.market, ProbeTrigger.CROSS_CHECK, spike_multiple=multiple
+        )
+        if (
+            record is not None
+            and record.outcome == errors.STATUS_CAPACITY_NOT_AVAILABLE
+        ):
+            self._start_spot_recovery()
+
+    def cross_check_on_demand(self, multiple: float) -> None:
+        """On-demand probe on this market after a spot rejection here."""
+        record = self.executor.request_on_demand(
+            self.market, ProbeTrigger.CROSS_CHECK, spike_multiple=multiple
+        )
+        if (
+            record is not None
+            and record.outcome == errors.INSUFFICIENT_INSTANCE_CAPACITY
+        ):
+            self._start_od_recovery()

@@ -1,0 +1,343 @@
+"""The five probe functions of Chapter 4.
+
+* **RequestOnDemand** — request one on-demand server in the market whose
+  spot price spiked; terminate it immediately if granted; log the
+  error code otherwise.
+* **RequestInsufficiency** — the follow-up behaviour after a denial
+  (periodic recovery probes, related-market fan-out, spot cross-check);
+  orchestrated by :class:`~repro.core.probe_manager.ProbeManager` on
+  top of the primitives here.
+* **CheckCapacity** — one spot request bidding the current spot price;
+  ``capacity-not-available`` means the spot pool itself is out.
+* **BidSpread** — find the *intrinsic* bid price that actually gets a
+  spot instance: exponential search up for an upper bound, then binary
+  search down, with 2-3 requests on average and at most 6.
+* **Revocation** — hold a spot instance bid at the spot price through a
+  price spike to see whether the market revokes it.
+
+Each issued request becomes a :class:`~repro.core.records.ProbeRecord`
+in the database, with its cost charged to the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import errors
+from repro.common.errors import (
+    EC2Error,
+    RequestLimitExceededError,
+    ServiceLimitExceededError,
+)
+from repro.common.rng import RngStream
+from repro.core.budget import BudgetController
+from repro.core.config import SpotLightConfig
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+)
+from repro.ec2.platform import EC2Simulator
+
+#: Probe outcomes that mean "try again later" rather than information
+#: about the market (these are account-side limits, not availability).
+TRANSIENT_OUTCOMES = frozenset(
+    {errors.REQUEST_LIMIT_EXCEEDED, errors.INSTANCE_LIMIT_EXCEEDED}
+)
+
+
+@dataclass(frozen=True)
+class BidSpreadResult:
+    """Outcome of a BidSpread intrinsic-price search."""
+
+    market: MarketID
+    published_price: float
+    intrinsic_price: float | None  # None when capacity was unavailable
+    requests_used: int
+
+    @property
+    def premium(self) -> float:
+        """Intrinsic price over published price (0 when not found)."""
+        if self.intrinsic_price is None or self.published_price <= 0:
+            return 0.0
+        return self.intrinsic_price / self.published_price - 1.0
+
+
+class ProbeExecutor:
+    """Issues probes against the platform and logs the outcomes."""
+
+    def __init__(
+        self,
+        simulator: EC2Simulator,
+        database: ProbeDatabase,
+        budget: BudgetController,
+        config: SpotLightConfig,
+        rng: RngStream,
+    ) -> None:
+        self._sim = simulator
+        self._db = database
+        self._budget = budget
+        self._config = config
+        self._rng = rng
+
+    # -- helpers ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+    def _region_ready(self, market: MarketID, tokens: float = 2.0) -> bool:
+        """Whether the region's API bucket can cover a probe (request +
+        cleanup call).  Probing with an empty bucket would strand held
+        requests, so the executor defers instead."""
+        limits = self._sim.limits[market.region]
+        return limits._bucket.available >= tokens
+
+    def _abandon_request(self, request_id: str) -> None:
+        """Walk away from a held request.  If the market fulfilled it in
+        the meantime (held requests auto-fulfil when the price falls),
+        terminate the instance too — otherwise it would run up charges
+        indefinitely."""
+        request = self._sim.spot_requests[request_id]
+        if request.is_open:
+            self._sim.cancel_spot_request(request_id)
+        if request.is_active:
+            self._sim.terminate_spot_instance(request_id)
+
+    def _cleanup(self, action, attempts: int = 8) -> None:
+        """Run a cleanup call (terminate/cancel), retrying on throttling.
+
+        Cleanup must eventually happen or probe instances leak slots and
+        money, so throttled attempts are re-scheduled a few seconds out.
+        """
+        try:
+            action()
+        except RequestLimitExceededError:
+            if attempts > 0:
+                self._sim.queue.schedule_in(
+                    10.0,
+                    lambda: self._cleanup(action, attempts - 1),
+                    label="probe-cleanup",
+                )
+
+    def on_demand_price(self, market: MarketID) -> float:
+        return self._sim.on_demand_price(*market.api_args)
+
+    def published_spot_price(self, market: MarketID) -> float:
+        return self._sim.current_spot_price(*market.api_args)
+
+    def spike_multiple(self, market: MarketID, price: float | None = None) -> float:
+        """Spot price as a multiple of the on-demand price."""
+        spot = price if price is not None else self.published_spot_price(market)
+        return spot / self.on_demand_price(market)
+
+    def _log(self, record: ProbeRecord) -> ProbeRecord:
+        self._db.insert_probe(record)
+        if record.cost > 0:
+            self._budget.charge(record.time, record.cost)
+        return record
+
+    # -- RequestOnDemand ----------------------------------------------------------
+    def request_on_demand(
+        self,
+        market: MarketID,
+        trigger: ProbeTrigger,
+        spike_multiple: float = 0.0,
+    ) -> ProbeRecord | None:
+        """One on-demand probe.  Returns None if the budget suppressed it
+        or the failure was transient (account limits, API throttling)."""
+        probe_cost = self.on_demand_price(market)
+        if not self._budget.can_spend(self.now, probe_cost):
+            return None
+        if not self._region_ready(market):
+            return None
+        try:
+            instance = self._sim.run_instances(*market.api_args)
+        except (RequestLimitExceededError, ServiceLimitExceededError):
+            return None
+        except EC2Error as exc:
+            return self._log(
+                ProbeRecord(
+                    time=self.now,
+                    market=market,
+                    kind=ProbeKind.ON_DEMAND,
+                    trigger=trigger,
+                    outcome=exc.code,
+                    spike_multiple=spike_multiple,
+                )
+            )
+        # Granted: pay the one-hour minimum and terminate immediately.
+        self._cleanup(lambda: self._sim.terminate_instances([instance.instance_id]))
+        return self._log(
+            ProbeRecord(
+                time=self.now,
+                market=market,
+                kind=ProbeKind.ON_DEMAND,
+                trigger=trigger,
+                outcome=OUTCOME_FULFILLED,
+                spike_multiple=spike_multiple,
+                cost=probe_cost,
+                request_id=instance.instance_id,
+            )
+        )
+
+    # -- CheckCapacity ---------------------------------------------------------------
+    def check_capacity(
+        self,
+        market: MarketID,
+        trigger: ProbeTrigger,
+        bid_price: float | None = None,
+        keep_instance: bool = False,
+        spike_multiple: float = 0.0,
+    ) -> ProbeRecord | None:
+        """One spot probe bidding ``bid_price`` (default: current price).
+
+        A held request is cancelled immediately; a fulfilled one is
+        terminated unless ``keep_instance`` (the Revocation probe keeps
+        it to watch for price-triggered termination).
+        """
+        price = bid_price if bid_price is not None else self.published_spot_price(market)
+        price = max(price, 0.0001)
+        if not self._budget.can_spend(self.now, price):
+            return None
+        if not self._region_ready(market):
+            return None
+        try:
+            request = self._sim.request_spot_instances(*market.api_args, bid_price=price)
+        except (RequestLimitExceededError, ServiceLimitExceededError):
+            return None
+        except EC2Error as exc:
+            return self._log(
+                ProbeRecord(
+                    time=self.now,
+                    market=market,
+                    kind=ProbeKind.SPOT,
+                    trigger=trigger,
+                    outcome=exc.code,
+                    bid_price=price,
+                    spike_multiple=spike_multiple,
+                )
+            )
+        if request.is_active:
+            cost = self.published_spot_price(market)
+            if not keep_instance:
+                self._cleanup(
+                    lambda: self._sim.terminate_spot_instance(request.request_id)
+                )
+            return self._log(
+                ProbeRecord(
+                    time=self.now,
+                    market=market,
+                    kind=ProbeKind.SPOT,
+                    trigger=trigger,
+                    outcome=OUTCOME_FULFILLED,
+                    bid_price=price,
+                    cost=cost,
+                    spike_multiple=spike_multiple,
+                    request_id=request.request_id,
+                )
+            )
+        # Held: log the held status and cancel so the slot frees up.
+        outcome = request.status
+        self._cleanup(lambda: self._abandon_request(request.request_id))
+        return self._log(
+            ProbeRecord(
+                time=self.now,
+                market=market,
+                kind=ProbeKind.SPOT,
+                trigger=trigger,
+                outcome=outcome,
+                bid_price=price,
+                spike_multiple=spike_multiple,
+                request_id=request.request_id,
+            )
+        )
+
+    # -- BidSpread ---------------------------------------------------------------------
+    def bid_spread(self, market: MarketID) -> BidSpreadResult:
+        """Find the minimum bid that actually obtains a spot instance.
+
+        Exponential search up from the published price to find a
+        fulfilled bid, then binary search between the highest failed
+        and lowest fulfilled bids.  Uses at most
+        ``config.bid_spread_max_requests`` requests.
+        """
+        published = self.published_spot_price(market)
+        cap = self.on_demand_price(market) * 10.0
+        max_requests = self._config.bid_spread_max_requests
+        factor = self._config.bid_increase_factor
+
+        requests_used = 0
+        # The paper searches "between spot price and upper bound": the
+        # published price is the search floor, so the intrinsic price is
+        # never reported below it.
+        low_fail = published
+        best_success: float | None = None
+        bid = published
+
+        # Phase 1: exponential climb until a bid is fulfilled.
+        while requests_used < max_requests:
+            record = self.check_capacity(
+                market, ProbeTrigger.BID_SPREAD, bid_price=min(bid, cap)
+            )
+            if record is None:
+                break
+            requests_used += 1
+            if record.outcome == OUTCOME_FULFILLED:
+                best_success = record.bid_price
+                break
+            if record.outcome == errors.STATUS_CAPACITY_NOT_AVAILABLE:
+                return BidSpreadResult(market, published, None, requests_used)
+            low_fail = max(low_fail, record.bid_price)
+            if bid >= cap:
+                break
+            bid *= factor
+
+        if best_success is None:
+            return BidSpreadResult(market, published, None, requests_used)
+
+        # Phase 2: binary search between the bounds.
+        while requests_used < max_requests and best_success - low_fail > 0.01 * published:
+            mid = (low_fail + best_success) / 2.0
+            record = self.check_capacity(
+                market, ProbeTrigger.BID_SPREAD, bid_price=mid
+            )
+            if record is None:
+                break
+            requests_used += 1
+            if record.outcome == OUTCOME_FULFILLED:
+                best_success = record.bid_price
+            elif record.outcome == errors.STATUS_CAPACITY_NOT_AVAILABLE:
+                break
+            else:
+                low_fail = record.bid_price
+        return BidSpreadResult(market, published, best_success, requests_used)
+
+    # -- Revocation ------------------------------------------------------------------------
+    def start_revocation_watch(self, market: MarketID) -> str | None:
+        """Issue a spot request at the current price and keep the
+        instance, so a later price spike revokes it.  Returns the spot
+        request id (None when the request did not fulfil)."""
+        record = self.check_capacity(
+            market,
+            ProbeTrigger.REVOCATION,
+            keep_instance=True,
+            spike_multiple=self.spike_multiple(market),
+        )
+        if record is None or record.outcome != OUTCOME_FULFILLED:
+            return None
+        return record.request_id
+
+    def poll_revocation(self, request_id: str) -> float | None:
+        """Check a watched request; returns time-to-revocation once the
+        market revoked it, None while it is still running."""
+        request = self._sim.spot_requests[request_id]
+        return request.time_to_revocation()
+
+    def stop_revocation_watch(self, request_id: str) -> None:
+        """Terminate a watched instance that was never revoked."""
+        request = self._sim.spot_requests[request_id]
+        if request.is_active:
+            self._cleanup(lambda: self._sim.terminate_spot_instance(request_id))

@@ -1,0 +1,222 @@
+"""SpotLight's query interface.
+
+The service the paper envisions: applications query availability
+characteristics programmatically to continuously optimise server and
+contract selection.  The flagship example from Chapter 3: "the top ten
+server types with the longest mean-time-to-revocation for a bid price
+equal to the corresponding on-demand price over the past week".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.records import ProbeKind, UnavailabilityPeriod
+from repro.ec2.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class MarketStability:
+    """Ranking entry returned by :meth:`SpotLightQuery.top_stable_markets`."""
+
+    market: MarketID
+    mean_time_to_revocation: float
+    availability_at_bid: float
+    mean_price: float
+
+
+class SpotLightQuery:
+    """Read-only queries over the probe database."""
+
+    def __init__(self, database: ProbeDatabase, catalog: Catalog) -> None:
+        self._db = database
+        self._catalog = catalog
+
+    # -- pricing helpers -----------------------------------------------------
+    def on_demand_price(self, market: MarketID) -> float:
+        return self._catalog.on_demand_price(
+            market.instance_type, market.region, market.product
+        )
+
+    # -- availability -----------------------------------------------------------
+    def unavailability_periods(
+        self,
+        market: MarketID | None = None,
+        kind: ProbeKind = ProbeKind.ON_DEMAND,
+        horizon: float | None = None,
+    ) -> list[UnavailabilityPeriod]:
+        return self._db.unavailability_periods(market, kind, horizon)
+
+    def availability(
+        self,
+        market: MarketID,
+        kind: ProbeKind = ProbeKind.ON_DEMAND,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> float:
+        """Fraction of ``[start, end]`` the market was available.
+
+        Derived from measured unavailability periods; time not covered
+        by any period counts as available (SpotLight probes exactly
+        when unavailability is suspected).
+        """
+        if end is None:
+            end = max((p.end for p in self._db.unavailability_periods(market, kind)),
+                      default=start)
+        span = end - start
+        if span <= 0:
+            return 1.0
+        unavailable = 0.0
+        for period in self._db.unavailability_periods(market, kind, horizon=end):
+            lo = max(period.start, start)
+            hi = min(period.end, end)
+            if hi > lo:
+                unavailable += hi - lo
+        return max(0.0, 1.0 - unavailable / span)
+
+    def is_unavailable_at(
+        self, market: MarketID, when: float, kind: ProbeKind = ProbeKind.ON_DEMAND
+    ) -> bool:
+        """Whether ``when`` falls inside a measured unavailability period."""
+        for period in self._db.unavailability_periods(market, kind):
+            if period.start <= when < period.end:
+                return True
+        return False
+
+    def rejection_rate(
+        self, market: MarketID | None = None, kind: ProbeKind | None = None
+    ) -> float:
+        return self._db.rejection_rate(market, kind)
+
+    # -- price-derived metrics ----------------------------------------------------
+    def availability_at_bid(
+        self,
+        market: MarketID,
+        bid_price: float,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> float:
+        """Fraction of time the spot price sat at or below ``bid_price``
+        (the spot-availability estimate the paper describes users
+        computing from price history)."""
+        records = self._db.prices(market, start, end)
+        if len(records) < 2:
+            return 1.0
+        total = records[-1].time - records[0].time
+        if total <= 0:
+            return 1.0
+        available = 0.0
+        for prev, cur in zip(records, records[1:]):
+            if prev.price <= bid_price:
+                available += cur.time - prev.time
+        return available / total
+
+    def mean_time_to_revocation(
+        self,
+        market: MarketID,
+        bid_price: float,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> float:
+        """Average run length (seconds) the spot price stays at or
+        below ``bid_price`` once it is below — the expected lifetime of
+        a spot instance bid at that level."""
+        records = self._db.prices(market, start, end)
+        if not records:
+            return 0.0
+        runs: list[float] = []
+        run_start: float | None = None
+        for record in records:
+            if record.price <= bid_price:
+                if run_start is None:
+                    run_start = record.time
+            elif run_start is not None:
+                runs.append(record.time - run_start)
+                run_start = None
+        if run_start is not None:
+            runs.append(records[-1].time - run_start)
+        if not runs:
+            return 0.0
+        return sum(runs) / len(runs)
+
+    def mean_price(
+        self, market: MarketID, start: float = 0.0, end: float | None = None
+    ) -> float:
+        """Time-weighted mean spot price over the window."""
+        records = self._db.prices(market, start, end)
+        if not records:
+            return 0.0
+        if len(records) == 1:
+            return records[0].price
+        weighted = 0.0
+        for prev, cur in zip(records, records[1:]):
+            weighted += prev.price * (cur.time - prev.time)
+        total = records[-1].time - records[0].time
+        return weighted / total if total > 0 else records[-1].price
+
+    def spike_multiples(
+        self, market: MarketID, start: float = 0.0, end: float | None = None
+    ) -> list[tuple[float, float]]:
+        """(time, price / on-demand price) series for a market."""
+        od = self.on_demand_price(market)
+        return [
+            (r.time, r.price / od) for r in self._db.prices(market, start, end)
+        ]
+
+    # -- rankings ------------------------------------------------------------------------
+    def top_stable_markets(
+        self,
+        n: int = 10,
+        bid_multiple: float = 1.0,
+        start: float = 0.0,
+        end: float | None = None,
+        region: str | None = None,
+    ) -> list[MarketStability]:
+        """The ``n`` most stable markets: longest mean-time-to-revocation
+        at a bid of ``bid_multiple x on-demand`` (the paper's flagship
+        query), with availability and mean price as tie-breakers."""
+        entries: list[MarketStability] = []
+        for market in self._db.markets:
+            if region is not None and market.region != region:
+                continue
+            if not self._db.prices(market):
+                continue
+            bid = bid_multiple * self.on_demand_price(market)
+            entries.append(
+                MarketStability(
+                    market=market,
+                    mean_time_to_revocation=self.mean_time_to_revocation(
+                        market, bid, start, end
+                    ),
+                    availability_at_bid=self.availability_at_bid(
+                        market, bid, start, end
+                    ),
+                    mean_price=self.mean_price(market, start, end),
+                )
+            )
+        entries.sort(
+            key=lambda e: (
+                -e.mean_time_to_revocation,
+                -e.availability_at_bid,
+                e.mean_price,
+            )
+        )
+        return entries[:n]
+
+    def least_unavailable_markets(
+        self,
+        candidates: list[MarketID],
+        kind: ProbeKind = ProbeKind.ON_DEMAND,
+        horizon: float | None = None,
+    ) -> list[tuple[MarketID, float]]:
+        """Rank candidate markets by total measured unavailable time
+        (ascending) — what SpotCheck/SpotOn use to pick fail-over
+        targets."""
+        scored = []
+        for market in candidates:
+            periods = self._db.unavailability_periods(market, kind, horizon)
+            scored.append((market, sum(p.duration for p in periods)))
+        scored.sort(key=lambda pair: pair[1])
+        return scored

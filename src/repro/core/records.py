@@ -1,0 +1,122 @@
+"""Record types logged by SpotLight.
+
+Every probe — fulfilled or rejected — becomes a :class:`ProbeRecord`
+with its trigger, outcome, spike context, and cost; every observed
+price update becomes a :class:`PriceRecord`.  Periods of unavailability
+are derived from consecutive probe outcomes
+(:class:`UnavailabilityPeriod`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.market_id import MarketID
+
+#: Outcome string for a successful probe (any error code otherwise).
+OUTCOME_FULFILLED = "fulfilled"
+
+
+class ProbeKind(str, enum.Enum):
+    """Which contract the probe requested."""
+
+    ON_DEMAND = "on-demand"
+    SPOT = "spot"
+
+
+class ProbeTrigger(str, enum.Enum):
+    """Why a probe was issued."""
+
+    PRICE_SPIKE = "price-spike"  # spot price crossed T x on-demand
+    RELATED_FAMILY = "related-family"  # fan-out after a detected rejection
+    RELATED_ZONE = "related-zone"  # fan-out to other availability zones
+    RECOVERY = "recovery"  # periodic re-probe until available
+    PERIODIC = "periodic"  # scheduled spot CheckCapacity
+    CROSS_CHECK = "cross-check"  # spot probe on od failure / vice versa
+    BID_SPREAD = "bid-spread"  # intrinsic-price search
+    REVOCATION = "revocation"  # revocation watcher
+    MANUAL = "manual"  # user-requested probe
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """One probe and its outcome."""
+
+    time: float
+    market: MarketID
+    kind: ProbeKind
+    trigger: ProbeTrigger
+    outcome: str  # OUTCOME_FULFILLED or an error/status code
+    spike_multiple: float = 0.0  # spot price / on-demand price at trigger time
+    bid_price: float = 0.0  # spot probes only
+    cost: float = 0.0  # dollars charged for this probe
+    request_id: str = ""  # instance or spot-request id
+
+    @property
+    def rejected(self) -> bool:
+        return self.outcome != OUTCOME_FULFILLED
+
+    def to_row(self) -> dict[str, object]:
+        """Flat dict for CSV/JSON export."""
+        return {
+            "time": self.time,
+            "availability_zone": self.market.availability_zone,
+            "instance_type": self.market.instance_type,
+            "product": self.market.product,
+            "kind": self.kind.value,
+            "trigger": self.trigger.value,
+            "outcome": self.outcome,
+            "spike_multiple": self.spike_multiple,
+            "bid_price": self.bid_price,
+            "cost": self.cost,
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict[str, object]) -> "ProbeRecord":
+        return cls(
+            time=float(row["time"]),
+            market=MarketID(
+                str(row["availability_zone"]),
+                str(row["instance_type"]),
+                str(row["product"]),
+            ),
+            kind=ProbeKind(str(row["kind"])),
+            trigger=ProbeTrigger(str(row["trigger"])),
+            outcome=str(row["outcome"]),
+            spike_multiple=float(row["spike_multiple"]),
+            bid_price=float(row["bid_price"]),
+            cost=float(row["cost"]),
+            request_id=str(row["request_id"]),
+        )
+
+
+@dataclass(frozen=True)
+class PriceRecord:
+    """One observed spot price update."""
+
+    time: float
+    market: MarketID
+    price: float
+
+
+@dataclass(frozen=True)
+class UnavailabilityPeriod:
+    """A contiguous period during which probes of a market were rejected.
+
+    ``end`` is the time of the first fulfilled probe after the run of
+    rejections; ``end_observed`` is False when monitoring stopped before
+    the market recovered (the duration is then a lower bound).
+    """
+
+    market: MarketID
+    kind: ProbeKind
+    start: float
+    end: float
+    probe_count: int
+    end_observed: bool = True
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start

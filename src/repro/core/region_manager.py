@@ -1,0 +1,76 @@
+"""Per-region coordination.
+
+The thesis describes hierarchical managers: each region has shared,
+limited resources — the API call rate, the number of running on-demand
+instances, and the number of open spot requests — and a region manager
+that maximises the utility of each API request and avoids conflicts.
+
+Here the :class:`RegionManager` paces probe admission against the
+region's live limit state (so fan-out bursts don't burn the entire API
+budget and starve recovery loops) and aggregates region-level
+statistics for the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ec2.limits import RegionLimits
+
+#: Keep this many API tokens in reserve for recovery re-probes.
+API_TOKEN_RESERVE = 5.0
+#: Keep this many instance slots free so recovery probes always fit.
+INSTANCE_SLOT_RESERVE = 2
+
+
+@dataclass
+class RegionManager:
+    """Admission control and statistics for one region."""
+
+    region: str
+    limits: RegionLimits
+    probes_admitted: int = 0
+    probes_deferred: int = 0
+    _deferred_reasons: dict[str, int] = field(default_factory=dict)
+
+    def can_issue_probe(self, priority: bool = False) -> bool:
+        """Whether a probe should be issued now.
+
+        Low-priority probes (fan-out to related markets) are deferred
+        when the region is close to its API or instance limits;
+        ``priority`` probes (initial spike probes, recovery steps) only
+        require a single available slot.
+        """
+        bucket_available = self.limits._bucket.available
+        slots_used = self.limits.running_on_demand
+        if priority:
+            admitted = bucket_available >= 1.0 and (
+                slots_used < self.limits.max_on_demand_instances
+            )
+        else:
+            admitted = bucket_available >= API_TOKEN_RESERVE and (
+                slots_used
+                <= self.limits.max_on_demand_instances - INSTANCE_SLOT_RESERVE
+            )
+        if admitted:
+            self.probes_admitted += 1
+        else:
+            self.probes_deferred += 1
+            reason = "api-rate" if bucket_available < API_TOKEN_RESERVE else "slots"
+            self._deferred_reasons[reason] = self._deferred_reasons.get(reason, 0) + 1
+        return admitted
+
+    @property
+    def deferred_reasons(self) -> dict[str, int]:
+        return dict(self._deferred_reasons)
+
+    def stats(self) -> dict[str, float]:
+        """Region-level accounting for reports and tests."""
+        return {
+            "probes_admitted": self.probes_admitted,
+            "probes_deferred": self.probes_deferred,
+            "api_calls_made": self.limits.api_calls_made,
+            "api_calls_throttled": self.limits.api_calls_throttled,
+            "running_on_demand": self.limits.running_on_demand,
+            "open_spot_requests": self.limits.open_spot_requests,
+        }

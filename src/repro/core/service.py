@@ -1,0 +1,252 @@
+"""The SpotLight service.
+
+Wires everything together: market managers, the probe executor, the
+budget, the database, and the query interface.  SpotLight passively
+monitors the spot price of every market in scope and actively probes
+per the market-based policy:
+
+* a spot price at or above ``T x on-demand`` triggers an on-demand
+  probe of that market;
+* a detected rejection fans out probes to every market in the same
+  family — first the same availability zone, then the other zones of
+  the region — and cross-checks the spot market;
+* rejected markets are re-probed every ``delta`` seconds until
+  available, measuring the unavailability duration;
+* spot markets are additionally probed on a periodic schedule
+  (CheckCapacity), with BidSpread and Revocation probes available on
+  demand.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.rng import RngStream
+from repro.core.budget import BudgetController
+from repro.core.config import SpotLightConfig
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.probe_manager import ProbeManager
+from repro.core.probes import BidSpreadResult, ProbeExecutor
+from repro.core.query import SpotLightQuery
+from repro.core.records import PriceRecord, ProbeKind, ProbeTrigger
+from repro.core.region_manager import RegionManager
+from repro.ec2.market import SpotMarket
+from repro.ec2.platform import EC2Simulator
+
+
+class SpotLight:
+    """The information service: monitor, probe, log, answer queries."""
+
+    def __init__(
+        self,
+        simulator: EC2Simulator,
+        config: SpotLightConfig | None = None,
+        record_prices: bool = True,
+    ) -> None:
+        self.config = config or SpotLightConfig()
+        self.simulator = simulator
+        self.database = ProbeDatabase()
+        self.budget = BudgetController(
+            budget=self.config.budget, window=self.config.budget_window
+        )
+        self.rng = RngStream(self.config.seed, "spotlight")
+        self.executor = ProbeExecutor(
+            simulator, self.database, self.budget, self.config, self.rng.child("exec")
+        )
+        self.query = SpotLightQuery(self.database, simulator.catalog)
+        self.record_prices = record_prices
+
+        self.markets: dict[MarketID, ProbeManager] = {}
+        for az, itype, product in simulator.markets:
+            market = MarketID(az, itype, product)
+            if not self._in_scope(market):
+                continue
+            self.markets[market] = ProbeManager(
+                market,
+                self,
+                self.executor,
+                self.config,
+                self.rng.child(f"mgr/{market}"),
+            )
+
+        self.regions: dict[str, RegionManager] = {
+            region: RegionManager(region, limits)
+            for region, limits in simulator.limits.items()
+        }
+
+        # Fan-out covers every product of the family: products of one
+        # type share physical capacity, so they are related markets too.
+        self._by_family_region: dict[tuple[str, str], list[MarketID]] = {}
+        for market in self.markets:
+            key = (market.region, market.family)
+            self._by_family_region.setdefault(key, []).append(market)
+
+        simulator.subscribe_market_updates(self._on_market_update)
+        self._spot_probe_started = False
+        self.unavailability_detections = 0
+        #: (market, start_time, time_to_revocation|None) per finished watch.
+        self.revocation_observations: list[tuple[MarketID, float, float | None]] = []
+
+    # -- scope -----------------------------------------------------------------
+    def _in_scope(self, market: MarketID) -> bool:
+        cfg = self.config
+        if cfg.regions and market.region not in cfg.regions:
+            return False
+        if cfg.families and market.family not in cfg.families:
+            return False
+        if cfg.products and market.product not in cfg.products:
+            return False
+        return True
+
+    # -- lifecycle -----------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic spot probing (price watching is always on)."""
+        if self._spot_probe_started:
+            return
+        self._spot_probe_started = True
+        interval = self.config.spot_probe_interval
+        if interval <= 0:
+            return
+        for index, manager in enumerate(self.markets.values()):
+            # Stagger the first round uniformly over the interval so
+            # probes don't thunder against the per-region API limits.
+            offset = (index + 1) / (len(self.markets) + 1) * interval
+            self.schedule(offset, self._make_periodic(manager))
+
+    def _make_periodic(self, manager: ProbeManager) -> Callable[[], None]:
+        def step() -> None:
+            region = self.regions[manager.market.region]
+            if region.can_issue_probe(priority=False):
+                manager.periodic_spot_probe()
+            self.schedule(self.config.spot_probe_interval, step)
+
+        return step
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule service work on the simulation's event queue."""
+        self.simulator.queue.schedule_in(delay, callback, label="spotlight")
+
+    # -- price feed --------------------------------------------------------------------
+    def _on_market_update(self, market: SpotMarket, now: float, price: float) -> None:
+        market_id = MarketID(*market.market_key)
+        manager = self.markets.get(market_id)
+        if manager is None:
+            return
+        if self.record_prices:
+            self.database.insert_price(PriceRecord(now, market_id, price))
+        manager.on_price(now, price)
+
+    # -- unavailability fan-out ------------------------------------------------------------
+    def on_unavailable(
+        self, market: MarketID, kind: ProbeKind, multiple: float
+    ) -> None:
+        """A probe of ``market`` was rejected; fan out per Section 3.2/3.3."""
+        self.unavailability_detections += 1
+        if kind is ProbeKind.ON_DEMAND:
+            if self.config.cross_check_spot_on_unavailable:
+                self.markets[market].cross_check_spot(multiple)
+            self._fan_out_related(market, multiple)
+        else:
+            if self.config.cross_check_od_on_spot_unavailable:
+                self.markets[market].cross_check_on_demand(multiple)
+
+    def on_related_unavailable(self, market: MarketID, multiple: float) -> None:
+        """A related-market probe found another rejection (logged only —
+        related detections do not cascade into further fan-out)."""
+        self.unavailability_detections += 1
+
+    def _fan_out_related(self, origin: MarketID, multiple: float) -> None:
+        if not self.config.probe_related_family:
+            return
+        region_mgr = self.regions[origin.region]
+        key = (origin.region, origin.family)
+        for market in self._by_family_region.get(key, []):
+            if market == origin:
+                continue
+            same_zone = market.availability_zone == origin.availability_zone
+            if not same_zone and not self.config.probe_related_zones:
+                continue
+            # Within the origin's zone the fan-out covers every product
+            # (they share the type's physical capacity); across zones it
+            # stays on the origin's product to bound the probe budget.
+            if not same_zone and market.product != origin.product:
+                continue
+            if not region_mgr.can_issue_probe(priority=False):
+                break
+            trigger = (
+                ProbeTrigger.RELATED_FAMILY if same_zone else ProbeTrigger.RELATED_ZONE
+            )
+            self.markets[market].probe_related(trigger, multiple)
+
+    # -- direct probe entry points -------------------------------------------------------------
+    def probe_on_demand(self, market: MarketID) -> None:
+        """User-requested one-off on-demand probe."""
+        manager = self._require_market(market)
+        record = self.executor.request_on_demand(
+            market, ProbeTrigger.MANUAL, self.executor.spike_multiple(market)
+        )
+        manager._handle_od_outcome(record, self.executor.spike_multiple(market))
+
+    def probe_spot(self, market: MarketID) -> None:
+        """User-requested one-off spot CheckCapacity probe."""
+        manager = self._require_market(market)
+        record = self.executor.check_capacity(market, ProbeTrigger.MANUAL)
+        manager._handle_spot_outcome(record)
+
+    def bid_spread(self, market: MarketID) -> BidSpreadResult:
+        """Find the intrinsic bid price of a market (Figure 5.2)."""
+        self._require_market(market)
+        return self.executor.bid_spread(market)
+
+    def watch_revocation(
+        self,
+        market: MarketID,
+        duration: float = 6 * 3600.0,
+        poll_interval: float = 300.0,
+    ) -> bool:
+        """The Revocation probe: hold a spot instance bid at the current
+        price and watch whether a later spike revokes it.
+
+        The outcome lands in :attr:`revocation_observations` as
+        ``(market, start_time, time_to_revocation-or-None)``; ``None``
+        means the instance survived the whole watch.  Returns False if
+        the initial request did not fulfil.
+        """
+        self._require_market(market)
+        request_id = self.executor.start_revocation_watch(market)
+        if request_id is None:
+            return False
+        start = self.executor.now
+        deadline = start + duration
+
+        def poll() -> None:
+            ttr = self.executor.poll_revocation(request_id)
+            if ttr is not None:
+                self.revocation_observations.append((market, start, ttr))
+                return
+            if self.executor.now >= deadline:
+                self.executor.stop_revocation_watch(request_id)
+                self.revocation_observations.append((market, start, None))
+                return
+            self.schedule(poll_interval, poll)
+
+        self.schedule(poll_interval, poll)
+        return True
+
+    def _require_market(self, market: MarketID) -> ProbeManager:
+        manager = self.markets.get(market)
+        if manager is None:
+            raise KeyError(f"market not monitored: {market}")
+        return manager
+
+    # -- reporting -------------------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """Service-level counters for reports and tests."""
+        return {
+            "monitored_markets": len(self.markets),
+            "probes_logged": len(self.database),
+            "unavailability_detections": self.unavailability_detections,
+            "budget_spent": self.budget.total_spent(),
+            "regions": {name: mgr.stats() for name, mgr in self.regions.items()},
+        }

@@ -1,0 +1,46 @@
+"""EC2 simulator substrate.
+
+A discrete-event model of Amazon EC2 as the paper describes it:
+
+* a catalog of regions, availability zones, instance families/types and
+  products with 2015-era on-demand prices (:mod:`repro.ec2.catalog`);
+* per-(availability zone, family) capacity pools shared between
+  reserved, on-demand, and spot contracts — the Figure 2.2 model
+  (:mod:`repro.ec2.pool`);
+* a uniform-price auction per market that sets the public spot price
+  from the standing bid stack, with revocation warnings and the 10x
+  on-demand bid cap (:mod:`repro.ec2.market`);
+* the on-demand instance lifecycle of Figure 3.1
+  (:mod:`repro.ec2.instance`) and the spot-request lifecycle of
+  Figure 3.2 (:mod:`repro.ec2.spot_request`);
+* background demand processes with diurnal/weekly cycles, correlated
+  cross-AZ surges, and per-region provisioning regimes
+  (:mod:`repro.ec2.demand`);
+* per-region service limits and API rate limiting
+  (:mod:`repro.ec2.limits`);
+* :class:`repro.ec2.platform.EC2Simulator` wiring it all together, and
+  :class:`repro.ec2.api.EC2Client`, the boto3-like facade SpotLight
+  talks to.
+"""
+
+from repro.ec2.api import EC2Client
+from repro.ec2.catalog import Catalog, InstanceType, default_catalog
+from repro.ec2.instance import Instance, InstanceState
+from repro.ec2.market import SpotMarket
+from repro.ec2.platform import EC2Simulator
+from repro.ec2.pool import CapacityPool
+from repro.ec2.spot_request import SpotRequest, SpotRequestState
+
+__all__ = [
+    "Catalog",
+    "InstanceType",
+    "default_catalog",
+    "Instance",
+    "InstanceState",
+    "SpotRequest",
+    "SpotRequestState",
+    "CapacityPool",
+    "SpotMarket",
+    "EC2Simulator",
+    "EC2Client",
+]

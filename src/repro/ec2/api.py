@@ -1,0 +1,166 @@
+"""boto3-like client facade over the simulator.
+
+The paper's prototype was written against boto3; SpotLight's code in
+:mod:`repro.core` is written against this client so its structure maps
+onto a real deployment directly — swap :class:`EC2Client` for a boto3
+client bound to a region and the probing logic is unchanged.
+
+Responses are plain dicts shaped like (simplified) boto3 responses;
+errors surface as :class:`~repro.common.errors.EC2Error` subclasses
+carrying the real EC2 error codes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ec2.platform import EC2Simulator
+
+
+class EC2Client:
+    """A per-region view of the simulated platform (like a boto3 client)."""
+
+    def __init__(self, simulator: EC2Simulator, region: str) -> None:
+        if region not in simulator.catalog.regions:
+            raise KeyError(f"unknown region: {region}")
+        self._sim = simulator
+        self.region = region
+
+    def _check_zone(self, availability_zone: str) -> None:
+        if self._sim.catalog.region_of_zone(availability_zone) != self.region:
+            raise ValueError(
+                f"{availability_zone} is not in this client's region {self.region}"
+            )
+
+    # -- on-demand -----------------------------------------------------------
+    def run_instances(
+        self, InstanceType: str, Placement: dict[str, str], ProductDescription: str
+    ) -> dict[str, Any]:
+        """Launch one on-demand instance; raises on rejection."""
+        az = Placement["AvailabilityZone"]
+        self._check_zone(az)
+        instance = self._sim.run_instances(InstanceType, az, ProductDescription)
+        return {
+            "Instances": [
+                {
+                    "InstanceId": instance.instance_id,
+                    "InstanceType": instance.instance_type,
+                    "State": {"Name": instance.state.value},
+                    "LaunchTime": instance.launch_time,
+                    "Placement": {"AvailabilityZone": az},
+                }
+            ]
+        }
+
+    def terminate_instances(self, InstanceIds: list[str]) -> dict[str, Any]:
+        self._sim.terminate_instances(InstanceIds)
+        return {
+            "TerminatingInstances": [
+                {
+                    "InstanceId": iid,
+                    "CurrentState": {"Name": self._sim.instances[iid].state.value},
+                }
+                for iid in InstanceIds
+            ]
+        }
+
+    def describe_instances(self, InstanceIds: list[str]) -> dict[str, Any]:
+        reservations = []
+        for iid in InstanceIds:
+            instance = self._sim.instances[iid]
+            reservations.append(
+                {
+                    "Instances": [
+                        {
+                            "InstanceId": iid,
+                            "InstanceType": instance.instance_type,
+                            "State": {"Name": instance.state.value},
+                        }
+                    ]
+                }
+            )
+        return {"Reservations": reservations}
+
+    # -- spot ------------------------------------------------------------------
+    def request_spot_instances(
+        self,
+        SpotPrice: str,
+        InstanceType: str,
+        Placement: dict[str, str],
+        ProductDescription: str,
+    ) -> dict[str, Any]:
+        """Submit a spot request; price is a string, as in boto3."""
+        az = Placement["AvailabilityZone"]
+        self._check_zone(az)
+        request = self._sim.request_spot_instances(
+            InstanceType, az, ProductDescription, float(SpotPrice)
+        )
+        return {
+            "SpotInstanceRequests": [
+                {
+                    "SpotInstanceRequestId": request.request_id,
+                    "State": request.state.value,
+                    "Status": {"Code": request.status},
+                    "SpotPrice": SpotPrice,
+                }
+            ]
+        }
+
+    def describe_spot_instance_requests(
+        self, SpotInstanceRequestIds: list[str]
+    ) -> dict[str, Any]:
+        entries = []
+        for rid in SpotInstanceRequestIds:
+            request = self._sim.spot_requests[rid]
+            entry: dict[str, Any] = {
+                "SpotInstanceRequestId": rid,
+                "State": request.state.value,
+                "Status": {"Code": request.status},
+            }
+            if request.instance_id:
+                entry["InstanceId"] = request.instance_id
+            entries.append(entry)
+        return {"SpotInstanceRequests": entries}
+
+    def cancel_spot_instance_requests(
+        self, SpotInstanceRequestIds: list[str]
+    ) -> dict[str, Any]:
+        cancelled = []
+        for rid in SpotInstanceRequestIds:
+            request = self._sim.cancel_spot_request(rid)
+            cancelled.append(
+                {"SpotInstanceRequestId": rid, "State": request.state.value}
+            )
+        return {"CancelledSpotInstanceRequests": cancelled}
+
+    def terminate_spot_instance(self, SpotInstanceRequestId: str) -> None:
+        """Convenience: user-terminate the instance behind a request."""
+        self._sim.terminate_spot_instance(SpotInstanceRequestId)
+
+    # -- prices ------------------------------------------------------------------
+    def describe_spot_price_history(
+        self,
+        InstanceTypes: list[str],
+        AvailabilityZone: str,
+        ProductDescriptions: list[str],
+        StartTime: float | None = None,
+        EndTime: float | None = None,
+    ) -> dict[str, Any]:
+        self._check_zone(AvailabilityZone)
+        history = []
+        for itype in InstanceTypes:
+            for product in ProductDescriptions:
+                for when, price in self._sim.describe_spot_price_history(
+                    itype, AvailabilityZone, product, StartTime, EndTime
+                ):
+                    history.append(
+                        {
+                            "InstanceType": itype,
+                            "ProductDescription": product,
+                            "AvailabilityZone": AvailabilityZone,
+                            "Timestamp": when,
+                            "SpotPrice": f"{price:.4f}",
+                        }
+                    )
+        history.sort(key=lambda e: e["Timestamp"])
+        return {"SpotPriceHistory": history}

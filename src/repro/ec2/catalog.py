@@ -1,0 +1,296 @@
+"""Static catalog of the simulated EC2 platform.
+
+Regions, availability zones, instance families and types, products, and
+the on-demand price table.  The layout mirrors EC2 circa 2015-2016, the
+period the paper measured: 9 regions, 26 availability zones, ~53
+instance types, and three products (Linux/UNIX, Windows, SUSE Linux),
+giving on the order of 4500 distinct spot markets.
+
+Instance types within a family differ in size by factors of two (the
+paper points out EC2 sizes families this way to simplify bin-packing);
+we encode that as integer ``units`` so capacity pools can account for
+mixed-size allocation exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+PRODUCT_LINUX = "Linux/UNIX"
+PRODUCT_WINDOWS = "Windows"
+PRODUCT_SUSE = "SUSE Linux"
+PRODUCTS = (PRODUCT_LINUX, PRODUCT_WINDOWS, PRODUCT_SUSE)
+
+# Hourly price multiplier per product relative to Linux/UNIX.
+PRODUCT_PRICE_FACTOR = {
+    PRODUCT_LINUX: 1.0,
+    PRODUCT_WINDOWS: 1.55,
+    PRODUCT_SUSE: 1.10,
+}
+
+# Spot bids are capped at 10x the on-demand price (policy EC2 added
+# after the $1000/hour incident the paper recounts).
+MAX_BID_MULTIPLE = 10.0
+
+# (region, number of availability zones, on-demand price factor vs us-east-1)
+_REGION_SPECS = [
+    ("us-east-1", 5, 1.00),
+    ("us-west-1", 3, 1.12),
+    ("us-west-2", 3, 1.00),
+    ("eu-west-1", 3, 1.10),
+    ("eu-central-1", 2, 1.20),
+    ("ap-northeast-1", 3, 1.25),
+    ("ap-southeast-1", 2, 1.25),
+    ("ap-southeast-2", 3, 1.30),
+    ("sa-east-1", 2, 1.60),
+]
+
+# family -> list of (size suffix, units, base Linux price in us-east-1, $/hr)
+# ``units`` is the capacity-normalised size; sizes within a family differ
+# by powers of two.  Prices follow the 2015 EC2 on-demand price sheet
+# closely enough for the analyses (exactness is not required).
+_FAMILY_SPECS: dict[str, list[tuple[str, int, float]]] = {
+    # General purpose
+    "t2": [
+        ("nano", 1, 0.0065),
+        ("micro", 1, 0.013),
+        ("small", 2, 0.026),
+        ("medium", 4, 0.052),
+        ("large", 8, 0.104),
+    ],
+    "m3": [
+        ("medium", 1, 0.067),
+        ("large", 2, 0.133),
+        ("xlarge", 4, 0.266),
+        ("2xlarge", 8, 0.532),
+    ],
+    "m4": [
+        ("large", 2, 0.120),
+        ("xlarge", 4, 0.239),
+        ("2xlarge", 8, 0.479),
+        ("4xlarge", 16, 0.958),
+        ("10xlarge", 40, 2.394),
+    ],
+    # Compute optimised
+    "c3": [
+        ("large", 2, 0.105),
+        ("xlarge", 4, 0.210),
+        ("2xlarge", 8, 0.420),
+        ("4xlarge", 16, 0.840),
+        ("8xlarge", 32, 1.680),
+    ],
+    "c4": [
+        ("large", 2, 0.105),
+        ("xlarge", 4, 0.209),
+        ("2xlarge", 8, 0.419),
+        ("4xlarge", 16, 0.838),
+        ("8xlarge", 32, 1.675),
+    ],
+    # Memory optimised
+    "r3": [
+        ("large", 2, 0.166),
+        ("xlarge", 4, 0.333),
+        ("2xlarge", 8, 0.665),
+        ("4xlarge", 16, 1.330),
+        ("8xlarge", 32, 2.660),
+    ],
+    "m2": [
+        ("xlarge", 2, 0.245),
+        ("2xlarge", 4, 0.490),
+        ("4xlarge", 8, 0.980),
+    ],
+    # Storage optimised
+    "i2": [
+        ("xlarge", 4, 0.853),
+        ("2xlarge", 8, 1.705),
+        ("4xlarge", 16, 3.410),
+        ("8xlarge", 32, 6.820),
+    ],
+    "d2": [
+        ("xlarge", 4, 0.690),
+        ("2xlarge", 8, 1.380),
+        ("4xlarge", 16, 2.760),
+        ("8xlarge", 32, 5.520),
+    ],
+    "hs1": [("8xlarge", 32, 4.600)],
+    "hi1": [("4xlarge", 16, 3.100)],
+    # GPU / accelerated
+    "g2": [
+        ("2xlarge", 8, 0.650),
+        ("8xlarge", 32, 2.600),
+    ],
+    "cg1": [("4xlarge", 16, 2.100)],
+    # Previous generation general purpose
+    "m1": [
+        ("small", 1, 0.044),
+        ("medium", 2, 0.087),
+        ("large", 4, 0.175),
+        ("xlarge", 8, 0.350),
+    ],
+    "c1": [
+        ("medium", 2, 0.130),
+        ("xlarge", 8, 0.520),
+    ],
+    "cc2": [("8xlarge", 32, 2.000)],
+    "cr1": [("8xlarge", 32, 3.500)],
+}
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One instance type, e.g. ``c3.2xlarge``."""
+
+    name: str
+    family: str
+    size: str
+    units: int
+    base_price: float  # Linux/UNIX price in us-east-1, $/hour
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Region:
+    """A geographical region with its availability zones."""
+
+    name: str
+    availability_zones: tuple[str, ...]
+    price_factor: float
+
+
+@dataclass
+class Catalog:
+    """The full platform catalog; the single source of pricing truth."""
+
+    regions: dict[str, Region] = field(default_factory=dict)
+    instance_types: dict[str, InstanceType] = field(default_factory=dict)
+    products: tuple[str, ...] = PRODUCTS
+
+    # -- construction ----------------------------------------------------
+    def add_region(self, name: str, zones: int, price_factor: float) -> None:
+        azs = tuple(f"{name}{chr(ord('a') + i)}" for i in range(zones))
+        self.regions[name] = Region(name, azs, price_factor)
+
+    def add_instance_type(
+        self, family: str, size: str, units: int, base_price: float
+    ) -> None:
+        name = f"{family}.{size}"
+        self.instance_types[name] = InstanceType(name, family, size, units, base_price)
+
+    # -- lookups ---------------------------------------------------------
+    def region_of_zone(self, availability_zone: str) -> str:
+        """Map ``us-east-1d`` -> ``us-east-1``."""
+        region = availability_zone.rstrip("abcdefgh")
+        if region not in self.regions:
+            raise KeyError(f"unknown availability zone: {availability_zone}")
+        if availability_zone not in self.regions[region].availability_zones:
+            raise KeyError(f"unknown availability zone: {availability_zone}")
+        return region
+
+    def zones_in_region(self, region: str) -> tuple[str, ...]:
+        return self.regions[region].availability_zones
+
+    def family_of(self, instance_type: str) -> str:
+        return self.instance_types[instance_type].family
+
+    def types_in_family(self, family: str) -> list[InstanceType]:
+        """All types in a family, smallest first."""
+        members = [t for t in self.instance_types.values() if t.family == family]
+        return sorted(members, key=lambda t: t.units)
+
+    def families(self) -> list[str]:
+        return sorted({t.family for t in self.instance_types.values()})
+
+    # -- pricing ---------------------------------------------------------
+    def on_demand_price(
+        self, instance_type: str, region: str, product: str = PRODUCT_LINUX
+    ) -> float:
+        """The fixed on-demand $/hour for a type in a region/product."""
+        itype = self.instance_types[instance_type]
+        if product not in PRODUCT_PRICE_FACTOR:
+            raise KeyError(f"unknown product: {product}")
+        factor = self.regions[region].price_factor * PRODUCT_PRICE_FACTOR[product]
+        return round(itype.base_price * factor, 4)
+
+    def max_bid(
+        self, instance_type: str, region: str, product: str = PRODUCT_LINUX
+    ) -> float:
+        """The 10x on-demand bid cap for a market."""
+        return self.on_demand_price(instance_type, region, product) * MAX_BID_MULTIPLE
+
+    def spot_block_price(
+        self,
+        instance_type: str,
+        region: str,
+        product: str = PRODUCT_LINUX,
+        duration_hours: int = 1,
+    ) -> float:
+        """Fixed hourly price of a defined-duration ("spot block") run.
+
+        Spot blocks (Table 2.1's fourth contract) cost less than
+        on-demand but more than plain spot, with the discount shrinking
+        as the block gets longer: 1-hour blocks ~45% off on-demand,
+        6-hour blocks ~30% off — matching EC2's 2015 pricing rule.
+        """
+        if not 1 <= duration_hours <= 6:
+            raise ValueError(
+                f"spot blocks run 1-6 hours, not {duration_hours}"
+            )
+        discount = 0.45 - 0.03 * (duration_hours - 1)
+        od = self.on_demand_price(instance_type, region, product)
+        return round(od * (1.0 - discount), 4)
+
+    # -- enumeration -----------------------------------------------------
+    def iter_markets(self):
+        """Yield every (availability zone, instance type, product) triple."""
+        for region in self.regions.values():
+            for az in region.availability_zones:
+                for itype in self.instance_types.values():
+                    for product in self.products:
+                        yield az, itype.name, product
+
+    def market_count(self) -> int:
+        zones = sum(len(r.availability_zones) for r in self.regions.values())
+        return zones * len(self.instance_types) * len(self.products)
+
+
+def default_catalog() -> Catalog:
+    """Build the full 2015-era catalog the paper monitored."""
+    catalog = Catalog()
+    for name, zones, factor in _REGION_SPECS:
+        catalog.add_region(name, zones, factor)
+    for family, sizes in _FAMILY_SPECS.items():
+        for size, units, price in sizes:
+            catalog.add_instance_type(family, size, units, price)
+    return catalog
+
+
+def small_catalog(
+    regions: list[str] | None = None, families: list[str] | None = None
+) -> Catalog:
+    """A reduced catalog for fast tests/experiments.
+
+    ``regions``/``families`` default to a representative subset: the
+    well-provisioned us-east-1 plus the under-provisioned sa-east-1 and
+    ap-southeast-2, with the c3 and m3 families.
+    """
+    wanted_regions = set(regions or ["us-east-1", "sa-east-1", "ap-southeast-2"])
+    wanted_families = set(families or ["c3", "m3"])
+    catalog = Catalog()
+    for name, zones, factor in _REGION_SPECS:
+        if name in wanted_regions:
+            catalog.add_region(name, zones, factor)
+    missing = wanted_regions - set(catalog.regions)
+    if missing:
+        raise KeyError(f"unknown regions: {sorted(missing)}")
+    for family, sizes in _FAMILY_SPECS.items():
+        if family in wanted_families:
+            for size, units, price in sizes:
+                catalog.add_instance_type(family, size, units, price)
+    missing_fams = wanted_families - {
+        t.family for t in catalog.instance_types.values()
+    }
+    if missing_fams:
+        raise KeyError(f"unknown families: {sorted(missing_fams)}")
+    return catalog

@@ -1,0 +1,678 @@
+"""Background demand processes driving the simulated platform.
+
+On-demand demand is modelled **per instance type**: each type in an
+(availability zone, family) pool has its own occupancy process — with
+diurnal/weekly cycles, AR(1) noise, and a sub-bound share of the pool's
+on-demand capacity — because the paper's measurements show one type can
+be unavailable while its family siblings stay available.  Correlation
+between types is injected at three scales:
+
+* **type surges** — a hotspot on a single type in a single zone;
+  heavy-tailed magnitudes.  These cause the biggest spot price spikes,
+  and because they are local, the cross-AZ correlation of Figure 5.8
+  *decreases* with spike size.
+* **family surges** — demand hits several types of a family in one zone
+  (with per-type susceptibility), which is what makes SpotLight's
+  related-market probing pay off (Figure 5.7).
+* **regional surges** — a family surge mirrored across most of the
+  region's zones (EC2 spreads zone-agnostic requests), producing the
+  cross-AZ unavailability correlation of Figure 5.8.
+
+Each market carries a background spot bid stack over a geometric price
+grid from the floor to the 10x bid cap, with most mass at low prices,
+a "convenience bidder" shelf at the on-demand price, and a thin high
+tail.  Frequent demand *bursts* (bid wars) spike the price without any
+on-demand pressure — the reason the paper's spike/unavailability
+correlation is only partial — and occasional *lulls* drop the clearing
+price toward the floor, triggering the low-price capacity withholding
+of Figure 5.10.  When a type's on-demand demand exceeds its bound, the
+overflow fails over to that type's spot markets with high convenience
+bids — the paper's own mechanism for why spot prices spike exactly when
+on-demand servers are unavailable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.clock import SECONDS_PER_DAY, SECONDS_PER_WEEK
+from repro.common.events import EventQueue
+from repro.common.rng import RngStream
+from repro.ec2.catalog import PRODUCT_LINUX, PRODUCT_SUSE, PRODUCT_WINDOWS, Catalog
+from repro.ec2.market import Bid, SpotMarket
+from repro.ec2.pool import CapacityPool, Preemption
+
+DEFAULT_TICK_INTERVAL = 300.0
+
+# Relative popularity of each product in the background demand.
+PRODUCT_DEMAND_WEIGHT = {
+    PRODUCT_LINUX: 0.70,
+    PRODUCT_WINDOWS: 0.20,
+    PRODUCT_SUSE: 0.10,
+}
+
+# Price grid multipliers (x on-demand price) for the background bid
+# stack, and the share of base quantity bid at each level.  Low levels
+# dominate; the 1.0x shelf models "convenience" bidders; the tail above
+# 1x is thin but non-empty, which is what lets a squeezed market clear
+# far above the on-demand price.
+BID_GRID = (0.05, 0.08, 0.12, 0.20, 0.35, 0.60, 1.00, 1.80, 3.20, 5.60, 10.0)
+BID_WEIGHTS = (0.26, 0.20, 0.16, 0.12, 0.08, 0.06, 0.055, 0.025, 0.015, 0.01, 0.005)
+# How burst/overflow extra demand spreads over the tiers at and above
+# the on-demand price (zero below it).
+HIGH_TIER_WEIGHTS = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.28, 0.22, 0.19, 0.16, 0.15)
+
+# Per-type on-demand sub-bounds allow some statistical multiplexing: the
+# shares sum to more than the family bound, so the family-level bound
+# still occasionally binds (both layers exist on the real platform).
+TYPE_BOUND_SLACK = 1.15
+
+
+@dataclass(frozen=True)
+class RegionRegime:
+    """Provisioning/demand regime of one region.
+
+    ``od_base_utilization`` is the mean per-type on-demand occupancy as
+    a fraction of the type's sub-bound; regions near 1.0 are
+    under-provisioned and reject requests often (sa-east-1 in the
+    paper), regions well below are essentially always available
+    (us-east-1).
+    """
+
+    name: str
+    od_base_utilization: float
+    diurnal_amplitude: float = 0.06
+    weekly_amplitude: float = 0.03
+    noise_sigma: float = 0.02
+    type_surge_rate_per_day: float = 0.06  # per (type, zone)
+    family_surge_rate_per_day: float = 0.04  # per pool
+    regional_surge_rate_per_day: float = 0.12  # per (region, family)
+    type_surge_scale: float = 0.14  # fraction of the type bound
+    family_surge_scale: float = 0.10
+    regional_surge_scale: float = 0.08
+    regional_membership: float = 0.50  # P(a zone joins a regional surge)
+    surge_duration_mean_s: float = 2400.0
+    surge_ramp_s: float = 600.0
+    spot_quantity_factor: float = 1.8  # demand/supply ratio in calm times
+    spot_burst_rate_per_day: float = 4.0  # per market: bid-war price spikes
+    spot_lull_rate_per_day: float = 0.25  # per market: glut -> floor price
+    lull_duration_mean_s: float = 5400.0
+    reserved_granted_fraction: float = 0.30
+    reserved_running_fraction: float = 0.88  # of granted
+    diurnal_phase_hours: float = 0.0
+
+
+#: Calibrated regimes: us-east-1 well provisioned, sa-east-1 and the two
+#: ap-southeast regions under-provisioned, others in between — the
+#: ordering Figures 5.5/5.6 report.
+REGION_REGIMES: dict[str, RegionRegime] = {
+    "us-east-1": RegionRegime(
+        "us-east-1",
+        od_base_utilization=0.55,
+        type_surge_rate_per_day=0.02,
+        family_surge_rate_per_day=0.008,
+        regional_surge_rate_per_day=0.04,
+        spot_burst_rate_per_day=4.5,
+        spot_lull_rate_per_day=0.30,
+    ),
+    "us-west-1": RegionRegime(
+        "us-west-1",
+        od_base_utilization=0.66,
+        type_surge_rate_per_day=0.04,
+        family_surge_rate_per_day=0.018,
+        regional_surge_rate_per_day=0.06,
+        diurnal_phase_hours=3.0,
+    ),
+    "us-west-2": RegionRegime(
+        "us-west-2",
+        od_base_utilization=0.60,
+        type_surge_rate_per_day=0.03,
+        family_surge_rate_per_day=0.012,
+        regional_surge_rate_per_day=0.05,
+        diurnal_phase_hours=3.0,
+    ),
+    "eu-west-1": RegionRegime(
+        "eu-west-1",
+        od_base_utilization=0.64,
+        type_surge_rate_per_day=0.035,
+        family_surge_rate_per_day=0.015,
+        regional_surge_rate_per_day=0.05,
+        diurnal_phase_hours=-5.0,
+    ),
+    "eu-central-1": RegionRegime(
+        "eu-central-1",
+        od_base_utilization=0.68,
+        type_surge_rate_per_day=0.05,
+        family_surge_rate_per_day=0.02,
+        regional_surge_rate_per_day=0.08,
+        diurnal_phase_hours=-6.0,
+    ),
+    "ap-northeast-1": RegionRegime(
+        "ap-northeast-1",
+        od_base_utilization=0.68,
+        type_surge_rate_per_day=0.05,
+        family_surge_rate_per_day=0.02,
+        regional_surge_rate_per_day=0.08,
+        diurnal_phase_hours=-13.0,
+    ),
+    "ap-southeast-1": RegionRegime(
+        "ap-southeast-1",
+        od_base_utilization=0.78,
+        type_surge_rate_per_day=0.14,
+        family_surge_rate_per_day=0.04,
+        regional_surge_rate_per_day=0.15,
+        type_surge_scale=0.20,
+        family_surge_scale=0.12,
+        diurnal_phase_hours=-12.0,
+        spot_lull_rate_per_day=0.20,
+    ),
+    "ap-southeast-2": RegionRegime(
+        "ap-southeast-2",
+        od_base_utilization=0.80,
+        type_surge_rate_per_day=0.17,
+        family_surge_rate_per_day=0.05,
+        regional_surge_rate_per_day=0.18,
+        type_surge_scale=0.22,
+        family_surge_scale=0.13,
+        diurnal_phase_hours=-10.0,
+        spot_lull_rate_per_day=0.20,
+    ),
+    "sa-east-1": RegionRegime(
+        "sa-east-1",
+        od_base_utilization=0.82,
+        type_surge_rate_per_day=0.14,
+        family_surge_rate_per_day=0.06,
+        regional_surge_rate_per_day=0.22,
+        type_surge_scale=0.26,
+        family_surge_scale=0.15,
+        regional_surge_scale=0.10,
+        surge_duration_mean_s=4200.0,
+        diurnal_phase_hours=1.0,
+        spot_lull_rate_per_day=0.45,
+        spot_quantity_factor=1.7,
+    ),
+}
+
+
+def regime_for(region: str) -> RegionRegime:
+    """The regime of ``region`` (defaults to a mid-tier profile)."""
+    return REGION_REGIMES.get(region, RegionRegime(region, od_base_utilization=0.68))
+
+
+@dataclass
+class Surge:
+    """One demand surge: ramp up, hold, decay back down."""
+
+    start: float
+    ramp: float
+    hold: float
+    decay: float
+    magnitude: float  # fraction of the affected type's bound
+
+    @property
+    def end(self) -> float:
+        return self.start + self.ramp + self.hold + self.decay
+
+    def level_at(self, now: float) -> float:
+        """Surge contribution at ``now`` (0 outside the envelope)."""
+        if now <= self.start or now >= self.end:
+            return 0.0
+        t = now - self.start
+        if t < self.ramp:
+            return self.magnitude * (t / self.ramp)
+        if t < self.ramp + self.hold:
+            return self.magnitude
+        return self.magnitude * (1.0 - (t - self.ramp - self.hold) / self.decay)
+
+
+@dataclass
+class TypeDemandState:
+    """Per-instance-type on-demand demand state within a pool."""
+
+    instance_type: str
+    units: int  # units per instance of this type
+    bound_units: int  # the type's on-demand sub-bound
+    base_utilization: float
+    susceptibility: float  # response to family/regional surges
+    surges: list[Surge] = field(default_factory=list)
+    noise: float = 0.0
+    background_od_units: int = 0
+    overflow: float = 0.0  # unmet demand beyond the bound (fraction)
+
+
+@dataclass
+class MarketDemandState:
+    """Per-market background spot demand state."""
+
+    market: SpotMarket
+    type_state: TypeDemandState
+    popularity: float  # static per-market demand multiplier
+    share_weight: float  # share of the pool's spot supply
+    base_instances: int = 1  # calm-time demand anchor (static)
+    squeeze_exposure: float = 1.0  # how hard squeezes hit this market
+    burst_until: float = 0.0
+    burst_strength: float = 0.0
+    lull_until: float = 0.0
+
+
+class PoolDemandProcess:
+    """Drives one capacity pool and the spot markets it hosts."""
+
+    def __init__(
+        self,
+        pool: CapacityPool,
+        regime: RegionRegime,
+        markets: list[SpotMarket],
+        rng: RngStream,
+        queue: EventQueue,
+        tick_interval: float = DEFAULT_TICK_INTERVAL,
+        on_interactive_preemption: Callable[[CapacityPool, int], None] | None = None,
+        on_market_cleared: Callable[[SpotMarket], None] | None = None,
+    ) -> None:
+        if not markets:
+            raise ValueError("a pool demand process needs at least one market")
+        self.pool = pool
+        self.regime = regime
+        self.rng = rng
+        self.queue = queue
+        self.tick_interval = tick_interval
+        self.on_interactive_preemption = on_interactive_preemption
+        self.on_market_cleared = on_market_cleared
+
+        self._initialise_pool()
+        self._build_type_states(markets)
+        self._build_market_states(markets)
+
+    # -- setup -------------------------------------------------------------
+    def _initialise_pool(self) -> None:
+        pool = self.pool
+        granted = int(pool.total_units * self.regime.reserved_granted_fraction)
+        if granted:
+            pool.grant_reserved(granted)
+            running = int(granted * self.regime.reserved_running_fraction)
+            if running:
+                pool.start_reserved(running)
+
+    def _build_type_states(self, markets: list[SpotMarket]) -> None:
+        pool = self.pool
+        od_bound = pool.total_units - pool.reserved_granted_units
+        type_units = {m.instance_type: m.units for m in markets}
+        weights = {
+            itype: units * self.rng.child(f"tw/{itype}").lognormal(0.0, 0.25)
+            for itype, units in type_units.items()
+        }
+        total_weight = sum(weights.values())
+        self.type_states: dict[str, TypeDemandState] = {}
+        for itype, units in sorted(type_units.items()):
+            share = weights[itype] / total_weight
+            bound = max(units, int(od_bound * share * TYPE_BOUND_SLACK))
+            pool.set_type_bound(itype, bound)
+            trng = self.rng.child(f"type/{itype}")
+            # Base utilisation is expressed against the (slack-inflated)
+            # type bound, so divide the slack back out: the *family*
+            # total then averages regime.od_base_utilization of the
+            # family bound, leaving room before the family bound binds.
+            self.type_states[itype] = TypeDemandState(
+                instance_type=itype,
+                units=units,
+                bound_units=bound,
+                base_utilization=self.regime.od_base_utilization / TYPE_BOUND_SLACK
+                + trng.uniform(-0.06, 0.06),
+                susceptibility=trng.lognormal(0.0, 1.2),
+            )
+
+    def _build_market_states(self, markets: list[SpotMarket]) -> None:
+        self.market_states: list[MarketDemandState] = []
+        total_weight = 0.0
+        for market in markets:
+            popularity = self.rng.child(f"pop/{market.market_key}").lognormal(0.0, 0.35)
+            weight = (
+                PRODUCT_DEMAND_WEIGHT.get(market.product, 0.1)
+                * market.units
+                * popularity
+            )
+            self.market_states.append(
+                MarketDemandState(
+                    market,
+                    self.type_states[market.instance_type],
+                    popularity,
+                    weight,
+                )
+            )
+            total_weight += weight
+        for state in self.market_states:
+            state.share_weight /= total_weight
+            # The demand anchor is static: it reflects the market's
+            # typical spot-demand level, *not* the currently available
+            # supply.  When a squeeze shrinks supply, demand stays put
+            # and the clearing price climbs the bid stack.
+            calm_spot_units = self.pool.total_units * 0.35 * state.share_weight
+            state.base_instances = max(
+                1, int(calm_spot_units / state.market.units)
+            )
+            # Squeezes hit markets unevenly — the paper observes that
+            # types within a family "may not spike at the same time
+            # even if there is a decrease in supply", which is exactly
+            # why SpotLight probes related markets.
+            state.squeeze_exposure = self.rng.child(
+                f"exposure/{state.market.market_key}"
+            ).lognormal(0.0, 0.7)
+
+    def start(self) -> None:
+        """Schedule ticks and surge/burst/lull arrivals."""
+        self.queue.schedule_in(0.0, self._tick, label=f"tick/{self._label()}")
+        for state in self.type_states.values():
+            self._schedule_type_surge(state)
+        self._schedule_family_surge()
+        for state in self.market_states:
+            self._schedule_burst(state)
+            self._schedule_lull(state)
+
+    def _label(self) -> str:
+        return f"{self.pool.availability_zone}/{self.pool.family}"
+
+    # -- surges --------------------------------------------------------------
+    def _make_surge(self, magnitude: float, duration_scale: float = 1.0) -> Surge:
+        now = self.queue.clock.now
+        # Lognormal hold: most surges are sub-hour, but the tail reaches
+        # many hours — that tail is what gives Figure 5.9 its long
+        # unavailability periods.
+        hold = (
+            self.rng.lognormal(
+                math.log(self.regime.surge_duration_mean_s) - 0.6, 1.25
+            )
+            * duration_scale
+        )
+        return Surge(
+            start=now,
+            ramp=self.regime.surge_ramp_s * self.rng.uniform(0.6, 1.4),
+            hold=hold,
+            decay=self.regime.surge_ramp_s * self.rng.uniform(0.8, 2.0),
+            magnitude=magnitude,
+        )
+
+    def _schedule_type_surge(self, state: TypeDemandState) -> None:
+        rate = self.regime.type_surge_rate_per_day
+        if rate <= 0:
+            return
+        delay = self.rng.exponential(SECONDS_PER_DAY / rate)
+        self.queue.schedule_in(
+            delay, lambda: self._start_type_surge(state), label="type-surge"
+        )
+
+    def _start_type_surge(self, state: TypeDemandState) -> None:
+        magnitude = min(
+            1.2, self.regime.type_surge_scale * (1.0 + self.rng.pareto(2.2))
+        )
+        state.surges.append(self._make_surge(magnitude))
+        self._schedule_type_surge(state)
+
+    def _schedule_family_surge(self) -> None:
+        rate = self.regime.family_surge_rate_per_day
+        if rate <= 0:
+            return
+        delay = self.rng.exponential(SECONDS_PER_DAY / rate)
+        self.queue.schedule_in(delay, self._start_family_surge, label="family-surge")
+
+    def _start_family_surge(self) -> None:
+        magnitude = self.regime.family_surge_scale * (1.0 + self.rng.pareto(2.5))
+        self.add_family_surge(magnitude)
+        self._schedule_family_surge()
+
+    def add_family_surge(self, magnitude: float) -> None:
+        """Apply a family-wide surge: every type is hit, scaled by its
+        susceptibility (so only a subset usually saturates)."""
+        for state in self.type_states.values():
+            scaled = min(1.2, magnitude * state.susceptibility)
+            if scaled > 0.01:
+                state.surges.append(self._make_surge(scaled))
+
+    def add_type_surge(self, instance_type: str, magnitude: float) -> Surge:
+        """Inject a surge on one type now (tests and scenarios)."""
+        state = self.type_states[instance_type]
+        surge = self._make_surge(min(1.2, magnitude))
+        state.surges.append(surge)
+        return surge
+
+    # -- spot demand events -----------------------------------------------------
+    def _schedule_burst(self, state: MarketDemandState) -> None:
+        rate = self.regime.spot_burst_rate_per_day
+        if rate <= 0:
+            return
+        delay = self.rng.exponential(SECONDS_PER_DAY / rate)
+        self.queue.schedule_in(
+            delay, lambda: self._start_burst(state), label="spot-burst"
+        )
+
+    def _start_burst(self, state: MarketDemandState) -> None:
+        now = self.queue.clock.now
+        state.burst_until = now + self.rng.exponential(2400.0)
+        # Burst strength shifts demand into the high-bid tail.  Bursts
+        # are frequent and mostly benign (no on-demand pressure), which
+        # is why the paper's spike/unavailability correlation is only
+        # partial; their tail is lighter than squeeze-induced spikes,
+        # so the correlation strengthens with spike size.
+        state.burst_strength = self.rng.lognormal(1.1, 0.8)
+        self._schedule_burst(state)
+
+    def _schedule_lull(self, state: MarketDemandState) -> None:
+        rate = self.regime.spot_lull_rate_per_day
+        if rate <= 0:
+            return
+        delay = self.rng.exponential(SECONDS_PER_DAY / rate)
+        self.queue.schedule_in(delay, lambda: self._start_lull(state), label="spot-lull")
+
+    def _start_lull(self, state: MarketDemandState) -> None:
+        now = self.queue.clock.now
+        state.lull_until = now + self.rng.exponential(self.regime.lull_duration_mean_s)
+        self._schedule_lull(state)
+
+    # -- the tick -----------------------------------------------------------------
+    def _tick(self) -> None:
+        now = self.queue.clock.now
+        self._apply_on_demand(now)
+        self._clear_spot_markets(now)
+        self.queue.schedule_in(self.tick_interval, self._tick, label="tick")
+
+    def _shared_cycles(self, now: float) -> float:
+        regime = self.regime
+        hours = now / 3600.0 + regime.diurnal_phase_hours
+        diurnal = regime.diurnal_amplitude * math.sin(2 * math.pi * hours / 24.0)
+        weekly = regime.weekly_amplitude * math.sin(
+            2 * math.pi * now / SECONDS_PER_WEEK
+        )
+        return diurnal + weekly
+
+    def type_target_fraction(self, state: TypeDemandState, now: float) -> float:
+        """Target occupancy of one type as a fraction of its sub-bound."""
+        cycles = self._shared_cycles(now)
+        state.noise = 0.9 * state.noise + self.rng.normal(
+            0.0, self.regime.noise_sigma
+        )
+        state.surges = [s for s in state.surges if s.end > now]
+        surge_level = sum(s.level_at(now) for s in state.surges)
+        return state.base_utilization * (1.0 + cycles) + state.noise + surge_level
+
+    def _apply_on_demand(self, now: float) -> None:
+        pool = self.pool
+        for state in self.type_states.values():
+            target_frac = self.type_target_fraction(state, now)
+            state.overflow = min(0.5, max(0.0, target_frac - 1.0))
+            target_units = int(
+                round(min(max(target_frac, 0.0), 1.0) * state.bound_units)
+            )
+            delta = target_units - state.background_od_units
+            if delta > 0:
+                grant = min(delta, pool.type_headroom(state.instance_type))
+                if grant > 0:
+                    preemption = pool.allocate_on_demand(grant, state.instance_type)
+                    state.background_od_units += grant
+                    self._notify_preemption(preemption)
+            elif delta < 0:
+                release = min(-delta, state.background_od_units)
+                if release > 0:
+                    pool.release_on_demand(release, state.instance_type)
+                    state.background_od_units -= release
+
+    def _notify_preemption(self, preemption: Preemption) -> None:
+        if preemption.interactive_units and self.on_interactive_preemption:
+            self.on_interactive_preemption(self.pool, preemption.interactive_units)
+
+    # -- spot clearing ---------------------------------------------------------------
+    def _clear_spot_markets(self, now: float) -> None:
+        pool = self.pool
+        supply_units = pool.spot_capacity - pool.interactive_spot_units
+        calm_units = pool.total_units * 0.35
+        squeeze = max(0.0, 1.0 - supply_units / calm_units) if calm_units else 0.0
+        # Squeezed supply is withdrawn unevenly: exposed markets lose
+        # their share first while protected ones keep theirs, so only a
+        # subset of a family's markets spikes in any one squeeze.
+        if squeeze > 0.0:
+            effective = [
+                state.share_weight
+                * math.exp(-3.0 * squeeze * state.squeeze_exposure)
+                for state in self.market_states
+            ]
+            total_effective = sum(effective) or 1.0
+            shares = [w / total_effective for w in effective]
+        else:
+            shares = [state.share_weight for state in self.market_states]
+
+        background_total = 0
+        for state, share in zip(self.market_states, shares):
+            share_units = supply_units * share
+            supply_instances = max(0, int(share_units // state.market.units))
+            bids = self._build_bid_stack(state, now, supply_instances)
+            state.market.set_bids(bids)
+            result = state.market.clear(now, supply_instances)
+            background_total += result.fulfilled_instances * state.market.units
+        background_total = min(
+            background_total, pool.spot_capacity - pool.interactive_spot_units
+        )
+        pool.set_background_spot(background_total)
+        if self.on_market_cleared is not None:
+            for state in self.market_states:
+                self.on_market_cleared(state.market)
+
+    def _build_bid_stack(
+        self, state: MarketDemandState, now: float, supply_instances: int
+    ) -> list[Bid]:
+        """Sample this tick's background bid stack for one market."""
+        regime = self.regime
+        market = state.market
+        anchor = state.base_instances
+        quantity_factor = regime.spot_quantity_factor * self.rng.lognormal(0.0, 0.10)
+        if now < state.lull_until:
+            quantity_factor *= self.rng.uniform(0.25, 0.80)
+        base_quantity = quantity_factor * anchor
+
+        burst = state.burst_strength if now < state.burst_until else 0.0
+        # High-tier extra demand: bid wars (bursts) plus the on-demand
+        # overflow fail-over from this market's own type.  Both bid at
+        # or above the on-demand price.
+        overflow = state.type_state.overflow * min(2.0, state.squeeze_exposure)
+        high_extra = anchor * (0.25 * burst + 1.6 * overflow)
+        bids: list[Bid] = []
+        for multiple, weight, high_weight in zip(
+            BID_GRID, BID_WEIGHTS, HIGH_TIER_WEIGHTS
+        ):
+            quantity = base_quantity * weight
+            if high_weight:
+                quantity += high_extra * high_weight
+            count = int(round(quantity * self.rng.lognormal(0.0, 0.15)))
+            if count <= 0:
+                continue
+            price = market.on_demand_price * multiple * self.rng.uniform(0.92, 1.08)
+            bids.append(Bid(round(price, 4), count))
+        return bids
+
+
+class RegionalSurgeCoordinator:
+    """Poisson process of correlated surges per (region, family).
+
+    A regional surge fires a family surge in most (not all) availability
+    zones of the region, modelling EC2 spreading zone-agnostic demand
+    across zones.
+    """
+
+    def __init__(
+        self,
+        region: str,
+        family: str,
+        processes: list[PoolDemandProcess],
+        rng: RngStream,
+        queue: EventQueue,
+    ) -> None:
+        if not processes:
+            raise ValueError("regional coordinator needs at least one pool process")
+        self.region = region
+        self.family = family
+        self.processes = processes
+        self.rng = rng
+        self.queue = queue
+        self.regime = processes[0].regime
+
+    def start(self) -> None:
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        rate = self.regime.regional_surge_rate_per_day
+        if rate <= 0:
+            return
+        delay = self.rng.exponential(SECONDS_PER_DAY / rate)
+        self.queue.schedule_in(delay, self._fire, label=f"regional-surge/{self.region}")
+
+    def _fire(self) -> None:
+        base = self.regime.regional_surge_scale * (1.0 + self.rng.pareto(2.8))
+        for process in self.processes:
+            if not self.rng.bernoulli(self.regime.regional_membership):
+                continue
+            magnitude = min(1.0, base * self.rng.uniform(0.6, 1.3))
+            process.add_family_surge(magnitude)
+        self._schedule_next()
+
+
+def build_demand(
+    catalog: Catalog,
+    pools: dict[tuple[str, str], CapacityPool],
+    markets: dict[tuple[str, str, str], SpotMarket],
+    rng: RngStream,
+    queue: EventQueue,
+    tick_interval: float = DEFAULT_TICK_INTERVAL,
+    on_interactive_preemption: Callable[[CapacityPool, int], None] | None = None,
+    on_market_cleared: Callable[[SpotMarket], None] | None = None,
+    regimes: dict[str, RegionRegime] | None = None,
+) -> tuple[list[PoolDemandProcess], list[RegionalSurgeCoordinator]]:
+    """Construct pool processes and regional coordinators for a fleet."""
+    regime_map = regimes or REGION_REGIMES
+    processes: list[PoolDemandProcess] = []
+    by_region_family: dict[tuple[str, str], list[PoolDemandProcess]] = {}
+    for (az, family), pool in pools.items():
+        pool_markets = [
+            m for key, m in markets.items() if key[0] == az
+            and catalog.family_of(key[1]) == family
+        ]
+        region = catalog.region_of_zone(az)
+        regime = regime_map.get(region, regime_for(region))
+        process = PoolDemandProcess(
+            pool,
+            regime,
+            pool_markets,
+            rng.child(f"pool/{az}/{family}"),
+            queue,
+            tick_interval,
+            on_interactive_preemption,
+            on_market_cleared,
+        )
+        processes.append(process)
+        by_region_family.setdefault((region, family), []).append(process)
+
+    coordinators = [
+        RegionalSurgeCoordinator(
+            region, family, procs, rng.child(f"regional/{region}/{family}"), queue
+        )
+        for (region, family), procs in sorted(by_region_family.items())
+    ]
+    return processes, coordinators

@@ -1,0 +1,91 @@
+"""On-demand instance lifecycle (Figure 3.1 of the paper).
+
+A submitted request is either denied with
+``InsufficientInstanceCapacity`` or accepted into ``pending``; a pending
+instance becomes ``running``; terminate moves it through
+``shutting-down`` to ``terminated``.  Every transition is timestamped so
+SpotLight (and tests) can audit the full history.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import InvalidStateTransition
+
+
+class InstanceState(str, enum.Enum):
+    """States of the Figure 3.1 on-demand state machine."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SHUTTING_DOWN = "shutting-down"
+    TERMINATED = "terminated"
+
+
+_ALLOWED_TRANSITIONS: dict[InstanceState, frozenset[InstanceState]] = {
+    InstanceState.PENDING: frozenset({InstanceState.RUNNING, InstanceState.SHUTTING_DOWN}),
+    InstanceState.RUNNING: frozenset({InstanceState.SHUTTING_DOWN}),
+    InstanceState.SHUTTING_DOWN: frozenset({InstanceState.TERMINATED}),
+    InstanceState.TERMINATED: frozenset(),
+}
+
+LIFECYCLE_ON_DEMAND = "on-demand"
+LIFECYCLE_SPOT = "spot"
+LIFECYCLE_SPOT_BLOCK = "spot-block"
+
+
+@dataclass
+class Instance:
+    """A launched VM, on-demand or spot-backed."""
+
+    instance_id: str
+    instance_type: str
+    availability_zone: str
+    product: str
+    lifecycle: str  # LIFECYCLE_ON_DEMAND or LIFECYCLE_SPOT
+    launch_time: float
+    units: int
+    state: InstanceState = InstanceState.PENDING
+    state_history: list[tuple[float, InstanceState]] = field(default_factory=list)
+    termination_time: float | None = None
+    spot_request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.state_history:
+            self.state_history.append((self.launch_time, self.state))
+
+    # -- transitions -----------------------------------------------------
+    def _transition(self, new_state: InstanceState, now: float) -> None:
+        if new_state not in _ALLOWED_TRANSITIONS[self.state]:
+            raise InvalidStateTransition(
+                f"{self.instance_id}: cannot go {self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+        self.state_history.append((now, new_state))
+
+    def mark_running(self, now: float) -> None:
+        self._transition(InstanceState.RUNNING, now)
+
+    def begin_shutdown(self, now: float) -> None:
+        self._transition(InstanceState.SHUTTING_DOWN, now)
+
+    def mark_terminated(self, now: float) -> None:
+        self._transition(InstanceState.TERMINATED, now)
+        self.termination_time = now
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def is_live(self) -> bool:
+        """True while the instance still holds pool capacity."""
+        return self.state in (
+            InstanceState.PENDING,
+            InstanceState.RUNNING,
+            InstanceState.SHUTTING_DOWN,
+        )
+
+    def running_duration(self, now: float) -> float:
+        """Seconds since launch (to termination if terminated)."""
+        end = self.termination_time if self.termination_time is not None else now
+        return max(0.0, end - self.launch_time)

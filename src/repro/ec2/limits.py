@@ -1,0 +1,113 @@
+"""Per-region service limits and API rate limiting.
+
+The paper's prototype had to work under EC2's account limits — at the
+time, roughly 20 running on-demand instances and 20 open spot requests
+per region, plus an API request rate limit — and its hierarchical
+region/market/database managers exist largely to respect them.  The
+simulator enforces the same limits so that SpotLight's batching and
+concurrency management is exercised for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    RequestLimitExceededError,
+    ServiceLimitExceededError,
+)
+
+DEFAULT_MAX_ON_DEMAND_INSTANCES = 20
+DEFAULT_MAX_OPEN_SPOT_REQUESTS = 20
+DEFAULT_API_RATE_PER_SECOND = 5.0
+DEFAULT_API_BURST = 100.0
+
+
+class TokenBucket:
+    """Classic token bucket; time comes from the simulated clock."""
+
+    def __init__(self, clock: SimClock, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError(f"rate and burst must be positive: {rate}, {burst}")
+        self._clock = clock
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._last_refill = clock.now
+
+    def _refill(self) -> None:
+        now = self._clock.now
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last_refill = now
+
+    @property
+    def available(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_consume(self, tokens: float = 1.0) -> bool:
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+
+@dataclass
+class RegionLimits:
+    """Account limits for one region."""
+
+    region: str
+    clock: SimClock
+    max_on_demand_instances: int = DEFAULT_MAX_ON_DEMAND_INSTANCES
+    max_open_spot_requests: int = DEFAULT_MAX_OPEN_SPOT_REQUESTS
+    api_rate_per_second: float = DEFAULT_API_RATE_PER_SECOND
+    api_burst: float = DEFAULT_API_BURST
+    running_on_demand: int = 0
+    open_spot_requests: int = 0
+    api_calls_made: int = 0
+    api_calls_throttled: int = 0
+    _bucket: TokenBucket = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._bucket = TokenBucket(self.clock, self.api_rate_per_second, self.api_burst)
+
+    # -- API rate -----------------------------------------------------------
+    def charge_api_call(self) -> None:
+        """Account one API call; raises ``RequestLimitExceeded`` if throttled."""
+        if not self._bucket.try_consume():
+            self.api_calls_throttled += 1
+            raise RequestLimitExceededError(
+                f"{self.region}: API request rate exceeded"
+            )
+        self.api_calls_made += 1
+
+    # -- instance/request counts ----------------------------------------------
+    def acquire_on_demand_slot(self) -> None:
+        if self.running_on_demand >= self.max_on_demand_instances:
+            raise ServiceLimitExceededError(
+                f"{self.region}: at the {self.max_on_demand_instances} running "
+                f"on-demand instance limit"
+            )
+        self.running_on_demand += 1
+
+    def release_on_demand_slot(self) -> None:
+        if self.running_on_demand <= 0:
+            raise ValueError(f"{self.region}: no on-demand slot to release")
+        self.running_on_demand -= 1
+
+    def acquire_spot_request_slot(self) -> None:
+        if self.open_spot_requests >= self.max_open_spot_requests:
+            raise ServiceLimitExceededError(
+                f"{self.region}: at the {self.max_open_spot_requests} open spot "
+                f"request limit"
+            )
+        self.open_spot_requests += 1
+
+    def release_spot_request_slot(self) -> None:
+        if self.open_spot_requests <= 0:
+            raise ValueError(f"{self.region}: no spot request slot to release")
+        self.open_spot_requests -= 1

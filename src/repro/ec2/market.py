@@ -1,0 +1,252 @@
+"""Per-market spot auction and price history.
+
+A *market* is one (availability zone, instance type, product) triple.
+Each market clears like the second-price-style auction the paper
+describes: standing bids are sorted descending, supply comes from the
+shared :class:`~repro.ec2.pool.CapacityPool`, and the published spot
+price is the lowest winning bid (or the market's floor price when
+supply exceeds demand).
+
+Two EC2 realities the paper leans on are modelled explicitly:
+
+* **Publication lag** — a new spot price takes 20-40 s to appear in the
+  price history, so the *intrinsic* bid needed to win can exceed the
+  published price (Figure 5.2; found by SpotLight's BidSpread probe).
+* **Low-price withholding** — EC2 has no incentive to sell below its
+  operating cost, so when the clearing price would fall below the
+  floor, new spot requests are held with ``capacity-not-available``
+  (the Figure 5.10/5.11 behaviour).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.ec2.catalog import MAX_BID_MULTIPLE
+
+# Hard price floor as a fraction of the on-demand price.
+DEFAULT_FLOOR_FRACTION = 0.03
+# Below this fraction of the on-demand price EC2 would rather withhold
+# capacity than sell it (it cannot cover its operating cost — the
+# explanation the paper gives for Figure 5.10).
+DEFAULT_WITHHOLD_FRACTION = 0.08
+# A market is in "glut" when demand covers less than this share of
+# supply; withholding only happens in a deep glut.
+GLUT_DEMAND_RATIO = 0.5
+# Seconds for a new spot price to propagate into the public history.
+DEFAULT_PUBLICATION_LAG = 30.0
+# Two-minute revocation warning (EC2 policy since January 2015).
+REVOCATION_WARNING_SECONDS = 120.0
+
+
+@dataclass(frozen=True)
+class Bid:
+    """A standing (virtual) demand bid: ``count`` instances at ``price``."""
+
+    price: float
+    count: int
+
+
+@dataclass
+class ClearingResult:
+    """Outcome of one auction evaluation."""
+
+    time: float
+    clearing_price: float  # max(floor, lowest winning bid / marginal bid)
+    fulfilled_instances: int
+    demanded_instances: int
+    supply_instances: int
+    capacity_constrained: bool  # demand exceeded supply
+    withheld: bool  # glut at an uneconomic price: capacity withheld
+
+
+class SpotMarket:
+    """One spot market: bid stack, clearing, price history, revocations."""
+
+    def __init__(
+        self,
+        availability_zone: str,
+        instance_type: str,
+        product: str,
+        on_demand_price: float,
+        units: int,
+        floor_fraction: float = DEFAULT_FLOOR_FRACTION,
+        withhold_fraction: float = DEFAULT_WITHHOLD_FRACTION,
+        publication_lag: float = DEFAULT_PUBLICATION_LAG,
+    ) -> None:
+        if on_demand_price <= 0:
+            raise ValueError(f"on-demand price must be positive: {on_demand_price}")
+        if units <= 0:
+            raise ValueError(f"instance units must be positive: {units}")
+        if withhold_fraction < floor_fraction:
+            raise ValueError("withhold price cannot sit below the floor")
+        self.availability_zone = availability_zone
+        self.instance_type = instance_type
+        self.product = product
+        self.on_demand_price = on_demand_price
+        self.units = units
+        self.floor_price = round(on_demand_price * floor_fraction, 4)
+        self.withhold_price = round(on_demand_price * withhold_fraction, 4)
+        self.max_bid = on_demand_price * MAX_BID_MULTIPLE
+        self.publication_lag = publication_lag
+
+        self._bids: list[Bid] = []  # background demand, any order
+        self._price_events: list[tuple[float, float]] = []  # (time, price) actual
+        self._last_clearing: ClearingResult | None = None
+        # Cleared background occupancy, in instances, from the last evaluation.
+        self.background_instances = 0
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def market_key(self) -> tuple[str, str, str]:
+        return (self.availability_zone, self.instance_type, self.product)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpotMarket({self.availability_zone}, {self.instance_type}, "
+            f"{self.product}, price={self.current_price():.4f})"
+        )
+
+    # -- demand management ----------------------------------------------------
+    def set_bids(self, bids: list[Bid]) -> None:
+        """Replace the standing background bid stack."""
+        for bid in bids:
+            if bid.price < 0 or bid.count < 0:
+                raise ValueError(f"malformed bid: {bid}")
+        # Bids above the cap are clamped, mirroring EC2's bid-cap policy.
+        self._bids = [
+            Bid(min(b.price, self.max_bid), b.count) for b in bids if b.count > 0
+        ]
+
+    def demand_at(self, price: float) -> int:
+        """Total instances demanded at or above ``price``."""
+        return sum(b.count for b in self._bids if b.price >= price)
+
+    # -- auction -------------------------------------------------------------
+    def clear(self, now: float, supply_instances: int) -> ClearingResult:
+        """Run the uniform-price auction against ``supply_instances``.
+
+        Returns the clearing result and records the new actual price.
+        The caller (platform/demand process) is responsible for applying
+        ``fulfilled_instances`` to the capacity pool.
+        """
+        if supply_instances < 0:
+            raise ValueError(f"negative supply: {supply_instances}")
+        stack = sorted(self._bids, key=lambda b: b.price, reverse=True)
+        demanded = sum(b.count for b in stack)
+
+        fulfilled = 0
+        clearing = self.floor_price
+        remaining = supply_instances
+        marginal_bid: float | None = None
+        for bid in stack:
+            if remaining <= 0:
+                marginal_bid = bid.price if marginal_bid is None else marginal_bid
+                break
+            take = min(bid.count, remaining)
+            fulfilled += take
+            remaining -= take
+            if take < bid.count:
+                # Price is set by the first bid that could not be fully
+                # served — the marginal (lowest winning) level.
+                marginal_bid = bid.price
+
+        if demanded > supply_instances and marginal_bid is not None:
+            clearing = marginal_bid
+        elif demanded > supply_instances:
+            # Supply was zero: price is the top standing bid.
+            clearing = stack[0].price if stack else self.floor_price
+        clearing = max(clearing, self.floor_price)
+        clearing = min(clearing, self.max_bid)
+        withheld = (
+            demanded < supply_instances * GLUT_DEMAND_RATIO
+            and clearing <= self.withhold_price
+        )
+
+        result = ClearingResult(
+            time=now,
+            clearing_price=round(clearing, 4),
+            fulfilled_instances=fulfilled,
+            demanded_instances=demanded,
+            supply_instances=supply_instances,
+            capacity_constrained=demanded > supply_instances,
+            withheld=withheld,
+        )
+        self._record_price(now, result.clearing_price)
+        self._last_clearing = result
+        self.background_instances = fulfilled
+        return result
+
+    def _record_price(self, now: float, price: float) -> None:
+        if self._price_events and self._price_events[-1][0] > now:
+            raise ValueError("price events must be recorded in time order")
+        if self._price_events and self._price_events[-1][1] == price:
+            return  # EC2 only records changes
+        self._price_events.append((now, price))
+
+    # -- price queries ------------------------------------------------------
+    def current_price(self, now: float | None = None) -> float:
+        """The *actual* market price in force (what a bid must beat)."""
+        if not self._price_events:
+            return self.floor_price
+        if now is None:
+            return self._price_events[-1][1]
+        idx = bisect.bisect_right(self._price_events, (now, float("inf"))) - 1
+        if idx < 0:
+            return self.floor_price
+        return self._price_events[idx][1]
+
+    def published_price(self, now: float) -> float:
+        """The price visible in the public history (lagged 20-40 s)."""
+        return self.current_price(now - self.publication_lag)
+
+    def price_history(
+        self, start: float | None = None, end: float | None = None
+    ) -> list[tuple[float, float]]:
+        """Price-change events in ``[start, end]`` (as published)."""
+        events = self._price_events
+        lo = 0 if start is None else bisect.bisect_left(events, (start, -1.0))
+        hi = len(events) if end is None else bisect.bisect_right(events, (end, float("inf")))
+        return list(events[lo:hi])
+
+    @property
+    def last_clearing(self) -> ClearingResult | None:
+        return self._last_clearing
+
+    # -- probe-request evaluation ----------------------------------------------
+    def evaluate_bid(
+        self,
+        bid_price: float,
+        now: float,
+        available_spot_units: int,
+        required_price: float | None = None,
+    ) -> str:
+        """Classify a single-instance spot request against the market.
+
+        ``available_spot_units`` is the spot capacity a winning bid can
+        occupy (it may displace a marginal background winner, so this
+        is the pool's spot *capacity* net of interactive instances, not
+        merely its free units).  ``required_price`` lets the platform
+        apply an urgency premium above the published price — the
+        intrinsic-price effect of Figure 5.2.
+
+        Returns one of the Figure 3.2 held statuses, or the empty
+        string meaning the bid wins.
+        """
+        from repro.common import errors  # local import avoids a cycle
+
+        price = required_price if required_price is not None else self.current_price(now)
+        last = self._last_clearing
+        if last is not None and last.withheld:
+            # EC2 withholds capacity rather than selling under cost.
+            return errors.STATUS_CAPACITY_NOT_AVAILABLE
+        if available_spot_units < self.units:
+            return errors.STATUS_CAPACITY_NOT_AVAILABLE
+        if bid_price < price:
+            return errors.STATUS_PRICE_TOO_LOW
+        if bid_price == price and last is not None and last.capacity_constrained:
+            # Ties at the clearing level when the market is constrained
+            # cannot all be served.
+            return errors.STATUS_CAPACITY_OVERSUBSCRIBED
+        return ""

@@ -1,0 +1,668 @@
+"""The EC2 simulator: pools + markets + demand + lifecycle + billing.
+
+:class:`EC2Simulator` owns the clock and event queue and exposes the
+operations SpotLight needs, with the same semantics (and error codes)
+as the real EC2 API:
+
+* ``run_instances`` / ``terminate_instances`` for on-demand servers
+  (Figure 3.1 lifecycle, ``InsufficientInstanceCapacity`` on rejection);
+* ``request_spot_instances`` / ``cancel_spot_request`` for spot servers
+  (Figure 3.2 lifecycle with held statuses, fulfilment, the two-minute
+  revocation warning, and the 10x bid cap);
+* ``describe_spot_price_history`` with the real platform's 20-40 s
+  publication lag;
+* per-region service limits, API rate limiting, and a billing ledger
+  with EC2's one-hour minimum charge (what makes probing costly).
+
+Consumers can subscribe to market-clear events to observe prices the
+way a poller would, without simulating thousands of poll calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.common import errors
+from repro.common.clock import SECONDS_PER_HOUR, SimClock
+from repro.common.errors import (
+    BadParametersError,
+    SpotBidTooHighError,
+)
+from repro.common.events import EventQueue
+from repro.common.ids import IdGenerator
+from repro.common.rng import RngStream
+from repro.ec2.catalog import Catalog, default_catalog
+from repro.ec2.demand import (
+    DEFAULT_TICK_INTERVAL,
+    PoolDemandProcess,
+    RegionalSurgeCoordinator,
+    RegionRegime,
+    build_demand,
+)
+from repro.ec2.instance import (
+    LIFECYCLE_ON_DEMAND,
+    LIFECYCLE_SPOT,
+    LIFECYCLE_SPOT_BLOCK,
+    Instance,
+)
+from repro.ec2.limits import RegionLimits
+from repro.ec2.market import REVOCATION_WARNING_SECONDS, SpotMarket
+from repro.ec2.pool import CapacityPool
+from repro.ec2.spot_request import SpotRequest
+
+# How long an accepted instance stays ``pending`` before ``running``.
+BOOT_DELAY_SECONDS = 45.0
+# How long ``shutting-down`` lasts before ``terminated``.
+SHUTDOWN_DELAY_SECONDS = 30.0
+
+#: Relative pool size per region (us-east-1 is EC2's largest by a wide
+#: margin, sa-east-1 its smallest).
+REGION_SIZE_FACTOR = {
+    "us-east-1": 1.00,
+    "us-west-1": 0.35,
+    "us-west-2": 0.60,
+    "eu-west-1": 0.60,
+    "eu-central-1": 0.30,
+    "ap-northeast-1": 0.45,
+    "ap-southeast-1": 0.25,
+    "ap-southeast-2": 0.25,
+    "sa-east-1": 0.15,
+}
+
+
+@dataclass
+class BillingRecord:
+    """One charge on the account ledger."""
+
+    time: float
+    instance_id: str
+    lifecycle: str
+    availability_zone: str
+    instance_type: str
+    product: str
+    hours_charged: float
+    rate: float
+
+    @property
+    def amount(self) -> float:
+        return self.hours_charged * self.rate
+
+
+@dataclass
+class FleetConfig:
+    """Configuration for one simulated platform instance."""
+
+    catalog: Catalog = field(default_factory=default_catalog)
+    seed: int = 7
+    tick_interval: float = DEFAULT_TICK_INTERVAL
+    base_pool_units: int = 6000
+    regimes: dict[str, RegionRegime] | None = None
+    start_time: float = 0.0
+
+
+MarketObserver = Callable[[SpotMarket, float, float], None]
+
+
+class EC2Simulator:
+    """A self-contained simulated EC2 deployment."""
+
+    def __init__(self, config: FleetConfig | None = None) -> None:
+        self.config = config or FleetConfig()
+        self.catalog = self.config.catalog
+        self.clock = SimClock(self.config.start_time)
+        self.queue = EventQueue(self.clock)
+        self.ids = IdGenerator()
+        self.rng = RngStream(self.config.seed, "ec2")
+
+        self.pools: dict[tuple[str, str], CapacityPool] = {}
+        self.markets: dict[tuple[str, str, str], SpotMarket] = {}
+        self.limits: dict[str, RegionLimits] = {}
+        self.instances: dict[str, Instance] = {}
+        self.spot_requests: dict[str, SpotRequest] = {}
+        self.billing: list[BillingRecord] = []
+        self._observers: list[MarketObserver] = []
+        self._open_requests_by_market: dict[tuple[str, str, str], list[str]] = {}
+        self._active_spot_by_pool: dict[tuple[str, str], list[str]] = {}
+
+        self._build_fleet()
+        self.demand_processes: list[PoolDemandProcess]
+        self.coordinators: list[RegionalSurgeCoordinator]
+        self.demand_processes, self.coordinators = build_demand(
+            self.catalog,
+            self.pools,
+            self.markets,
+            self.rng.child("demand"),
+            self.queue,
+            self.config.tick_interval,
+            self._on_interactive_preemption,
+            self._on_market_cleared,
+            self.config.regimes,
+        )
+        for process in self.demand_processes:
+            process.start()
+        for coordinator in self.coordinators:
+            coordinator.start()
+
+    # -- construction ---------------------------------------------------------
+    def _build_fleet(self) -> None:
+        for region_name, region in self.catalog.regions.items():
+            self.limits[region_name] = RegionLimits(region_name, self.clock)
+            size_factor = REGION_SIZE_FACTOR.get(region_name, 0.3)
+            for az in region.availability_zones:
+                for family in self.catalog.families():
+                    units = max(400, int(self.config.base_pool_units * size_factor))
+                    self.pools[(az, family)] = CapacityPool(
+                        availability_zone=az, family=family, total_units=units
+                    )
+        for az, type_name, product in self.catalog.iter_markets():
+            region = self.catalog.region_of_zone(az)
+            itype = self.catalog.instance_types[type_name]
+            self.markets[(az, type_name, product)] = SpotMarket(
+                availability_zone=az,
+                instance_type=type_name,
+                product=product,
+                on_demand_price=self.catalog.on_demand_price(
+                    type_name, region, product
+                ),
+                units=itype.units,
+            )
+
+    # -- time -------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def run_until(self, when: float) -> int:
+        """Advance the simulation to absolute time ``when``."""
+        return self.queue.run_until(when)
+
+    def run_for(self, duration: float) -> int:
+        """Advance the simulation by ``duration`` seconds."""
+        return self.queue.run_until(self.clock.now + duration)
+
+    # -- observation --------------------------------------------------------------
+    def subscribe_market_updates(self, observer: MarketObserver) -> None:
+        """Call ``observer(market, now, price)`` after each market clear.
+
+        This stands in for the price polling loop a real deployment
+        runs; the information delivered is identical to polling at the
+        tick interval.
+        """
+        self._observers.append(observer)
+
+    def _on_market_cleared(self, market: SpotMarket) -> None:
+        now = self.clock.now
+        self._reevaluate_open_requests(market)
+        self._revoke_outbid_instances(market)
+        price = market.current_price(now)
+        for observer in self._observers:
+            observer(market, now, price)
+
+    # -- helpers ---------------------------------------------------------------------
+    def _market(self, az: str, instance_type: str, product: str) -> SpotMarket:
+        try:
+            return self.markets[(az, instance_type, product)]
+        except KeyError:
+            raise BadParametersError(
+                f"no such market: {az}/{instance_type}/{product}"
+            ) from None
+
+    def _pool_for(self, az: str, instance_type: str) -> CapacityPool:
+        family = self.catalog.family_of(instance_type)
+        return self.pools[(az, family)]
+
+    def _region_limits(self, az: str) -> RegionLimits:
+        return self.limits[self.catalog.region_of_zone(az)]
+
+    def _charge(self, instance: Instance, rate: float) -> None:
+        hours = max(1.0, instance.running_duration(self.clock.now) / SECONDS_PER_HOUR)
+        self.billing.append(
+            BillingRecord(
+                time=self.clock.now,
+                instance_id=instance.instance_id,
+                lifecycle=instance.lifecycle,
+                availability_zone=instance.availability_zone,
+                instance_type=instance.instance_type,
+                product=instance.product,
+                hours_charged=hours,
+                rate=rate,
+            )
+        )
+
+    def total_cost(self) -> float:
+        return sum(record.amount for record in self.billing)
+
+    # -- on-demand API ------------------------------------------------------------------
+    def run_instances(
+        self, instance_type: str, availability_zone: str, product: str
+    ) -> Instance:
+        """Request one on-demand instance (a SpotLight probe).
+
+        Raises :class:`InsufficientInstanceCapacityError` when the pool
+        cannot satisfy the request — the signal SpotLight logs.
+        """
+        market = self._market(availability_zone, instance_type, product)
+        limits = self._region_limits(availability_zone)
+        limits.charge_api_call()
+        pool = self._pool_for(availability_zone, instance_type)
+        itype = self.catalog.instance_types[instance_type]
+
+        limits.acquire_on_demand_slot()
+        try:
+            preemption = pool.allocate_on_demand(itype.units, instance_type)
+        except Exception:
+            limits.release_on_demand_slot()
+            raise
+        if preemption.interactive_units:
+            self._revoke_preempted(pool, preemption.interactive_units)
+
+        instance = Instance(
+            instance_id=self.ids.instance_id(),
+            instance_type=instance_type,
+            availability_zone=availability_zone,
+            product=market.product,
+            lifecycle=LIFECYCLE_ON_DEMAND,
+            launch_time=self.clock.now,
+            units=itype.units,
+        )
+        self.instances[instance.instance_id] = instance
+        self.queue.schedule_in(
+            BOOT_DELAY_SECONDS,
+            lambda: self._boot_instance(instance),
+            label=f"boot/{instance.instance_id}",
+        )
+        return instance
+
+    def _boot_instance(self, instance: Instance) -> None:
+        if instance.is_live and instance.state.value == "pending":
+            instance.mark_running(self.clock.now)
+
+    def terminate_instances(self, instance_ids: Iterable[str]) -> None:
+        """Begin shutdown of the given instances (the user-side path)."""
+        for instance_id in instance_ids:
+            instance = self.instances.get(instance_id)
+            if instance is None:
+                raise BadParametersError(f"no such instance: {instance_id}")
+            if not instance.is_live:
+                continue
+            if instance.state.value != "shutting-down":
+                instance.begin_shutdown(self.clock.now)
+            self.queue.schedule_in(
+                SHUTDOWN_DELAY_SECONDS,
+                lambda inst=instance: self._finish_termination(inst),
+                label=f"term/{instance_id}",
+            )
+
+    def _finish_termination(
+        self, instance: Instance, capacity_already_released: bool = False
+    ) -> None:
+        if instance.state.value == "terminated":
+            return
+        instance.mark_terminated(self.clock.now)
+        pool = self._pool_for(instance.availability_zone, instance.instance_type)
+        region = self.catalog.region_of_zone(instance.availability_zone)
+        market = self._market(
+            instance.availability_zone, instance.instance_type, instance.product
+        )
+        if instance.lifecycle == LIFECYCLE_ON_DEMAND:
+            if not capacity_already_released:
+                pool.release_on_demand(instance.units, instance.instance_type)
+            self._region_limits(instance.availability_zone).release_on_demand_slot()
+            rate = self.catalog.on_demand_price(
+                instance.instance_type, region, instance.product
+            )
+            self._charge(instance, rate)
+        else:
+            if not capacity_already_released:
+                pool.release_spot(instance.units)
+            pool_key = (pool.availability_zone, pool.family)
+            active = self._active_spot_by_pool.get(pool_key, [])
+            if instance.instance_id in active:
+                active.remove(instance.instance_id)
+            rate = market.current_price(instance.launch_time)
+            self._charge(instance, rate)
+
+    # -- spot blocks (defined-duration spot) ------------------------------------------------
+    def request_spot_block(
+        self,
+        instance_type: str,
+        availability_zone: str,
+        product: str,
+        duration_hours: int,
+    ) -> Instance:
+        """Launch a defined-duration spot instance (Table 2.1's "Spot
+        Blocks" contract): a fixed discounted price, no revocation for
+        the block's duration, automatic termination at its end.
+
+        The capacity is pinned for the duration (the platform will not
+        reclaim it for on-demand or reserved starts), so it is accounted
+        like a temporary reservation against the on-demand bound —
+        obtainability is therefore *not* guaranteed and the request can
+        fail with ``InsufficientInstanceCapacity``.
+        """
+        market = self._market(availability_zone, instance_type, product)
+        limits = self._region_limits(availability_zone)
+        limits.charge_api_call()
+        region = self.catalog.region_of_zone(availability_zone)
+        rate = self.catalog.spot_block_price(
+            instance_type, region, product, duration_hours
+        )
+        pool = self._pool_for(availability_zone, instance_type)
+        itype = self.catalog.instance_types[instance_type]
+
+        limits.acquire_on_demand_slot()
+        try:
+            preemption = pool.allocate_on_demand(itype.units, instance_type)
+        except Exception:
+            limits.release_on_demand_slot()
+            raise
+        if preemption.interactive_units:
+            self._revoke_preempted(pool, preemption.interactive_units)
+
+        instance = Instance(
+            instance_id=self.ids.instance_id(),
+            instance_type=instance_type,
+            availability_zone=availability_zone,
+            product=market.product,
+            lifecycle=LIFECYCLE_SPOT_BLOCK,
+            launch_time=self.clock.now,
+            units=itype.units,
+        )
+        self.instances[instance.instance_id] = instance
+        self.queue.schedule_in(
+            BOOT_DELAY_SECONDS,
+            lambda: self._boot_instance(instance),
+            label=f"boot/{instance.instance_id}",
+        )
+        self.queue.schedule_in(
+            duration_hours * SECONDS_PER_HOUR,
+            lambda: self._expire_spot_block(instance, rate),
+            label=f"block-expiry/{instance.instance_id}",
+        )
+        return instance
+
+    def _expire_spot_block(self, instance: Instance, rate: float) -> None:
+        """A spot block reached the end of its defined duration."""
+        if not instance.is_live:
+            return
+        if instance.state.value in ("pending", "running"):
+            instance.begin_shutdown(self.clock.now)
+        self._finish_block_termination(instance, rate)
+
+    def terminate_spot_block(self, instance_id: str) -> None:
+        """User-side early termination (still billed for hours used)."""
+        instance = self.instances.get(instance_id)
+        if instance is None or instance.lifecycle != LIFECYCLE_SPOT_BLOCK:
+            raise BadParametersError(f"no such spot block: {instance_id}")
+        self._region_limits(instance.availability_zone).charge_api_call()
+        if not instance.is_live:
+            return
+        region = self.catalog.region_of_zone(instance.availability_zone)
+        # Billing uses the 1-hour block rate (the duration booked is a
+        # detail of the expiry event we are preempting).
+        rate = self.catalog.spot_block_price(
+            instance.instance_type, region, instance.product, 1
+        )
+        instance.begin_shutdown(self.clock.now)
+        self._finish_block_termination(instance, rate)
+
+    def _finish_block_termination(self, instance: Instance, rate: float) -> None:
+        instance.mark_terminated(self.clock.now)
+        pool = self._pool_for(instance.availability_zone, instance.instance_type)
+        pool.release_on_demand(instance.units, instance.instance_type)
+        self._region_limits(instance.availability_zone).release_on_demand_slot()
+        self._charge(instance, rate)
+
+    # -- spot API ---------------------------------------------------------------------------
+    def request_spot_instances(
+        self,
+        instance_type: str,
+        availability_zone: str,
+        product: str,
+        bid_price: float,
+    ) -> SpotRequest:
+        """Submit a one-instance spot request (Figure 3.2 lifecycle)."""
+        market = self._market(availability_zone, instance_type, product)
+        limits = self._region_limits(availability_zone)
+        limits.charge_api_call()
+        if bid_price <= 0:
+            raise BadParametersError(f"bid must be positive: {bid_price}")
+        if bid_price > market.max_bid:
+            raise SpotBidTooHighError(
+                f"bid {bid_price} exceeds the cap {market.max_bid:.4f} "
+                f"(10x on-demand)"
+            )
+
+        limits.acquire_spot_request_slot()
+        request = SpotRequest(
+            request_id=self.ids.spot_request_id(),
+            instance_type=instance_type,
+            availability_zone=availability_zone,
+            product=product,
+            bid_price=bid_price,
+            create_time=self.clock.now,
+        )
+        self.spot_requests[request.request_id] = request
+        self._open_requests_by_market.setdefault(market.market_key, []).append(
+            request.request_id
+        )
+        self._evaluate_request(request, market)
+        return request
+
+    def _required_price(self, market: SpotMarket) -> float:
+        """The actual price a bid must meet right now.
+
+        Usually the current price; when the market moved recently,
+        demand that arrived since the last published update can push
+        the effective level higher — the intrinsic-price gap SpotLight's
+        BidSpread probe measures (Figure 5.2).
+        """
+        now = self.clock.now
+        price = market.current_price(now)
+        earlier = market.current_price(max(0.0, now - 900.0))
+        volatility = abs(price - earlier) / max(price, 1e-9)
+        if volatility > 0.05 and self.rng.bernoulli(min(0.7, volatility)):
+            price *= 1.0 + self.rng.exponential(0.15)
+        return round(price, 4)
+
+    def _evaluate_request(self, request: SpotRequest, market: SpotMarket) -> None:
+        if not request.is_open:
+            return
+        pool = self._pool_for(request.availability_zone, request.instance_type)
+        available = pool.spot_capacity - pool.interactive_spot_units
+        status = market.evaluate_bid(
+            request.bid_price,
+            self.clock.now,
+            available,
+            required_price=self._required_price(market),
+        )
+        if status:
+            request.hold(status, self.clock.now)
+            return
+        # A winning bid may displace a marginal background winner.
+        shortfall = market.units - pool.spot_free_units
+        if shortfall > 0:
+            if shortfall > pool.background_spot_units:
+                request.hold(errors.STATUS_CAPACITY_NOT_AVAILABLE, self.clock.now)
+                return
+            pool.background_spot_units -= shortfall
+        if not pool.allocate_spot(market.units):
+            request.hold(errors.STATUS_CAPACITY_NOT_AVAILABLE, self.clock.now)
+            return
+        request.begin_fulfillment(self.clock.now)
+        instance = Instance(
+            instance_id=self.ids.instance_id(),
+            instance_type=request.instance_type,
+            availability_zone=request.availability_zone,
+            product=request.product,
+            lifecycle=LIFECYCLE_SPOT,
+            launch_time=self.clock.now,
+            units=market.units,
+            spot_request_id=request.request_id,
+        )
+        self.instances[instance.instance_id] = instance
+        request.fulfill(instance.instance_id, self.clock.now)
+        self._release_request_slot(request)
+        self._unindex_open_request(request, market)
+        self._active_spot_by_pool.setdefault(
+            (pool.availability_zone, pool.family), []
+        ).append(instance.instance_id)
+        self.queue.schedule_in(
+            BOOT_DELAY_SECONDS,
+            lambda: self._boot_instance(instance),
+            label=f"boot/{instance.instance_id}",
+        )
+
+    def _release_request_slot(self, request: SpotRequest) -> None:
+        self._region_limits(request.availability_zone).release_spot_request_slot()
+
+    def _unindex_open_request(self, request: SpotRequest, market: SpotMarket) -> None:
+        open_list = self._open_requests_by_market.get(market.market_key, [])
+        if request.request_id in open_list:
+            open_list.remove(request.request_id)
+
+    def cancel_spot_request(self, request_id: str) -> SpotRequest:
+        """Cancel an open or active spot request.
+
+        Cancelling an active request leaves its instance running
+        (``request-canceled-and-instance-running``), matching EC2.
+        """
+        request = self.spot_requests.get(request_id)
+        if request is None:
+            raise BadParametersError(f"no such spot request: {request_id}")
+        self._region_limits(request.availability_zone).charge_api_call()
+        was_open = request.is_open
+        request.cancel(self.clock.now)
+        if was_open:
+            self._release_request_slot(request)
+            market = self._market(
+                request.availability_zone, request.instance_type, request.product
+            )
+            self._unindex_open_request(request, market)
+        return request
+
+    def _reevaluate_open_requests(self, market: SpotMarket) -> None:
+        request_ids = list(self._open_requests_by_market.get(market.market_key, []))
+        for request_id in request_ids:
+            request = self.spot_requests[request_id]
+            self._evaluate_request(request, market)
+
+    # -- revocation -----------------------------------------------------------------------
+    def _revoke_outbid_instances(self, market: SpotMarket) -> None:
+        """Price rose above a bid: warn, then terminate after 120 s."""
+        now = self.clock.now
+        price = market.current_price(now)
+        pool = self._pool_for(market.availability_zone, market.instance_type)
+        pool_key = (pool.availability_zone, pool.family)
+        for instance_id in list(self._active_spot_by_pool.get(pool_key, [])):
+            instance = self.instances[instance_id]
+            if (
+                instance.instance_type != market.instance_type
+                or instance.product != market.product
+            ):
+                continue
+            request = self.spot_requests[instance.spot_request_id]
+            if not request.is_active or request.bid_price >= price:
+                continue
+            if request.status == errors.STATUS_MARKED_FOR_TERMINATION:
+                continue
+            request.mark_for_termination(now)
+            self.queue.schedule_in(
+                REVOCATION_WARNING_SECONDS,
+                lambda r=request: self._finish_revocation(r, capacity_released=False),
+                label=f"revoke/{request.request_id}",
+            )
+
+    def _revoke_preempted(self, pool: CapacityPool, units: int) -> None:
+        """The pool preempted interactive spot capacity; pick victims.
+
+        Lowest bids go first (they would have been outbid anyway).  The
+        pool units are already released, so termination must not release
+        them again.
+        """
+        pool_key = (pool.availability_zone, pool.family)
+        candidates = [
+            self.instances[iid]
+            for iid in self._active_spot_by_pool.get(pool_key, [])
+            if self.spot_requests[self.instances[iid].spot_request_id].is_active
+            and self.spot_requests[self.instances[iid].spot_request_id].status
+            != errors.STATUS_MARKED_FOR_TERMINATION
+        ]
+        candidates.sort(
+            key=lambda inst: self.spot_requests[inst.spot_request_id].bid_price
+        )
+        freed = 0
+        for instance in candidates:
+            if freed >= units:
+                break
+            request = self.spot_requests[instance.spot_request_id]
+            request.mark_for_termination(self.clock.now)
+            freed += instance.units
+            self.queue.schedule_in(
+                REVOCATION_WARNING_SECONDS,
+                lambda r=request: self._finish_revocation(r, capacity_released=True),
+                label=f"preempt/{request.request_id}",
+            )
+
+    def _on_interactive_preemption(self, pool: CapacityPool, units: int) -> None:
+        self._revoke_preempted(pool, units)
+
+    def _finish_revocation(self, request: SpotRequest, capacity_released: bool) -> None:
+        if not request.is_active:
+            return
+        instance = self.instances[request.instance_id]
+        request.terminate_by_price(self.clock.now)
+        if instance.is_live:
+            if instance.state.value == "pending":
+                instance.begin_shutdown(self.clock.now)
+            elif instance.state.value == "running":
+                instance.begin_shutdown(self.clock.now)
+            self._finish_termination(
+                instance, capacity_already_released=capacity_released
+            )
+
+    def terminate_spot_instance(self, request_id: str) -> None:
+        """User-side termination of a fulfilled spot instance."""
+        request = self.spot_requests.get(request_id)
+        if request is None:
+            raise BadParametersError(f"no such spot request: {request_id}")
+        self._region_limits(request.availability_zone).charge_api_call()
+        if not request.is_active:
+            raise BadParametersError(
+                f"{request_id} has no running instance to terminate"
+            )
+        instance = self.instances[request.instance_id]
+        request.terminate_by_user(self.clock.now)
+        if instance.is_live:
+            instance.begin_shutdown(self.clock.now)
+            self._finish_termination(instance)
+
+    # -- price data ----------------------------------------------------------------------------
+    def describe_spot_price_history(
+        self,
+        instance_type: str,
+        availability_zone: str,
+        product: str,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> list[tuple[float, float]]:
+        """Published price-change events (subject to the 20-40 s lag)."""
+        market = self._market(availability_zone, instance_type, product)
+        self._region_limits(availability_zone).charge_api_call()
+        horizon = self.clock.now - market.publication_lag
+        events = market.price_history(start, end)
+        return [(t, p) for t, p in events if t <= horizon]
+
+    def current_spot_price(
+        self, instance_type: str, availability_zone: str, product: str
+    ) -> float:
+        """The price a user can see right now (published, lagged)."""
+        market = self._market(availability_zone, instance_type, product)
+        return market.published_price(self.clock.now)
+
+    def on_demand_price(
+        self, instance_type: str, availability_zone: str, product: str
+    ) -> float:
+        region = self.catalog.region_of_zone(availability_zone)
+        return self.catalog.on_demand_price(instance_type, region, product)

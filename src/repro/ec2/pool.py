@@ -1,0 +1,354 @@
+"""Shared capacity pool per (availability zone, family) — Figure 2.2.
+
+The paper's central resource model: reserved, on-demand, and spot
+servers in one market family are carved from the *same* pool of
+physical machines.  The accounting rules it spells out:
+
+* on-demand supply is bounded above by ``total - reserved_granted``
+  (every granted reservation must be startable at any moment, so its
+  capacity can never be sold on-demand — only lent to spot);
+* spot supply is ``total - reserved_running - on_demand`` (spot may use
+  idle machines *and* machines backing granted-but-not-running
+  reservations);
+* a new on-demand or reserved start may therefore require revoking spot
+  instances to free capacity.
+
+Spot occupancy is split into *background* units (the re-cleared
+aggregate of virtual market demand, see :mod:`repro.ec2.demand`) and
+*interactive* units (real tracked instances, e.g. SpotLight probes).
+Preemption always takes background capacity first, so interactive
+revocations are rare and explicit.
+
+All quantities are in normalised *units* (an ``m3.large`` is 2 units,
+an ``m3.2xlarge`` 8, ...), so mixed-size allocation is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import InsufficientInstanceCapacityError
+
+
+@dataclass(frozen=True)
+class Preemption:
+    """How much spot capacity an allocation displaced."""
+
+    background_units: int = 0
+    interactive_units: int = 0
+
+    @property
+    def total_units(self) -> int:
+        return self.background_units + self.interactive_units
+
+
+@dataclass
+class PoolSnapshot:
+    """Point-in-time accounting of a pool, for logging/analysis."""
+
+    time: float
+    total_units: int
+    reserved_granted_units: int
+    reserved_running_units: int
+    on_demand_units: int
+    spot_units: int
+
+    @property
+    def idle_units(self) -> int:
+        return (
+            self.total_units
+            - self.reserved_running_units
+            - self.on_demand_units
+            - self.spot_units
+        )
+
+    @property
+    def utilization(self) -> float:
+        used = self.reserved_running_units + self.on_demand_units + self.spot_units
+        return used / self.total_units if self.total_units else 0.0
+
+
+@dataclass
+class CapacityPool:
+    """Unit-level accounting for one (availability zone, family) pool.
+
+    On-demand capacity is additionally partitioned into per-instance-type
+    sub-bounds (set via :meth:`set_type_bound`): the paper's measurements
+    show that one type in a family can be unavailable while its siblings
+    stay available, so the platform evidently does not let a single type
+    consume the family's entire on-demand headroom.  A request must fit
+    both its type's sub-bound and the family-wide Figure 2.2 bound.
+    """
+
+    availability_zone: str
+    family: str
+    total_units: int
+    reserved_granted_units: int = 0
+    reserved_running_units: int = 0
+    on_demand_units: int = 0
+    background_spot_units: int = 0
+    interactive_spot_units: int = 0
+    snapshots: list[PoolSnapshot] = field(default_factory=list)
+    od_type_bounds: dict[str, int] = field(default_factory=dict)
+    od_units_by_type: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total_units <= 0:
+            raise ValueError(f"pool must have positive capacity: {self.total_units}")
+        self._check_invariants()
+
+    # -- per-type on-demand sub-bounds -----------------------------------
+    def set_type_bound(self, instance_type: str, units: int) -> None:
+        """Set (or update) the on-demand sub-bound for one type."""
+        if units < 0:
+            raise ValueError(f"type bound must be non-negative: {units}")
+        self.od_type_bounds[instance_type] = units
+        self.od_units_by_type.setdefault(instance_type, 0)
+
+    def type_headroom(self, instance_type: str) -> int:
+        """On-demand units still available to ``instance_type``.
+
+        The minimum of the type's sub-bound headroom and the family-wide
+        bound headroom; types with no configured sub-bound use the
+        family bound alone.
+        """
+        family_headroom = self.on_demand_headroom
+        bound = self.od_type_bounds.get(instance_type)
+        if bound is None:
+            return family_headroom
+        used = self.od_units_by_type.get(instance_type, 0)
+        return min(bound - used, family_headroom)
+
+    # -- derived quantities ------------------------------------------------
+    @property
+    def spot_units(self) -> int:
+        """All spot occupancy, background plus interactive."""
+        return self.background_spot_units + self.interactive_spot_units
+
+    @property
+    def idle_units(self) -> int:
+        """Physically unoccupied units."""
+        return (
+            self.total_units
+            - self.reserved_running_units
+            - self.on_demand_units
+            - self.spot_units
+        )
+
+    @property
+    def on_demand_headroom(self) -> int:
+        """Units still sellable on-demand (upper bound from Figure 2.2)."""
+        return self.total_units - self.reserved_granted_units - self.on_demand_units
+
+    @property
+    def spot_capacity(self) -> int:
+        """Units the spot pool may occupy right now."""
+        return self.total_units - self.reserved_running_units - self.on_demand_units
+
+    @property
+    def spot_free_units(self) -> int:
+        """Spot capacity not already running spot instances."""
+        return self.spot_capacity - self.spot_units
+
+    def _check_invariants(self) -> None:
+        counters = (
+            self.reserved_granted_units,
+            self.reserved_running_units,
+            self.on_demand_units,
+            self.background_spot_units,
+            self.interactive_spot_units,
+        )
+        if min(counters) < 0:
+            raise AssertionError(f"negative pool counter in {self!r}")
+        if self.reserved_running_units > self.reserved_granted_units:
+            raise AssertionError(
+                f"{self.availability_zone}/{self.family}: more reserved running "
+                f"({self.reserved_running_units}) than granted "
+                f"({self.reserved_granted_units})"
+            )
+        occupied = (
+            self.reserved_running_units + self.on_demand_units + self.spot_units
+        )
+        if occupied > self.total_units:
+            raise AssertionError(
+                f"{self.availability_zone}/{self.family}: oversubscribed "
+                f"({occupied} > {self.total_units})"
+            )
+        if self.reserved_granted_units > self.total_units:
+            raise AssertionError(
+                f"{self.availability_zone}/{self.family}: granted reservations "
+                f"exceed capacity"
+            )
+
+    def _preempt_spot(self, shortfall: int) -> Preemption:
+        """Free ``shortfall`` units by displacing spot, background first."""
+        from_background = min(shortfall, self.background_spot_units)
+        self.background_spot_units -= from_background
+        from_interactive = min(
+            shortfall - from_background, self.interactive_spot_units
+        )
+        self.interactive_spot_units -= from_interactive
+        return Preemption(from_background, from_interactive)
+
+    # -- reserved ------------------------------------------------------------
+    def grant_reserved(self, units: int) -> bool:
+        """Grant a reservation (capacity promise); False if impossible.
+
+        A reservation can only be backed by capacity not already sold
+        on-demand (spot occupancy is fine — spot is preemptible), so the
+        grant is refused when it would push granted reservations past
+        ``total - on_demand`` and break the Figure 2.2 on-demand bound.
+        """
+        if units <= 0:
+            raise ValueError(f"units must be positive: {units}")
+        if self.reserved_granted_units + units + self.on_demand_units > self.total_units:
+            return False
+        self.reserved_granted_units += units
+        self._check_invariants()
+        return True
+
+    def release_reservation(self, units: int) -> None:
+        """A reservation's term ended; its capacity returns to the pool."""
+        if units > self.reserved_granted_units - self.reserved_running_units:
+            raise ValueError("cannot release more reservation than is not running")
+        self.reserved_granted_units -= units
+        self._check_invariants()
+
+    def start_reserved(self, units: int) -> Preemption:
+        """Start granted reservations; guaranteed, may preempt spot.
+
+        The preemption's ``interactive_units`` tells the caller how much
+        tracked spot capacity it must revoke (the pool books are already
+        updated; the caller only marks victims, it must not also call
+        :meth:`release_spot` for them).
+        """
+        if units <= 0:
+            raise ValueError(f"units must be positive: {units}")
+        if self.reserved_running_units + units > self.reserved_granted_units:
+            raise ValueError("cannot start more reserved than granted")
+        shortfall = max(0, units - self.idle_units)
+        self.reserved_running_units += units
+        preemption = self._preempt_spot(shortfall) if shortfall else Preemption()
+        self._check_invariants()
+        return preemption
+
+    def stop_reserved(self, units: int) -> None:
+        if units > self.reserved_running_units:
+            raise ValueError("cannot stop more reserved than running")
+        self.reserved_running_units -= units
+        self._check_invariants()
+
+    # -- on-demand -----------------------------------------------------------
+    def can_allocate_on_demand(self, units: int, instance_type: str | None = None) -> bool:
+        """Whether an on-demand request for ``units`` is satisfiable."""
+        if instance_type is not None:
+            return units <= self.type_headroom(instance_type)
+        return units <= self.on_demand_headroom
+
+    def allocate_on_demand(
+        self, units: int, instance_type: str | None = None
+    ) -> Preemption:
+        """Allocate on-demand capacity, preempting spot if necessary.
+
+        Raises :class:`InsufficientInstanceCapacityError` when the type's
+        sub-bound or the Figure 2.2 family bound is exceeded — the error
+        code SpotLight's probes are hunting for.  As with
+        :meth:`start_reserved`, any ``interactive_units`` in the result
+        have already been removed from the books; the caller only
+        revokes the victim instances.
+        """
+        if units <= 0:
+            raise ValueError(f"units must be positive: {units}")
+        if not self.can_allocate_on_demand(units, instance_type):
+            headroom = (
+                self.type_headroom(instance_type)
+                if instance_type is not None
+                else self.on_demand_headroom
+            )
+            raise InsufficientInstanceCapacityError(
+                f"{self.availability_zone}/{self.family}"
+                f"/{instance_type or '*'}: requested {units} units, "
+                f"headroom {headroom}"
+            )
+        shortfall = max(0, units - self.idle_units)
+        self.on_demand_units += units
+        if instance_type is not None:
+            self.od_units_by_type[instance_type] = (
+                self.od_units_by_type.get(instance_type, 0) + units
+            )
+        preemption = self._preempt_spot(shortfall) if shortfall else Preemption()
+        self._check_invariants()
+        return preemption
+
+    def release_on_demand(self, units: int, instance_type: str | None = None) -> None:
+        if units > self.on_demand_units:
+            raise ValueError("cannot release more on-demand than allocated")
+        if instance_type is not None:
+            used = self.od_units_by_type.get(instance_type, 0)
+            if units > used:
+                raise ValueError(
+                    f"cannot release {units} units of {instance_type}; only "
+                    f"{used} allocated"
+                )
+            self.od_units_by_type[instance_type] = used - units
+        self.on_demand_units -= units
+        self._check_invariants()
+
+    # -- spot ------------------------------------------------------------------
+    def can_allocate_spot(self, units: int) -> bool:
+        return units <= self.spot_free_units
+
+    def allocate_spot(self, units: int) -> bool:
+        """Allocate interactive spot capacity; False when the pool is full."""
+        if units <= 0:
+            raise ValueError(f"units must be positive: {units}")
+        if not self.can_allocate_spot(units):
+            return False
+        self.interactive_spot_units += units
+        self._check_invariants()
+        return True
+
+    def release_spot(self, units: int) -> None:
+        """Release interactive spot capacity (user/probe termination)."""
+        if units > self.interactive_spot_units:
+            raise ValueError("cannot release more interactive spot than allocated")
+        self.interactive_spot_units -= units
+        self._check_invariants()
+
+    def set_background_spot(self, units: int) -> None:
+        """Re-clear background (virtual) spot occupancy to ``units``.
+
+        Demand processes re-run the market auctions each tick and call
+        this with the newly cleared aggregate; it must fit in the spot
+        capacity left over by interactive instances.
+        """
+        if units < 0:
+            raise ValueError(f"units must be non-negative: {units}")
+        if units > self.spot_capacity - self.interactive_spot_units:
+            raise ValueError(
+                f"background spot {units} exceeds free spot capacity "
+                f"{self.spot_capacity - self.interactive_spot_units}"
+            )
+        self.background_spot_units = units
+        self._check_invariants()
+
+    # -- bookkeeping -------------------------------------------------------------
+    def snapshot(self, now: float) -> PoolSnapshot:
+        snap = PoolSnapshot(
+            time=now,
+            total_units=self.total_units,
+            reserved_granted_units=self.reserved_granted_units,
+            reserved_running_units=self.reserved_running_units,
+            on_demand_units=self.on_demand_units,
+            spot_units=self.spot_units,
+        )
+        self.snapshots.append(snap)
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CapacityPool({self.availability_zone}/{self.family}, "
+            f"total={self.total_units}, res_granted={self.reserved_granted_units}, "
+            f"res_running={self.reserved_running_units}, od={self.on_demand_units}, "
+            f"spot={self.spot_units}, idle={self.idle_units})"
+        )

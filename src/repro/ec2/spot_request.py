@@ -1,0 +1,180 @@
+"""Spot instance request lifecycle (Figure 3.2 of the paper).
+
+A spot request is evaluated (``pending-evaluation``), where it can be
+denied with ``price-too-low``, ``capacity-not-available``,
+``capacity-oversubscribed``, ``bad-parameters`` or ``system-error``; an
+accepted request waits in ``pending-fulfillment`` until fulfilled, after
+which the backing instance may be revoked by price
+(``marked-for-termination`` then ``instance-terminated-by-price``),
+terminated by the user, or the request cancelled.  Every status change
+is timestamped, exactly as the prototype logged them to its database.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common import errors
+from repro.common.errors import InvalidStateTransition
+
+
+class SpotRequestState(str, enum.Enum):
+    """Top-level request states."""
+
+    OPEN = "open"
+    ACTIVE = "active"
+    CLOSED = "closed"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+
+# Status codes (finer-grained than states, per Figure 3.2).
+HELD_STATUSES = frozenset(
+    {
+        errors.STATUS_CAPACITY_NOT_AVAILABLE,
+        errors.STATUS_CAPACITY_OVERSUBSCRIBED,
+        errors.STATUS_PRICE_TOO_LOW,
+    }
+)
+
+TERMINAL_STATUSES = frozenset(
+    {
+        errors.STATUS_BAD_PARAMETERS,
+        errors.STATUS_SYSTEM_ERROR,
+        errors.STATUS_CANCELED_BEFORE_FULFILLMENT,
+        errors.STATUS_REQUEST_CANCELED_INSTANCE_RUNNING,
+        errors.STATUS_TERMINATED_BY_PRICE,
+        errors.STATUS_TERMINATED_BY_USER,
+    }
+)
+
+
+@dataclass
+class SpotRequest:
+    """One spot instance request with its full status history."""
+
+    request_id: str
+    instance_type: str
+    availability_zone: str
+    product: str
+    bid_price: float
+    create_time: float
+    state: SpotRequestState = SpotRequestState.OPEN
+    status: str = errors.STATUS_PENDING_EVALUATION
+    status_history: list[tuple[float, str]] = field(default_factory=list)
+    instance_id: str | None = None
+    fulfill_time: float | None = None
+    close_time: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.status_history:
+            self.status_history.append((self.create_time, self.status))
+
+    def _set_status(self, status: str, now: float) -> None:
+        self.status = status
+        self.status_history.append((now, status))
+
+    # -- evaluation outcomes ----------------------------------------------
+    def hold(self, status: str, now: float) -> None:
+        """Hold the request open with one of the held statuses."""
+        if status not in HELD_STATUSES:
+            raise InvalidStateTransition(f"not a holdable status: {status}")
+        if self.state is not SpotRequestState.OPEN:
+            raise InvalidStateTransition(
+                f"{self.request_id}: cannot hold a {self.state.value} request"
+            )
+        self._set_status(status, now)
+
+    def begin_fulfillment(self, now: float) -> None:
+        """Evaluation accepted the bid; request is awaiting capacity grant."""
+        if self.state is not SpotRequestState.OPEN:
+            raise InvalidStateTransition(
+                f"{self.request_id}: cannot fulfil a {self.state.value} request"
+            )
+        self._set_status(errors.STATUS_PENDING_FULFILLMENT, now)
+
+    def fulfill(self, instance_id: str, now: float) -> None:
+        """An instance was launched for this request."""
+        if self.state is not SpotRequestState.OPEN:
+            raise InvalidStateTransition(
+                f"{self.request_id}: cannot fulfil a {self.state.value} request"
+            )
+        self.state = SpotRequestState.ACTIVE
+        self.instance_id = instance_id
+        self.fulfill_time = now
+        self._set_status(errors.STATUS_FULFILLED, now)
+
+    def fail(self, status: str, now: float) -> None:
+        """Permanently fail the request (bad parameters, system error)."""
+        if self.state not in (SpotRequestState.OPEN,):
+            raise InvalidStateTransition(
+                f"{self.request_id}: cannot fail a {self.state.value} request"
+            )
+        self.state = SpotRequestState.FAILED
+        self.close_time = now
+        self._set_status(status, now)
+
+    # -- post-fulfillment outcomes ------------------------------------------
+    def mark_for_termination(self, now: float) -> None:
+        """Two-minute revocation warning before a price-triggered kill."""
+        if self.state is not SpotRequestState.ACTIVE:
+            raise InvalidStateTransition(
+                f"{self.request_id}: cannot mark a {self.state.value} request"
+            )
+        self._set_status(errors.STATUS_MARKED_FOR_TERMINATION, now)
+
+    def terminate_by_price(self, now: float) -> None:
+        """The spot price rose above the bid; instance revoked."""
+        if self.state is not SpotRequestState.ACTIVE:
+            raise InvalidStateTransition(
+                f"{self.request_id}: cannot revoke a {self.state.value} request"
+            )
+        self.state = SpotRequestState.CLOSED
+        self.close_time = now
+        self._set_status(errors.STATUS_TERMINATED_BY_PRICE, now)
+
+    def terminate_by_user(self, now: float) -> None:
+        """The user terminated the backing instance."""
+        if self.state is not SpotRequestState.ACTIVE:
+            raise InvalidStateTransition(
+                f"{self.request_id}: cannot terminate a {self.state.value} request"
+            )
+        self.state = SpotRequestState.CLOSED
+        self.close_time = now
+        self._set_status(errors.STATUS_TERMINATED_BY_USER, now)
+
+    def cancel(self, now: float) -> None:
+        """Cancel the request (instance, if any, keeps running)."""
+        if self.state is SpotRequestState.OPEN:
+            self.state = SpotRequestState.CANCELLED
+            self.close_time = now
+            self._set_status(errors.STATUS_CANCELED_BEFORE_FULFILLMENT, now)
+        elif self.state is SpotRequestState.ACTIVE:
+            self.state = SpotRequestState.CANCELLED
+            self.close_time = now
+            self._set_status(errors.STATUS_REQUEST_CANCELED_INSTANCE_RUNNING, now)
+        else:
+            raise InvalidStateTransition(
+                f"{self.request_id}: cannot cancel a {self.state.value} request"
+            )
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return self.state is SpotRequestState.OPEN
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is SpotRequestState.ACTIVE
+
+    @property
+    def was_revoked(self) -> bool:
+        return self.status == errors.STATUS_TERMINATED_BY_PRICE
+
+    def time_to_revocation(self) -> float | None:
+        """Seconds from fulfillment to price-triggered revocation."""
+        if not self.was_revoked or self.fulfill_time is None:
+            return None
+        assert self.close_time is not None
+        return self.close_time - self.fulfill_time

@@ -1,0 +1,20 @@
+"""Synthetic spot-price trace generation and persistence.
+
+The paper's price analyses (Figures 2.1, 5.1, 5.2, 5.3) rely on
+three-month spot price histories from EC2's public feed; offline we
+generate statistically similar traces: a mean-reverting base price with
+a heavy-tailed spike process, per-market regime profiles.
+"""
+
+from repro.traces.generator import SpotPriceTraceGenerator, TraceConfig
+from repro.traces.io import load_trace_csv, save_trace_csv
+from repro.traces.profiles import TRACE_PROFILES, profile
+
+__all__ = [
+    "SpotPriceTraceGenerator",
+    "TraceConfig",
+    "TRACE_PROFILES",
+    "profile",
+    "save_trace_csv",
+    "load_trace_csv",
+]

@@ -1,0 +1,149 @@
+"""Standalone spot-price trace generator.
+
+Generates price-change event series ``[(time, price), ...]`` with the
+qualitative properties the paper documents for real EC2 markets:
+
+* a mean-reverting base level around ~0.1x the on-demand price;
+* Poisson spike arrivals with lognormal magnitude (occasionally far
+  above the on-demand price) and lognormal duration;
+* the 10x-on-demand bid cap;
+* optional cross-market correlation (for Figure 5.1's family and
+  cross-zone comparisons).
+
+The full platform simulator (:mod:`repro.ec2`) produces prices
+endogenously; this generator is for analyses that only need plausible
+price *series* (Figures 2.1, 5.1, 5.3) and for fast app simulations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.rng import RngStream
+
+
+@dataclass
+class TraceConfig:
+    """Parameters of one market's synthetic price process."""
+
+    on_demand_price: float = 0.42  # c3.2xlarge Linux us-east-1
+    base_fraction: float = 0.10  # mean price as a fraction of on-demand
+    reversion: float = 0.05  # mean-reversion strength per step
+    volatility: float = 0.08  # log-price noise per step
+    spike_rate_per_day: float = 1.2  # Poisson spike arrivals
+    spike_magnitude_mu: float = 0.9  # lognormal multiplier (x on-demand)
+    spike_magnitude_sigma: float = 0.8
+    spike_duration_mean_s: float = 2400.0
+    step_seconds: float = 300.0
+    floor_fraction: float = 0.03
+    cap_multiple: float = 10.0
+    diurnal_amplitude: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.on_demand_price <= 0:
+            raise ValueError(f"on-demand price must be positive: {self.on_demand_price}")
+        if not 0 < self.base_fraction <= 1:
+            raise ValueError(f"base fraction must be in (0, 1]: {self.base_fraction}")
+        if self.step_seconds <= 0:
+            raise ValueError(f"step must be positive: {self.step_seconds}")
+
+
+@dataclass
+class _Spike:
+    end: float
+    multiple: float  # price multiple (x on-demand) while active
+
+
+class SpotPriceTraceGenerator:
+    """Seeded generator of spot-price event series."""
+
+    def __init__(self, config: TraceConfig, seed: int = 7, name: str = "trace") -> None:
+        self.config = config
+        self.rng = RngStream(seed, name)
+        self._log_level = math.log(config.base_fraction)
+        self._spikes: list[_Spike] = []
+
+    def generate(self, duration_seconds: float, start: float = 0.0) -> list[tuple[float, float]]:
+        """Generate price-change events over ``[start, start+duration]``."""
+        cfg = self.config
+        events: list[tuple[float, float]] = []
+        last_price: float | None = None
+        now = start
+        end = start + duration_seconds
+        log_base = math.log(cfg.base_fraction)
+        spike_prob = cfg.spike_rate_per_day * cfg.step_seconds / 86400.0
+        while now <= end:
+            # Mean-reverting log-level with diurnal modulation.
+            self._log_level += cfg.reversion * (log_base - self._log_level)
+            self._log_level += self.rng.normal(0.0, cfg.volatility)
+            diurnal = 1.0 + cfg.diurnal_amplitude * math.sin(
+                2 * math.pi * now / 86400.0
+            )
+            fraction = math.exp(self._log_level) * diurnal
+
+            # Spike arrivals and expiry.
+            if self.rng.random() < spike_prob:
+                multiple = self.rng.lognormal(
+                    cfg.spike_magnitude_mu, cfg.spike_magnitude_sigma
+                )
+                duration = self.rng.lognormal(
+                    math.log(cfg.spike_duration_mean_s), 0.8
+                )
+                self._spikes.append(_Spike(now + duration, multiple))
+            self._spikes = [s for s in self._spikes if s.end > now]
+            spike_level = max((s.multiple for s in self._spikes), default=0.0)
+
+            multiple_now = max(fraction, spike_level)
+            price = cfg.on_demand_price * multiple_now
+            price = max(price, cfg.on_demand_price * cfg.floor_fraction)
+            price = min(price, cfg.on_demand_price * cfg.cap_multiple)
+            price = round(price, 4)
+            if price != last_price:
+                events.append((now, price))
+                last_price = price
+            now += cfg.step_seconds
+        return events
+
+    def generate_correlated(
+        self,
+        duration_seconds: float,
+        siblings: int,
+        correlation: float = 0.5,
+        start: float = 0.0,
+    ) -> list[list[tuple[float, float]]]:
+        """Generate ``siblings`` series sharing a fraction of spikes.
+
+        With probability ``correlation`` a spike is shared (scaled
+        per-sibling); otherwise it is private — reproducing the partial
+        cross-market correlation of Figure 5.1.
+        """
+        if not 0.0 <= correlation <= 1.0:
+            raise ValueError(f"correlation must be in [0, 1]: {correlation}")
+        if siblings < 1:
+            raise ValueError(f"need at least one sibling: {siblings}")
+        generators = [
+            SpotPriceTraceGenerator(
+                self.config, seed=self.rng.child(f"sib{i}").seed, name=f"sib{i}"
+            )
+            for i in range(siblings)
+        ]
+        base_events = self.generate(duration_seconds, start)
+        series = [g.generate(duration_seconds, start) for g in generators]
+        if correlation == 0.0:
+            return series
+        # Blend: overlay scaled copies of the base series' spikes.
+        od = self.config.on_demand_price
+        out: list[list[tuple[float, float]]] = []
+        for i, sibling_events in enumerate(series):
+            share_rng = self.rng.child(f"blend{i}")
+            blended: list[tuple[float, float]] = []
+            base_iter = dict(base_events)
+            for t, p in sibling_events:
+                base_p = base_iter.get(t, 0.0)
+                if base_p > od and share_rng.bernoulli(correlation):
+                    p = max(p, round(base_p * share_rng.uniform(0.7, 1.1), 4))
+                    p = min(p, od * self.config.cap_multiple)
+                blended.append((t, p))
+            out.append(blended)
+        return out

@@ -1,0 +1,30 @@
+"""Trace persistence: CSV in the shape of EC2's price history export."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+
+def save_trace_csv(
+    path: str | Path, events: list[tuple[float, float]], market: str = ""
+) -> int:
+    """Write (timestamp, price) events; returns the row count."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", "spot_price", "market"])
+        for when, price in events:
+            writer.writerow([f"{when:.1f}", f"{price:.4f}", market])
+    return len(events)
+
+
+def load_trace_csv(path: str | Path) -> list[tuple[float, float]]:
+    """Read events written by :func:`save_trace_csv`."""
+    events: list[tuple[float, float]] = []
+    with Path(path).open(newline="") as handle:
+        for row in csv.DictReader(handle):
+            events.append((float(row["timestamp"]), float(row["spot_price"])))
+    if any(t1 > t2 for (t1, _), (t2, _) in zip(events, events[1:])):
+        raise ValueError(f"{path}: events out of time order")
+    return events

@@ -1,0 +1,64 @@
+"""Canned trace profiles matching the markets the paper plots."""
+
+from __future__ import annotations
+
+from repro.traces.generator import TraceConfig
+
+#: Profiles keyed by a descriptive name.  Prices are the 2015 Linux
+#: on-demand prices of the corresponding instance types.
+TRACE_PROFILES: dict[str, TraceConfig] = {
+    # Figure 2.1 / 5.1: c3.2xlarge in us-east-1d — volatile, spikes to
+    # several times the on-demand price.
+    "c3.2xlarge-us-east-1d": TraceConfig(
+        on_demand_price=0.42,
+        spike_rate_per_day=1.6,
+        spike_magnitude_mu=1.1,
+        spike_magnitude_sigma=0.9,
+    ),
+    # Larger family members: calmer (the inversion source in Fig 5.1a).
+    "c3.4xlarge-us-east-1d": TraceConfig(
+        on_demand_price=0.84,
+        spike_rate_per_day=0.5,
+        spike_magnitude_mu=0.4,
+        spike_magnitude_sigma=0.6,
+    ),
+    "c3.8xlarge-us-east-1d": TraceConfig(
+        on_demand_price=1.68,
+        spike_rate_per_day=0.4,
+        spike_magnitude_mu=0.3,
+        spike_magnitude_sigma=0.6,
+    ),
+    # Figure 5.2: c3.8xlarge us-east-1e — moderately volatile.
+    "c3.8xlarge-us-east-1e": TraceConfig(
+        on_demand_price=1.68,
+        spike_rate_per_day=0.8,
+        spike_magnitude_mu=0.0,
+        spike_magnitude_sigma=0.7,
+        volatility=0.12,
+    ),
+    # A stable market (for contrast and query-API examples).
+    "m3.medium-us-west-2a": TraceConfig(
+        on_demand_price=0.067,
+        spike_rate_per_day=0.1,
+        spike_magnitude_mu=-0.5,
+        spike_magnitude_sigma=0.4,
+        volatility=0.03,
+    ),
+    # Under-provisioned market (sa-east-1 style).
+    "c3.large-sa-east-1a": TraceConfig(
+        on_demand_price=0.168,
+        spike_rate_per_day=2.5,
+        spike_magnitude_mu=1.2,
+        spike_magnitude_sigma=1.0,
+    ),
+}
+
+
+def profile(name: str) -> TraceConfig:
+    """Fetch a profile by name (KeyError lists the valid names)."""
+    try:
+        return TRACE_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace profile {name!r}; valid: {sorted(TRACE_PROFILES)}"
+        ) from None

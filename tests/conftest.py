@@ -1,0 +1,43 @@
+"""Shared fixtures.
+
+Expensive fixtures (simulator runs) are session-scoped with fixed
+seeds, so the suite stays fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EC2Simulator, FleetConfig, SpotLight, SpotLightConfig
+from repro.ec2.catalog import small_catalog
+
+
+@pytest.fixture()
+def tiny_sim() -> EC2Simulator:
+    """A one-region, one-family simulator for fast unit tests."""
+    catalog = small_catalog(regions=["us-east-1"], families=["m3"])
+    return EC2Simulator(FleetConfig(catalog=catalog, seed=3, tick_interval=300.0))
+
+
+@pytest.fixture()
+def hot_sim() -> EC2Simulator:
+    """A simulator of the under-provisioned sa-east-1 region."""
+    catalog = small_catalog(regions=["sa-east-1"], families=["c3"])
+    return EC2Simulator(FleetConfig(catalog=catalog, seed=5, tick_interval=300.0))
+
+
+@pytest.fixture(scope="session")
+def monitored_run():
+    """A 3-day SpotLight monitoring run over a mixed fleet.
+
+    Session-scoped: analysis, query, and app tests all share it.
+    Returns (simulator, spotlight).
+    """
+    catalog = small_catalog(
+        regions=["us-east-1", "sa-east-1", "ap-southeast-2"], families=["c3", "m3"]
+    )
+    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=11, tick_interval=300.0))
+    spotlight = SpotLight(sim, SpotLightConfig(spot_probe_interval=4 * 3600.0))
+    spotlight.start()
+    sim.run_for(3 * 86400.0)
+    return sim, spotlight

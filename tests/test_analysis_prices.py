@@ -1,0 +1,100 @@
+"""Tests for the price-series analyses (Figures 5.1, 5.2, 5.3)."""
+
+import pytest
+
+from repro.analysis.efficiency import cross_zone_divergence, family_inversions
+from repro.analysis.intrinsic import (
+    IntrinsicSample,
+    intrinsic_premium_summary,
+    least_price_to_hold,
+)
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.records import PriceRecord
+
+SMALL = MarketID("us-east-1d", "c3.2xlarge", "Linux/UNIX")
+LARGE = MarketID("us-east-1d", "c3.8xlarge", "Linux/UNIX")
+ZONE_A = MarketID("us-east-1a", "c3.2xlarge", "Linux/UNIX")
+
+UNITS = {"c3.2xlarge": 8, "c3.8xlarge": 32}
+
+
+def make_db(small_prices, large_prices):
+    db = ProbeDatabase()
+    for t, p in small_prices:
+        db.insert_price(PriceRecord(t, SMALL, p))
+    for t, p in large_prices:
+        db.insert_price(PriceRecord(t, LARGE, p))
+    return db
+
+
+class TestFamilyInversions:
+    def test_detects_per_unit_inversion(self):
+        # Small at $2 (0.25/unit), large at $4 (0.125/unit): inverted.
+        db = make_db([(0.0, 2.0)], [(0.0, 4.0)])
+        inversions = family_inversions(db, [SMALL, LARGE], UNITS, 900.0)
+        assert inversions
+        assert inversions[0].small_type == "c3.2xlarge"
+        assert inversions[0].unit_ratio == pytest.approx(0.5)
+
+    def test_no_inversion_when_prices_proportional(self):
+        db = make_db([(0.0, 1.0)], [(0.0, 4.0)])  # equal per-unit price
+        assert family_inversions(db, [SMALL, LARGE], UNITS, 900.0) == []
+
+    def test_empty_series(self):
+        db = ProbeDatabase()
+        assert family_inversions(db, [SMALL, LARGE], UNITS) == []
+
+
+class TestCrossZoneDivergence:
+    def test_ratio_computed_per_sample(self):
+        db = ProbeDatabase()
+        db.insert_price(PriceRecord(0.0, SMALL, 0.5))
+        db.insert_price(PriceRecord(0.0, ZONE_A, 0.1))
+        series = cross_zone_divergence(db, [SMALL, ZONE_A], 900.0)
+        assert series[0][1] == pytest.approx(5.0)
+
+    def test_single_market_yields_nothing(self):
+        db = ProbeDatabase()
+        db.insert_price(PriceRecord(0.0, SMALL, 0.5))
+        assert cross_zone_divergence(db, [SMALL], 900.0) == []
+
+
+class TestLeastPriceToHold:
+    EVENTS = [(0.0, 0.1), (3600.0, 0.5), (7200.0, 0.1), (36000.0, 0.1)]
+
+    def test_hold_price_is_future_running_max(self):
+        series = least_price_to_hold(self.EVENTS, horizon_hours=2.0, step=3600.0)
+        by_time = dict(series)
+        assert by_time[0.0] == pytest.approx(0.5)  # spike inside horizon
+        assert by_time[7200.0] == pytest.approx(0.1)  # spike has passed
+
+    def test_longer_horizons_cost_at_least_as_much(self):
+        short = dict(least_price_to_hold(self.EVENTS, 1.0, step=3600.0))
+        long = dict(least_price_to_hold(self.EVENTS, 6.0, step=3600.0))
+        for t in short:
+            assert long[t] >= short[t] - 1e-12
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            least_price_to_hold(self.EVENTS, 0.0)
+
+    def test_empty_events(self):
+        assert least_price_to_hold([], 1.0) == []
+
+
+class TestIntrinsicSummary:
+    def test_summary_statistics(self):
+        samples = [
+            IntrinsicSample(0.0, 1.0, 1.0, 1),
+            IntrinsicSample(1.0, 1.0, 1.2, 3),
+            IntrinsicSample(2.0, 1.0, 1.5, 6),
+        ]
+        summary = intrinsic_premium_summary(samples)
+        assert summary["count"] == 3
+        assert summary["fraction_above_published"] == pytest.approx(2 / 3)
+        assert summary["max_premium"] == pytest.approx(0.5)
+        assert summary["max_requests"] == 6
+
+    def test_empty_samples(self):
+        assert intrinsic_premium_summary([])["count"] == 0

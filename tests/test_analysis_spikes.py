@@ -1,0 +1,66 @@
+"""Unit tests for spike extraction and clustering."""
+
+import pytest
+
+from repro.analysis.spikes import (
+    SpikeEvent,
+    bucket_label,
+    cluster_spikes,
+    extract_spike_events,
+    interval_label,
+)
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.records import PriceRecord
+
+M1 = MarketID("us-east-1a", "m3.large", "Linux/UNIX")
+M2 = MarketID("us-east-1b", "m3.large", "Linux/UNIX")
+
+
+def test_bucket_labels_match_paper():
+    assert bucket_label(0.0) == ">0"
+    assert bucket_label(1.0) == ">1X"
+    assert bucket_label(10.0) == ">10X"
+
+
+def test_interval_labels():
+    assert interval_label((0.0, 1.0)) == "<1X"
+    assert interval_label((2.0, 3.0)) == "2X-3X"
+    assert interval_label((10.0, float("inf"))) == ">10X"
+
+
+def test_extract_filters_by_threshold():
+    db = ProbeDatabase()
+    od = 1.0
+    for t, price in [(0.0, 0.1), (100.0, 1.5), (200.0, 0.2), (300.0, 3.0)]:
+        db.insert_price(PriceRecord(t, M1, price))
+    events = extract_spike_events(db, lambda m: od, threshold_multiple=1.0)
+    assert [(e.time, e.multiple) for e in events] == [(100.0, 1.5), (300.0, 3.0)]
+
+
+def test_extract_market_subset():
+    db = ProbeDatabase()
+    db.insert_price(PriceRecord(0.0, M1, 2.0))
+    db.insert_price(PriceRecord(0.0, M2, 2.0))
+    events = extract_spike_events(db, lambda m: 1.0, markets=[M1])
+    assert {e.market for e in events} == {M1}
+
+
+def test_cluster_keeps_first_per_window():
+    events = [
+        SpikeEvent(0.0, M1, 2.0),
+        SpikeEvent(100.0, M1, 3.0),  # within 900 s of the first: dropped
+        SpikeEvent(1000.0, M1, 2.5),  # new window: kept
+    ]
+    kept = cluster_spikes(events, window=900.0)
+    assert [e.time for e in kept] == [0.0, 1000.0]
+
+
+def test_cluster_windows_are_per_market():
+    events = [SpikeEvent(0.0, M1, 2.0), SpikeEvent(10.0, M2, 2.0)]
+    assert len(cluster_spikes(events, window=900.0)) == 2
+
+
+def test_cluster_rejects_bad_window():
+    with pytest.raises(ValueError):
+        cluster_spikes([], window=0.0)

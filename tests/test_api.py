@@ -1,0 +1,112 @@
+"""Tests for the boto3-like client facade."""
+
+import pytest
+
+from repro.ec2.api import EC2Client
+from repro.ec2.catalog import small_catalog
+from repro.ec2.platform import EC2Simulator, FleetConfig
+
+
+@pytest.fixture()
+def client():
+    catalog = small_catalog(regions=["us-east-1"], families=["m3"])
+    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=3, tick_interval=300.0))
+    sim.run_for(600.0)
+    return EC2Client(sim, "us-east-1"), sim
+
+
+PLACEMENT = {"AvailabilityZone": "us-east-1a"}
+
+
+def test_unknown_region_rejected():
+    catalog = small_catalog(regions=["us-east-1"], families=["m3"])
+    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=3))
+    with pytest.raises(KeyError):
+        EC2Client(sim, "mars-north-1")
+
+
+def test_run_instances_response_shape(client):
+    ec2, sim = client
+    response = ec2.run_instances(
+        InstanceType="m3.large",
+        Placement=PLACEMENT,
+        ProductDescription="Linux/UNIX",
+    )
+    inst = response["Instances"][0]
+    assert inst["InstanceId"].startswith("i-")
+    assert inst["State"]["Name"] == "pending"
+    assert inst["Placement"]["AvailabilityZone"] == "us-east-1a"
+
+
+def test_zone_outside_region_rejected(client):
+    ec2, sim = client
+    with pytest.raises((ValueError, KeyError)):
+        ec2.run_instances(
+            InstanceType="m3.large",
+            Placement={"AvailabilityZone": "us-west-1a"},
+            ProductDescription="Linux/UNIX",
+        )
+
+
+def test_terminate_and_describe(client):
+    ec2, sim = client
+    iid = ec2.run_instances(
+        InstanceType="m3.large", Placement=PLACEMENT,
+        ProductDescription="Linux/UNIX",
+    )["Instances"][0]["InstanceId"]
+    response = ec2.terminate_instances(InstanceIds=[iid])
+    assert response["TerminatingInstances"][0]["CurrentState"]["Name"] == (
+        "shutting-down"
+    )
+    described = ec2.describe_instances(InstanceIds=[iid])
+    assert described["Reservations"][0]["Instances"][0]["InstanceId"] == iid
+
+
+def test_spot_request_lifecycle_via_client(client):
+    ec2, sim = client
+    response = ec2.request_spot_instances(
+        SpotPrice="1.0",  # well above spot, below the 10x cap ($1.33)
+        InstanceType="m3.large",
+        Placement=PLACEMENT,
+        ProductDescription="Linux/UNIX",
+    )
+    entry = response["SpotInstanceRequests"][0]
+    rid = entry["SpotInstanceRequestId"]
+    assert rid.startswith("sir-")
+    assert entry["State"] == "active"  # high bid fulfils immediately
+    described = ec2.describe_spot_instance_requests([rid])
+    assert "InstanceId" in described["SpotInstanceRequests"][0]
+    ec2.terminate_spot_instance(rid)
+    described = ec2.describe_spot_instance_requests([rid])
+    assert described["SpotInstanceRequests"][0]["Status"]["Code"] == (
+        "instance-terminated-by-user"
+    )
+
+
+def test_cancel_spot_request_via_client(client):
+    ec2, sim = client
+    rid = ec2.request_spot_instances(
+        SpotPrice="0.0001",
+        InstanceType="m3.large",
+        Placement=PLACEMENT,
+        ProductDescription="Linux/UNIX",
+    )["SpotInstanceRequests"][0]["SpotInstanceRequestId"]
+    response = ec2.cancel_spot_instance_requests([rid])
+    assert response["CancelledSpotInstanceRequests"][0]["State"] == "cancelled"
+
+
+def test_describe_spot_price_history_shape(client):
+    ec2, sim = client
+    sim.run_for(3600.0)
+    response = ec2.describe_spot_price_history(
+        InstanceTypes=["m3.large"],
+        AvailabilityZone="us-east-1a",
+        ProductDescriptions=["Linux/UNIX"],
+    )
+    history = response["SpotPriceHistory"]
+    assert history
+    entry = history[0]
+    assert entry["InstanceType"] == "m3.large"
+    assert float(entry["SpotPrice"]) > 0
+    times = [e["Timestamp"] for e in history]
+    assert times == sorted(times)

@@ -1,0 +1,212 @@
+"""Tests for the SpotCheck and SpotOn case-study simulations."""
+
+import pytest
+
+from repro.apps.spotcheck import SpotCheckConfig, SpotCheckSimulator
+from repro.apps.spoton import JobConfig, SpotOnSimulator
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.query import SpotLightQuery
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+)
+from repro.ec2.catalog import default_catalog
+
+VOLATILE = MarketID("us-east-1a", "m3.large", "Linux/UNIX")  # od = 0.133
+SAFE = MarketID("us-west-2a", "m3.large", "Linux/UNIX")
+
+REJ = "InsufficientInstanceCapacity"
+HOUR = 3600.0
+DAY = 86400.0
+
+
+@pytest.fixture()
+def query():
+    """Hand-built scenario: VOLATILE spikes above on-demand at hour 10
+    and hour 30; its on-demand pool is out exactly during the first
+    spike (the paper's correlation).  SAFE never spikes and is always
+    available."""
+    db = ProbeDatabase()
+    od = 0.133
+    # Price series for VOLATILE: calm, spike at 10 h (1 h long), calm,
+    # spike at 30 h, calm until 48 h.
+    points = [
+        (0.0, 0.02), (10 * HOUR, od * 3), (11 * HOUR, 0.02),
+        (30 * HOUR, od * 2), (31 * HOUR, 0.02), (48 * HOUR, 0.02),
+    ]
+    for t, p in points:
+        db.insert_price(PriceRecord(t, VOLATILE, p))
+    for t in (0.0, 48 * HOUR):
+        db.insert_price(PriceRecord(t, SAFE, 0.01))
+    # On-demand probes: VOLATILE rejected during [10 h, 12 h).
+    for t, outcome in [
+        (0.0, OUTCOME_FULFILLED),
+        (10 * HOUR, REJ),
+        (12 * HOUR, OUTCOME_FULFILLED),
+    ]:
+        db.insert_probe(
+            ProbeRecord(
+                time=t, market=VOLATILE, kind=ProbeKind.ON_DEMAND,
+                trigger=ProbeTrigger.RECOVERY, outcome=outcome,
+            )
+        )
+    return SpotLightQuery(db, default_catalog())
+
+
+class TestSpotCheck:
+    def test_revocations_found_at_price_crossings(self, query):
+        simulator = SpotCheckSimulator(query)
+        config = SpotCheckConfig(market=VOLATILE)
+        times = simulator.revocation_times(config, 0.0, 48 * HOUR)
+        assert times == [10 * HOUR, 30 * HOUR]
+
+    def test_naive_policy_pays_for_unavailable_fallback(self, query):
+        simulator = SpotCheckSimulator(query)
+        result = simulator.run_naive(
+            SpotCheckConfig(market=VOLATILE), 0.0, 48 * HOUR
+        )
+        assert result.revocations == 2
+        assert result.failed_failovers == 1
+        # Two hours of waiting for the on-demand pool to recover.
+        assert result.downtime == pytest.approx(2 * HOUR + 2 * 1.0)
+        assert result.availability < 0.96
+
+    def test_spotlight_policy_restores_availability(self, query):
+        simulator = SpotCheckSimulator(query)
+        result = simulator.run_with_spotlight(
+            SpotCheckConfig(market=VOLATILE), 0.0, 48 * HOUR, candidates=[SAFE]
+        )
+        assert result.failed_failovers == 0
+        assert result.availability > 0.9999
+
+    def test_spotlight_needs_candidates(self, query):
+        simulator = SpotCheckSimulator(query)
+        with pytest.raises(ValueError):
+            simulator.run_with_spotlight(
+                SpotCheckConfig(market=VOLATILE), 0.0, 48 * HOUR, candidates=[]
+            )
+
+    def test_availability_never_negative(self, query):
+        simulator = SpotCheckSimulator(query)
+        result = simulator.run_naive(
+            SpotCheckConfig(market=VOLATILE), 0.0, 1.0
+        )
+        assert 0.0 <= result.availability <= 1.0
+
+
+class TestSpotOn:
+    def test_uninterrupted_job_takes_work_plus_checkpoint_overhead(self, query):
+        simulator = SpotOnSimulator(query)
+        job = JobConfig()
+        outcome = simulator.simulate_job(VOLATILE, job, start=15 * HOUR)
+        assert not outcome.revoked
+        expected = job.running_time * (1 + job.checkpoint_time / job.checkpoint_interval)
+        assert outcome.completion_time == pytest.approx(expected)
+
+    def test_revoked_job_waits_for_on_demand(self, query):
+        simulator = SpotOnSimulator(query)
+        job = JobConfig()
+        outcome = simulator.simulate_job(VOLATILE, job, start=9.5 * HOUR)
+        assert outcome.revoked
+        assert outcome.waited_for_on_demand > 0
+        expected_wait = 2 * HOUR  # outage ends at 12 h, revocation at 10 h
+        assert outcome.waited_for_on_demand == pytest.approx(expected_wait)
+
+    def test_baseline_assumption_ignores_wait(self, query):
+        simulator = SpotOnSimulator(query)
+        job = JobConfig()
+        optimistic = simulator.simulate_job(
+            VOLATILE, job, start=9.5 * HOUR, assume_on_demand_available=True
+        )
+        realistic = simulator.simulate_job(VOLATILE, job, start=9.5 * HOUR)
+        assert optimistic.completion_time < realistic.completion_time
+
+    def test_spotlight_fallback_avoids_wait(self, query):
+        simulator = SpotOnSimulator(query)
+        job = JobConfig()
+        fallback = simulator.choose_fallback_with_spotlight(VOLATILE, [SAFE])
+        assert fallback == SAFE
+        outcome = simulator.simulate_job(
+            VOLATILE, job, start=9.5 * HOUR, fallback=fallback
+        )
+        assert outcome.waited_for_on_demand == 0.0
+
+    def test_expected_cost_prefers_stable_market(self, query):
+        simulator = SpotOnSimulator(query)
+        job = JobConfig()
+        chosen = simulator.choose_market([VOLATILE, SAFE], job, 0.0, 48 * HOUR)
+        assert chosen == SAFE
+
+    def test_average_running_time_with_vs_without_unavailability(self, query):
+        simulator = SpotOnSimulator(query, seed=1)
+        job = JobConfig()
+        horizon = (0.0, 40 * HOUR)
+        with_wait = simulator.average_running_time(
+            VOLATILE, job, trials=200, horizon=horizon
+        )
+        simulator2 = SpotOnSimulator(query, seed=1)
+        without_wait = simulator2.average_running_time(
+            VOLATILE, job, trials=200, horizon=horizon,
+            assume_on_demand_available=True,
+        )
+        assert with_wait >= without_wait
+
+    def test_job_config_validation(self):
+        with pytest.raises(ValueError):
+            JobConfig(running_time=0.0)
+        with pytest.raises(ValueError):
+            JobConfig(checkpoint_interval=0.0)
+
+    def test_choose_market_requires_candidates(self, query):
+        with pytest.raises(ValueError):
+            SpotOnSimulator(query).choose_market([], JobConfig())
+
+
+class TestSpotOnReplication:
+    def test_surviving_replica_finishes_at_full_speed(self, query):
+        simulator = SpotOnSimulator(query)
+        job = JobConfig()
+        # VOLATILE is revoked at 10 h, SAFE never: the SAFE replica wins.
+        outcome = simulator.simulate_replicated_job(
+            [VOLATILE, SAFE], job, start=9.5 * HOUR
+        )
+        assert not outcome.revoked
+        # Replication carries no checkpoint overhead.
+        assert outcome.completion_time == pytest.approx(job.running_time)
+
+    def test_all_replicas_revoked_restarts_from_scratch(self, query):
+        simulator = SpotOnSimulator(query)
+        job = JobConfig()
+        outcome = simulator.simulate_replicated_job(
+            [VOLATILE], job, start=9.5 * HOUR
+        )
+        assert outcome.revoked
+        # Lost 30 min of work, waited out the 2 h outage, redid the hour.
+        assert outcome.waited_for_on_demand == pytest.approx(2 * HOUR)
+        assert outcome.completion_time > job.running_time
+
+    def test_empty_replica_set_rejected(self, query):
+        with pytest.raises(ValueError):
+            SpotOnSimulator(query).simulate_replicated_job([], JobConfig(), 0.0)
+
+    def test_mechanism_choice_prefers_replication_on_stable_cheap_market(self, query):
+        from repro.apps.spoton import FaultTolerance
+
+        simulator = SpotOnSimulator(query)
+        # SAFE never revokes and is very cheap: two replicas cost less
+        # than checkpointing overhead.
+        choice = simulator.choose_mechanism(SAFE, JobConfig(), replicas=2)
+        assert choice in (FaultTolerance.REPLICATION, FaultTolerance.CHECKPOINT)
+
+    def test_mechanism_choice_defaults_to_checkpoint_without_data(self, query):
+        from repro.apps.spoton import FaultTolerance
+
+        simulator = SpotOnSimulator(query)
+        unknown = MarketID("us-east-1c", "m3.large", "Linux/UNIX")
+        assert simulator.choose_mechanism(unknown, JobConfig()) is (
+            FaultTolerance.CHECKPOINT
+        )

@@ -1,0 +1,92 @@
+"""Unit tests for the budget controller (Section 3.4)."""
+
+import pytest
+
+from repro.core.budget import BudgetController
+
+
+def test_spend_within_window():
+    budget = BudgetController(budget=10.0, window=100.0)
+    assert budget.can_spend(0.0, 5.0)
+    budget.charge(0.0, 5.0)
+    assert budget.can_spend(1.0, 5.0)
+    budget.charge(1.0, 5.0)
+    assert not budget.can_spend(2.0, 0.1)
+
+
+def test_budget_resets_each_window():
+    budget = BudgetController(budget=10.0, window=100.0)
+    budget.charge(0.0, 10.0)
+    assert not budget.can_spend(50.0, 1.0)
+    assert budget.can_spend(150.0, 10.0)  # next window
+
+
+def test_suppressed_probes_counted():
+    budget = BudgetController(budget=1.0, window=100.0)
+    budget.charge(0.0, 1.0)
+    budget.can_spend(1.0, 1.0)
+    assert budget.windows[-1].probes_suppressed == 1
+
+
+def test_total_spent_spans_windows():
+    budget = BudgetController(budget=10.0, window=100.0)
+    budget.charge(0.0, 4.0)
+    budget.charge(150.0, 6.0)
+    assert budget.total_spent() == 10.0
+
+
+def test_negative_charge_rejected():
+    budget = BudgetController(budget=10.0, window=100.0)
+    with pytest.raises(ValueError):
+        budget.charge(0.0, -1.0)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        BudgetController(budget=0.0, window=100.0)
+    with pytest.raises(ValueError):
+        BudgetController(budget=1.0, window=0.0)
+
+
+class TestThresholdDerivation:
+    # A month of spikes: many small, few large.
+    SPIKES = [0.6] * 100 + [1.5] * 40 + [3.0] * 10 + [8.0] * 2
+
+    def test_big_budget_allows_low_threshold(self):
+        t = BudgetController.derive_threshold(self.SPIKES, probe_cost=1.0, budget=500.0)
+        assert t == 0.5
+
+    def test_small_budget_forces_high_threshold(self):
+        # 12 spikes at >=2x fit a budget of 12 probes; the 52 at >=1.5x don't.
+        t = BudgetController.derive_threshold(self.SPIKES, probe_cost=1.0, budget=12.0)
+        assert t == 2.0
+
+    def test_tiny_budget_returns_max_candidate(self):
+        t = BudgetController.derive_threshold(self.SPIKES, probe_cost=10.0, budget=1.0)
+        assert t == 10.0
+
+    def test_derive_sampling_probability(self):
+        # 52 spikes >= 1.0; budget for 26 probes -> p = 0.5.
+        p = BudgetController.derive_sampling_probability(
+            self.SPIKES, threshold=1.0, probe_cost=1.0, budget=26.0
+        )
+        assert p == pytest.approx(0.5)
+
+    def test_sampling_probability_caps_at_one(self):
+        p = BudgetController.derive_sampling_probability(
+            self.SPIKES, threshold=9.0, probe_cost=1.0, budget=1000.0
+        )
+        assert p == 1.0
+
+    def test_spot_probe_interval_divides_budget_by_price(self):
+        # $24 budget, $1/hr average price, 1-day window -> 1 probe/hour.
+        interval = BudgetController.spot_probe_interval(
+            average_spot_price=1.0, budget=24.0, window=86400.0
+        )
+        assert interval == pytest.approx(3600.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetController.derive_threshold([], probe_cost=0.0, budget=1.0)
+        with pytest.raises(ValueError):
+            BudgetController.spot_probe_interval(0.0, 1.0, 1.0)

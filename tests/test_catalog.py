@@ -1,0 +1,99 @@
+"""Unit tests for the platform catalog."""
+
+import pytest
+
+from repro.ec2.catalog import (
+    PRODUCT_LINUX,
+    PRODUCT_WINDOWS,
+    default_catalog,
+    small_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog()
+
+
+def test_nine_regions(catalog):
+    assert len(catalog.regions) == 9
+
+
+def test_twenty_six_availability_zones(catalog):
+    zones = sum(len(r.availability_zones) for r in catalog.regions.values())
+    assert zones == 26
+
+
+def test_market_count_is_paper_scale(catalog):
+    # The paper monitored ~4500 markets; the catalog is the same order.
+    assert 3500 <= catalog.market_count() <= 5500
+
+
+def test_region_of_zone_roundtrip(catalog):
+    assert catalog.region_of_zone("us-east-1d") == "us-east-1"
+    assert catalog.region_of_zone("sa-east-1b") == "sa-east-1"
+
+
+def test_unknown_zone_rejected(catalog):
+    with pytest.raises(KeyError):
+        catalog.region_of_zone("mars-central-1a")
+    with pytest.raises(KeyError):
+        catalog.region_of_zone("us-east-1z")  # region exists, zone doesn't
+
+
+def test_family_sizes_double(catalog):
+    """Within a family, consecutive sizes differ by a factor of two
+    (the bin-packing observation from Section 3.2.1)."""
+    m3 = catalog.types_in_family("m3")
+    units = [t.units for t in m3]
+    assert units == sorted(units)
+    for small, large in zip(units, units[1:]):
+        assert large == 2 * small
+
+
+def test_windows_costs_more_than_linux(catalog):
+    linux = catalog.on_demand_price("c3.2xlarge", "us-east-1", PRODUCT_LINUX)
+    windows = catalog.on_demand_price("c3.2xlarge", "us-east-1", PRODUCT_WINDOWS)
+    assert windows > linux
+
+
+def test_sa_east_priced_above_us_east(catalog):
+    cheap = catalog.on_demand_price("c3.large", "us-east-1")
+    dear = catalog.on_demand_price("c3.large", "sa-east-1")
+    assert dear > cheap
+
+
+def test_max_bid_is_ten_x(catalog):
+    od = catalog.on_demand_price("m3.large", "us-east-1")
+    assert catalog.max_bid("m3.large", "us-east-1") == pytest.approx(10 * od)
+
+
+def test_unknown_product_rejected(catalog):
+    with pytest.raises(KeyError):
+        catalog.on_demand_price("m3.large", "us-east-1", "BeOS")
+
+
+def test_iter_markets_covers_all(catalog):
+    count = sum(1 for _ in catalog.iter_markets())
+    assert count == catalog.market_count()
+
+
+def test_small_catalog_subsets():
+    cat = small_catalog(regions=["us-east-1"], families=["c3"])
+    assert set(cat.regions) == {"us-east-1"}
+    assert cat.families() == ["c3"]
+
+
+def test_small_catalog_unknown_region_rejected():
+    with pytest.raises(KeyError):
+        small_catalog(regions=["atlantis-1"])
+
+
+def test_small_catalog_unknown_family_rejected():
+    with pytest.raises(KeyError):
+        small_catalog(families=["z9"])
+
+
+def test_c3_2xlarge_price_matches_2015_sheet(catalog):
+    # Figure 2.1's horizontal line: c3.2xlarge on-demand = $0.42/hour.
+    assert catalog.on_demand_price("c3.2xlarge", "us-east-1") == pytest.approx(0.42)

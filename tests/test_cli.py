@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_trace_command_writes_csv(tmp_path, capsys):
+    out = tmp_path / "trace.csv"
+    code = main([
+        "trace", "--profile", "m3.medium-us-west-2a", "--days", "2",
+        "--seed", "3", "-o", str(out),
+    ])
+    assert code == 0
+    assert out.exists()
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_trace_unknown_profile_raises():
+    with pytest.raises(KeyError):
+        main(["trace", "--profile", "nope", "--days", "1"])
+
+
+def test_study_command_runs_and_exports(tmp_path, capsys):
+    out = tmp_path / "probes.csv"
+    report = tmp_path / "report.md"
+    code = main([
+        "study", "--days", "0.5", "--seed", "3",
+        "--regions", "sa-east-1", "--families", "c3",
+        "--export", str(out), "--report", str(report),
+    ])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "probes issued" in captured
+    assert out.exists()
+    assert "# SpotLight availability study" in report.read_text()
+
+
+def test_figures_command_prints_series(capsys):
+    code = main([
+        "figures", "--days", "0.5", "--seed", "3",
+        "--regions", "sa-east-1", "--families", "c3",
+    ])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "[Fig 5.4]" in captured
+    assert "[Fig 5.9]" in captured
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_threshold_and_sampling_flags_accepted():
+    args = build_parser().parse_args(
+        ["study", "--threshold", "2.0", "--sampling", "0.5"]
+    )
+    assert args.threshold == 2.0
+    assert args.sampling == 0.5

@@ -1,0 +1,54 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.common.clock import SECONDS_PER_HOUR, SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert SimClock(100.0).now == 100.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_to_moves_forward():
+    clock = SimClock()
+    clock.advance_to(50.0)
+    assert clock.now == 50.0
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = SimClock(10.0)
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_advance_to_backward_rejected():
+    clock = SimClock(10.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(5.0)
+
+
+def test_advance_by_accumulates():
+    clock = SimClock()
+    clock.advance_by(10.0)
+    clock.advance_by(5.0)
+    assert clock.now == 15.0
+
+
+def test_advance_by_negative_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance_by(-0.1)
+
+
+def test_hours_conversion():
+    clock = SimClock(2 * SECONDS_PER_HOUR)
+    assert clock.hours() == 2.0

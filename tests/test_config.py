@@ -1,0 +1,42 @@
+"""Unit tests for SpotLightConfig validation."""
+
+import pytest
+
+from repro.core.config import SpotLightConfig
+
+
+def test_paper_defaults():
+    cfg = SpotLightConfig()
+    # The prototype set T to the on-demand price and sampled everything.
+    assert cfg.threshold_multiple == 1.0
+    assert cfg.sampling_probability == 1.0
+    assert cfg.probe_related_family
+    assert cfg.probe_related_zones
+
+
+def test_negative_threshold_rejected():
+    with pytest.raises(ValueError):
+        SpotLightConfig(threshold_multiple=-1.0)
+
+
+def test_sampling_probability_bounds():
+    with pytest.raises(ValueError):
+        SpotLightConfig(sampling_probability=1.5)
+    with pytest.raises(ValueError):
+        SpotLightConfig(sampling_probability=-0.1)
+    SpotLightConfig(sampling_probability=0.0)  # valid edge
+
+
+def test_reprobe_interval_positive():
+    with pytest.raises(ValueError):
+        SpotLightConfig(reprobe_interval=0.0)
+
+
+def test_bid_spread_needs_two_requests():
+    with pytest.raises(ValueError):
+        SpotLightConfig(bid_spread_max_requests=1)
+
+
+def test_budget_positive():
+    with pytest.raises(ValueError):
+        SpotLightConfig(budget=0.0)

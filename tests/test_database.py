@@ -1,0 +1,141 @@
+"""Unit tests for the probe database."""
+
+import pytest
+
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+)
+
+M1 = MarketID("us-east-1a", "m3.large", "Linux/UNIX")
+M2 = MarketID("sa-east-1a", "c3.large", "Linux/UNIX")
+
+
+def probe(t, market=M1, outcome=OUTCOME_FULFILLED, kind=ProbeKind.ON_DEMAND):
+    return ProbeRecord(
+        time=t,
+        market=market,
+        kind=kind,
+        trigger=ProbeTrigger.PRICE_SPIKE,
+        outcome=outcome,
+    )
+
+
+REJ = "InsufficientInstanceCapacity"
+
+
+@pytest.fixture()
+def db():
+    return ProbeDatabase()
+
+
+def test_insert_and_filter(db):
+    db.insert_probe(probe(1.0))
+    db.insert_probe(probe(2.0, outcome=REJ))
+    db.insert_probe(probe(3.0, market=M2))
+    assert len(db) == 3
+    assert len(db.probes(market=M1)) == 2
+    assert len(db.probes(rejected=True)) == 1
+    assert len(db.probes(start=2.5)) == 1
+    assert len(db.probes(end=1.5)) == 1
+
+
+def test_out_of_order_probe_rejected(db):
+    db.insert_probe(probe(5.0))
+    with pytest.raises(ValueError):
+        db.insert_probe(probe(4.0))
+
+
+def test_out_of_order_allowed_across_markets(db):
+    db.insert_probe(probe(5.0, market=M1))
+    db.insert_probe(probe(4.0, market=M2))  # different market: fine
+
+
+def test_prices_range_query(db):
+    for t in [0.0, 100.0, 200.0, 300.0]:
+        db.insert_price(PriceRecord(t, M1, 0.1 + t / 1000))
+    records = db.prices(M1, start=100.0, end=200.0)
+    assert [r.time for r in records] == [100.0, 200.0]
+
+
+def test_price_at_is_step_function(db):
+    db.insert_price(PriceRecord(100.0, M1, 0.5))
+    db.insert_price(PriceRecord(200.0, M1, 0.9))
+    assert db.price_at(M1, 50.0) is None
+    assert db.price_at(M1, 150.0) == 0.5
+    assert db.price_at(M1, 200.0) == 0.9
+
+
+def test_unavailability_periods_basic(db):
+    db.insert_probe(probe(0.0))
+    db.insert_probe(probe(100.0, outcome=REJ))
+    db.insert_probe(probe(200.0, outcome=REJ))
+    db.insert_probe(probe(300.0))
+    periods = db.unavailability_periods(M1)
+    assert len(periods) == 1
+    period = periods[0]
+    assert period.start == 100.0
+    assert period.end == 300.0
+    assert period.probe_count == 2
+    assert period.end_observed
+
+
+def test_open_period_capped_by_horizon(db):
+    db.insert_probe(probe(100.0, outcome=REJ))
+    periods = db.unavailability_periods(M1, horizon=500.0)
+    assert len(periods) == 1
+    assert periods[0].end == 500.0
+    assert not periods[0].end_observed
+
+
+def test_periods_separate_kinds(db):
+    db.insert_probe(probe(0.0, outcome=REJ, kind=ProbeKind.ON_DEMAND))
+    db.insert_probe(probe(1.0, outcome="capacity-not-available", kind=ProbeKind.SPOT))
+    assert len(db.unavailability_periods(M1, kind=ProbeKind.ON_DEMAND)) == 1
+    assert len(db.unavailability_periods(M1, kind=ProbeKind.SPOT)) == 1
+
+
+def test_rejection_rate(db):
+    db.insert_probe(probe(0.0))
+    db.insert_probe(probe(1.0, outcome=REJ))
+    assert db.rejection_rate() == 0.5
+    assert db.rejection_rate(market=M2) == 0.0
+
+
+def test_csv_roundtrip(db, tmp_path):
+    db.insert_probe(probe(0.0))
+    db.insert_probe(probe(1.0, outcome=REJ))
+    db.insert_probe(probe(2.0, market=M2, kind=ProbeKind.SPOT))
+    path = tmp_path / "probes.csv"
+    assert db.export_probes_csv(path) == 3
+    restored = ProbeDatabase.import_probes_csv(path)
+    assert len(restored) == 3
+    assert restored.probes(rejected=True)[0].outcome == REJ
+
+
+def test_prices_json_export(db, tmp_path):
+    db.insert_price(PriceRecord(1.0, M1, 0.1))
+    db.insert_price(PriceRecord(2.0, M1, 0.2))
+    count = db.export_prices_json(tmp_path / "prices.json")
+    assert count == 2
+
+
+def test_total_probe_cost(db):
+    db.insert_probe(
+        ProbeRecord(
+            time=0.0, market=M1, kind=ProbeKind.ON_DEMAND,
+            trigger=ProbeTrigger.PRICE_SPIKE, outcome=OUTCOME_FULFILLED, cost=0.5,
+        )
+    )
+    assert db.total_probe_cost() == 0.5
+
+
+def test_markets_lists_everything(db):
+    db.insert_probe(probe(0.0, market=M1))
+    db.insert_price(PriceRecord(0.0, M2, 0.1))
+    assert db.markets == sorted([M1, M2])

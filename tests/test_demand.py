@@ -1,0 +1,140 @@
+"""Tests for the demand model internals."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.events import EventQueue
+from repro.common.rng import RngStream
+from repro.ec2.catalog import small_catalog
+from repro.ec2.demand import (
+    REGION_REGIMES,
+    PoolDemandProcess,
+    Surge,
+    regime_for,
+)
+from repro.ec2.market import SpotMarket
+from repro.ec2.pool import CapacityPool
+
+
+def make_process(region="sa-east-1", total=2000):
+    catalog = small_catalog(regions=[region], families=["c3"])
+    clock = SimClock()
+    queue = EventQueue(clock)
+    pool = CapacityPool("az", "c3", total_units=total)
+    markets = []
+    for itype in catalog.types_in_family("c3"):
+        markets.append(
+            SpotMarket(
+                "az", itype.name, "Linux/UNIX",
+                on_demand_price=itype.base_price, units=itype.units,
+            )
+        )
+    process = PoolDemandProcess(
+        pool, regime_for(region), markets, RngStream(5, "t"), queue
+    )
+    return process, pool, queue
+
+
+class TestSurge:
+    def test_envelope(self):
+        surge = Surge(start=0.0, ramp=100.0, hold=200.0, decay=100.0, magnitude=0.5)
+        assert surge.level_at(-1.0) == 0.0
+        assert surge.level_at(50.0) == pytest.approx(0.25)  # mid-ramp
+        assert surge.level_at(200.0) == pytest.approx(0.5)  # hold
+        assert surge.level_at(350.0) == pytest.approx(0.25)  # mid-decay
+        assert surge.level_at(401.0) == 0.0
+        assert surge.end == 400.0
+
+
+class TestRegimes:
+    def test_all_nine_regions_have_regimes(self):
+        assert len(REGION_REGIMES) == 9
+
+    def test_provisioning_ordering(self):
+        """The paper's ordering: us-east-1 well provisioned, sa-east-1
+        and the ap-southeast regions under-provisioned."""
+        util = {name: r.od_base_utilization for name, r in REGION_REGIMES.items()}
+        assert util["us-east-1"] < util["ap-southeast-1"]
+        assert util["us-east-1"] < util["ap-southeast-2"]
+        assert max(util, key=util.get) == "sa-east-1"
+
+    def test_unknown_region_gets_default(self):
+        regime = regime_for("xx-moon-1")
+        assert regime.name == "xx-moon-1"
+
+
+class TestPoolDemandProcess:
+    def test_type_states_cover_family(self):
+        process, pool, _ = make_process()
+        assert set(process.type_states) == {
+            "c3.large", "c3.xlarge", "c3.2xlarge", "c3.4xlarge", "c3.8xlarge"
+        }
+
+    def test_type_bounds_registered_on_pool(self):
+        process, pool, _ = make_process()
+        for itype, state in process.type_states.items():
+            assert pool.od_type_bounds[itype] == state.bound_units
+            assert state.bound_units >= state.units
+
+    def test_reserved_initialised(self):
+        process, pool, _ = make_process()
+        assert pool.reserved_granted_units > 0
+        assert 0 < pool.reserved_running_units <= pool.reserved_granted_units
+
+    def test_market_shares_sum_to_one(self):
+        process, _, _ = make_process()
+        total = sum(s.share_weight for s in process.market_states)
+        assert total == pytest.approx(1.0)
+
+    def test_tick_fills_markets_and_pool(self):
+        process, pool, queue = make_process()
+        process.start()
+        queue.run_until(3600.0)
+        assert pool.background_spot_units > 0
+        for state in process.market_states:
+            assert state.market.price_history()
+
+    def test_injected_type_surge_raises_target(self):
+        process, pool, queue = make_process()
+        state = process.type_states["c3.2xlarge"]
+        baseline = state.base_utilization
+        process.add_type_surge("c3.2xlarge", magnitude=0.9)
+        queue.clock.advance_to(1200.0)  # into the surge hold
+        target = process.type_target_fraction(state, queue.clock.now)
+        assert target > baseline
+
+    def test_family_surge_scaled_by_susceptibility(self):
+        process, _, _ = make_process()
+        process.add_family_surge(0.5)
+        magnitudes = {
+            itype: sum(s.magnitude for s in state.surges)
+            for itype, state in process.type_states.items()
+        }
+        assert any(m > 0 for m in magnitudes.values())
+        # Susceptibilities differ, so magnitudes are not all equal.
+        values = [m for m in magnitudes.values() if m > 0]
+        assert len(set(round(v, 6) for v in values)) > 1
+
+    def test_saturation_produces_overflow_and_headroom_exhaustion(self):
+        process, pool, queue = make_process()
+        process.start()
+        itype = "c3.2xlarge"
+        process.add_type_surge(itype, magnitude=1.2)
+        state = process.type_states[itype]
+        max_overflow = 0.0
+        min_headroom = pool.type_headroom(itype)
+        # Walk tick by tick: the surge's hold duration is random, so
+        # sample the whole envelope rather than one instant.
+        for t in range(300, 3900, 300):
+            queue.run_until(float(t))
+            max_overflow = max(max_overflow, state.overflow)
+            min_headroom = min(min_headroom, pool.type_headroom(itype))
+        assert max_overflow > 0
+        assert min_headroom < state.units
+
+    def test_empty_market_list_rejected(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        pool = CapacityPool("az", "c3", total_units=100)
+        with pytest.raises(ValueError):
+            PoolDemandProcess(pool, regime_for("us-east-1"), [], RngStream(1, "x"), queue)

@@ -1,0 +1,114 @@
+"""End-to-end qualitative checks on the shared monitored run.
+
+These assert the paper's headline observations hold on a seeded
+multi-region SpotLight deployment.
+"""
+
+import pytest
+
+from repro.core.market_id import MarketID
+from repro.core.records import ProbeKind, ProbeTrigger
+
+
+def test_monitoring_covers_all_markets(monitored_run):
+    sim, spotlight = monitored_run
+    assert len(spotlight.markets) == len(sim.markets)
+
+
+def test_on_demand_unavailability_exists_and_is_measured(monitored_run):
+    """Headline: on-demand servers are *not* always available."""
+    _, spotlight = monitored_run
+    periods = spotlight.query.unavailability_periods(kind=ProbeKind.ON_DEMAND)
+    assert periods
+    for period in periods:
+        assert period.duration >= 0
+        assert period.probe_count >= 1
+
+
+def test_under_provisioned_region_rejects_more(monitored_run):
+    """sa-east-1 rejects far more probes than us-east-1 (Fig 5.5/5.6)."""
+    _, spotlight = monitored_run
+    rejections = {"us-east-1": 0, "sa-east-1": 0}
+    totals = {"us-east-1": 0, "sa-east-1": 0}
+    for probe in spotlight.database.probes(kind=ProbeKind.ON_DEMAND):
+        region = probe.market.region
+        if region in totals:
+            totals[region] += 1
+            if probe.rejected:
+                rejections[region] += 1
+    assert totals["sa-east-1"] > 0
+    rate = lambda r: rejections[r] / totals[r] if totals[r] else 0.0
+    assert rate("sa-east-1") > rate("us-east-1")
+
+
+def test_spot_prices_spike_above_on_demand(monitored_run):
+    """Figure 2.1: spot prices periodically exceed the on-demand price."""
+    sim, spotlight = monitored_run
+    exceeded = 0
+    for market_id in list(spotlight.markets)[:200]:
+        od = spotlight.query.on_demand_price(market_id)
+        for record in spotlight.database.prices(market_id):
+            if record.price > od:
+                exceeded += 1
+                break
+    assert exceeded > 0
+
+
+def test_probe_cost_accounting_consistent(monitored_run):
+    _, spotlight = monitored_run
+    assert spotlight.database.total_probe_cost() == pytest.approx(
+        spotlight.budget.total_spent()
+    )
+
+
+def test_no_leaked_instances_or_requests(monitored_run):
+    """Every probe cleans up after itself (modulo in-flight shutdowns).
+
+    Probes launched by the tick at the exact horizon are still inside
+    their ~75 s boot/shutdown window; anything older than that is a
+    genuine leak.
+    """
+    sim, spotlight = monitored_run
+    sim.run_for(3600.0)
+    stale = [
+        i
+        for i in sim.instances.values()
+        if i.is_live and sim.now - i.launch_time > 300.0
+    ]
+    assert stale == []
+    open_requests = [r for r in sim.spot_requests.values() if r.is_open]
+    assert open_requests == []
+
+
+def test_related_market_probing_contributes_detections(monitored_run):
+    _, spotlight = monitored_run
+    related = [
+        p
+        for p in spotlight.database.probes(kind=ProbeKind.ON_DEMAND, rejected=True)
+        if p.trigger in (ProbeTrigger.RELATED_FAMILY, ProbeTrigger.RELATED_ZONE)
+    ]
+    assert related, "related-market probing must find rejections (Fig 5.7)"
+
+
+def test_query_top_stable_markets_returns_ranking(monitored_run):
+    _, spotlight = monitored_run
+    ranking = spotlight.query.top_stable_markets(n=10, bid_multiple=1.0)
+    assert 0 < len(ranking) <= 10
+    mttrs = [entry.mean_time_to_revocation for entry in ranking]
+    assert mttrs == sorted(mttrs, reverse=True)
+
+
+def test_price_records_are_dense(monitored_run):
+    """Passive monitoring captures a price series per market."""
+    sim, spotlight = monitored_run
+    market = next(iter(spotlight.markets))
+    prices = spotlight.database.prices(market)
+    assert len(prices) > 10
+
+
+def test_bid_spread_finds_price_at_or_above_published(monitored_run):
+    _, spotlight = monitored_run
+    market = next(iter(spotlight.markets))
+    result = spotlight.bid_spread(market)
+    if result.intrinsic_price is not None:
+        assert result.intrinsic_price >= result.published_price * 0.99

@@ -1,0 +1,111 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.events import EventQueue
+
+
+@pytest.fixture()
+def queue():
+    return EventQueue(SimClock())
+
+
+def test_events_fire_in_time_order(queue):
+    order = []
+    queue.schedule_at(20.0, lambda: order.append("b"))
+    queue.schedule_at(10.0, lambda: order.append("a"))
+    queue.schedule_at(30.0, lambda: order.append("c"))
+    queue.run_all()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order(queue):
+    order = []
+    for label in "abc":
+        queue.schedule_at(5.0, lambda lbl=label: order.append(lbl))
+    queue.run_all()
+    assert order == ["a", "b", "c"]
+
+
+def test_step_advances_clock(queue):
+    queue.schedule_at(42.0, lambda: None)
+    queue.step()
+    assert queue.clock.now == 42.0
+
+
+def test_schedule_in_is_relative(queue):
+    queue.clock.advance_to(100.0)
+    event = queue.schedule_in(5.0, lambda: None)
+    assert event.time == 105.0
+
+
+def test_scheduling_in_the_past_rejected(queue):
+    queue.clock.advance_to(10.0)
+    with pytest.raises(ValueError):
+        queue.schedule_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected(queue):
+    with pytest.raises(ValueError):
+        queue.schedule_in(-1.0, lambda: None)
+
+
+def test_cancelled_events_do_not_fire(queue):
+    fired = []
+    event = queue.schedule_at(10.0, lambda: fired.append(1))
+    event.cancel()
+    queue.run_all()
+    assert fired == []
+
+
+def test_run_until_executes_only_due_events(queue):
+    fired = []
+    queue.schedule_at(10.0, lambda: fired.append("early"))
+    queue.schedule_at(100.0, lambda: fired.append("late"))
+    executed = queue.run_until(50.0)
+    assert executed == 1
+    assert fired == ["early"]
+    assert queue.clock.now == 50.0
+
+
+def test_run_until_advances_clock_even_without_events(queue):
+    queue.run_until(77.0)
+    assert queue.clock.now == 77.0
+
+
+def test_events_can_schedule_more_events(queue):
+    fired = []
+
+    def chain():
+        fired.append(queue.clock.now)
+        if len(fired) < 3:
+            queue.schedule_in(10.0, chain)
+
+    queue.schedule_at(0.0, chain)
+    queue.run_all()
+    assert fired == [0.0, 10.0, 20.0]
+
+
+def test_len_counts_live_events(queue):
+    e1 = queue.schedule_at(1.0, lambda: None)
+    queue.schedule_at(2.0, lambda: None)
+    assert len(queue) == 2
+    e1.cancel()
+    assert len(queue) == 1
+
+
+def test_peek_time_skips_cancelled(queue):
+    e1 = queue.schedule_at(1.0, lambda: None)
+    queue.schedule_at(2.0, lambda: None)
+    e1.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_run_all_guards_against_runaway(queue):
+    def forever():
+        queue.schedule_in(1.0, forever)
+
+    queue.schedule_at(0.0, forever)
+    with pytest.raises(RuntimeError):
+        queue.run_all(max_events=100)

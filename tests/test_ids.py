@@ -1,0 +1,33 @@
+"""Unit tests for id generation."""
+
+from repro.common.ids import IdGenerator
+
+
+def test_instance_ids_unique_and_prefixed():
+    gen = IdGenerator()
+    ids = [gen.instance_id() for _ in range(100)]
+    assert len(set(ids)) == 100
+    assert all(i.startswith("i-") for i in ids)
+
+
+def test_spot_request_ids_prefixed():
+    gen = IdGenerator()
+    assert gen.spot_request_id().startswith("sir-")
+
+
+def test_reservation_ids_prefixed():
+    gen = IdGenerator()
+    assert gen.reservation_id().startswith("r-")
+
+
+def test_counters_are_per_prefix():
+    gen = IdGenerator()
+    first_instance = gen.instance_id()
+    first_sir = gen.spot_request_id()
+    assert first_instance.endswith("1")
+    assert first_sir.endswith("1")
+
+
+def test_two_generators_are_independent():
+    a, b = IdGenerator(), IdGenerator()
+    assert a.instance_id() == b.instance_id()

@@ -1,0 +1,184 @@
+"""Unit tests for the Figure 3.1 / 3.2 state machines."""
+
+import pytest
+
+from repro.common import errors
+from repro.common.errors import InvalidStateTransition
+from repro.ec2.instance import Instance, InstanceState, LIFECYCLE_ON_DEMAND
+from repro.ec2.spot_request import SpotRequest, SpotRequestState
+
+
+def make_instance():
+    return Instance(
+        instance_id="i-1",
+        instance_type="m3.large",
+        availability_zone="us-east-1a",
+        product="Linux/UNIX",
+        lifecycle=LIFECYCLE_ON_DEMAND,
+        launch_time=0.0,
+        units=2,
+    )
+
+
+def make_request():
+    return SpotRequest(
+        request_id="sir-1",
+        instance_type="m3.large",
+        availability_zone="us-east-1a",
+        product="Linux/UNIX",
+        bid_price=0.1,
+        create_time=0.0,
+    )
+
+
+# -- on-demand instances (Figure 3.1) -------------------------------------
+
+class TestInstanceLifecycle:
+    def test_pending_to_running_to_terminated(self):
+        inst = make_instance()
+        inst.mark_running(10.0)
+        inst.begin_shutdown(20.0)
+        inst.mark_terminated(30.0)
+        assert inst.state is InstanceState.TERMINATED
+        assert [s for _, s in inst.state_history] == [
+            InstanceState.PENDING,
+            InstanceState.RUNNING,
+            InstanceState.SHUTTING_DOWN,
+            InstanceState.TERMINATED,
+        ]
+
+    def test_pending_can_shut_down_directly(self):
+        inst = make_instance()
+        inst.begin_shutdown(5.0)
+        assert inst.state is InstanceState.SHUTTING_DOWN
+
+    def test_cannot_run_twice(self):
+        inst = make_instance()
+        inst.mark_running(10.0)
+        with pytest.raises(InvalidStateTransition):
+            inst.mark_running(11.0)
+
+    def test_cannot_terminate_without_shutdown(self):
+        inst = make_instance()
+        with pytest.raises(InvalidStateTransition):
+            inst.mark_terminated(5.0)
+
+    def test_terminated_is_final(self):
+        inst = make_instance()
+        inst.begin_shutdown(1.0)
+        inst.mark_terminated(2.0)
+        with pytest.raises(InvalidStateTransition):
+            inst.begin_shutdown(3.0)
+
+    def test_is_live_and_duration(self):
+        inst = make_instance()
+        assert inst.is_live
+        inst.begin_shutdown(50.0)
+        inst.mark_terminated(60.0)
+        assert not inst.is_live
+        assert inst.running_duration(now=1000.0) == 60.0
+
+    def test_transitions_are_timestamped(self):
+        inst = make_instance()
+        inst.mark_running(42.0)
+        assert inst.state_history[-1] == (42.0, InstanceState.RUNNING)
+
+
+# -- spot requests (Figure 3.2) ----------------------------------------------
+
+class TestSpotRequestLifecycle:
+    def test_fulfil_path(self):
+        req = make_request()
+        req.begin_fulfillment(1.0)
+        req.fulfill("i-9", 2.0)
+        assert req.state is SpotRequestState.ACTIVE
+        assert req.status == errors.STATUS_FULFILLED
+        assert req.instance_id == "i-9"
+
+    def test_held_statuses(self):
+        for status in (
+            errors.STATUS_PRICE_TOO_LOW,
+            errors.STATUS_CAPACITY_NOT_AVAILABLE,
+            errors.STATUS_CAPACITY_OVERSUBSCRIBED,
+        ):
+            req = make_request()
+            req.hold(status, 1.0)
+            assert req.is_open
+            assert req.status == status
+
+    def test_holding_with_non_hold_status_rejected(self):
+        req = make_request()
+        with pytest.raises(InvalidStateTransition):
+            req.hold(errors.STATUS_FULFILLED, 1.0)
+
+    def test_held_request_can_later_fulfil(self):
+        req = make_request()
+        req.hold(errors.STATUS_PRICE_TOO_LOW, 1.0)
+        req.fulfill("i-2", 5.0)
+        assert req.is_active
+
+    def test_revocation_path_with_warning(self):
+        req = make_request()
+        req.fulfill("i-1", 1.0)
+        req.mark_for_termination(100.0)
+        assert req.status == errors.STATUS_MARKED_FOR_TERMINATION
+        req.terminate_by_price(220.0)
+        assert req.was_revoked
+        assert req.time_to_revocation() == pytest.approx(219.0)
+
+    def test_user_termination(self):
+        req = make_request()
+        req.fulfill("i-1", 1.0)
+        req.terminate_by_user(50.0)
+        assert req.state is SpotRequestState.CLOSED
+        assert not req.was_revoked
+
+    def test_cancel_open_request(self):
+        req = make_request()
+        req.cancel(3.0)
+        assert req.state is SpotRequestState.CANCELLED
+        assert req.status == errors.STATUS_CANCELED_BEFORE_FULFILLMENT
+
+    def test_cancel_active_keeps_instance(self):
+        req = make_request()
+        req.fulfill("i-1", 1.0)
+        req.cancel(2.0)
+        assert req.status == errors.STATUS_REQUEST_CANCELED_INSTANCE_RUNNING
+
+    def test_cancel_closed_rejected(self):
+        req = make_request()
+        req.fulfill("i-1", 1.0)
+        req.terminate_by_user(2.0)
+        with pytest.raises(InvalidStateTransition):
+            req.cancel(3.0)
+
+    def test_fail_path(self):
+        req = make_request()
+        req.fail(errors.STATUS_BAD_PARAMETERS, 1.0)
+        assert req.state is SpotRequestState.FAILED
+
+    def test_cannot_revoke_open_request(self):
+        req = make_request()
+        with pytest.raises(InvalidStateTransition):
+            req.terminate_by_price(1.0)
+
+    def test_status_history_is_complete(self):
+        req = make_request()
+        req.hold(errors.STATUS_PRICE_TOO_LOW, 1.0)
+        req.fulfill("i-1", 2.0)
+        req.mark_for_termination(3.0)
+        req.terminate_by_price(4.0)
+        statuses = [s for _, s in req.status_history]
+        assert statuses == [
+            errors.STATUS_PENDING_EVALUATION,
+            errors.STATUS_PRICE_TOO_LOW,
+            errors.STATUS_FULFILLED,
+            errors.STATUS_MARKED_FOR_TERMINATION,
+            errors.STATUS_TERMINATED_BY_PRICE,
+        ]
+
+    def test_time_to_revocation_none_for_user_termination(self):
+        req = make_request()
+        req.fulfill("i-1", 1.0)
+        req.terminate_by_user(2.0)
+        assert req.time_to_revocation() is None

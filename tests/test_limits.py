@@ -1,0 +1,74 @@
+"""Unit tests for service limits and API rate limiting."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    RequestLimitExceededError,
+    ServiceLimitExceededError,
+)
+from repro.ec2.limits import RegionLimits, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate=1.0, burst=5.0)
+        assert all(bucket.try_consume() for _ in range(5))
+        assert not bucket.try_consume()
+
+    def test_refills_with_time(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate=2.0, burst=5.0)
+        for _ in range(5):
+            bucket.try_consume()
+        clock.advance_by(1.0)
+        assert bucket.try_consume()
+        assert bucket.try_consume()
+        assert not bucket.try_consume()
+
+    def test_never_exceeds_burst(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate=100.0, burst=3.0)
+        clock.advance_by(1000.0)
+        assert bucket.available == 3.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(SimClock(), rate=0.0, burst=1.0)
+
+
+class TestRegionLimits:
+    def make(self, **kw):
+        return RegionLimits("us-east-1", SimClock(), **kw)
+
+    def test_api_throttle_raises(self):
+        limits = self.make(api_rate_per_second=1.0, api_burst=2.0)
+        limits.charge_api_call()
+        limits.charge_api_call()
+        with pytest.raises(RequestLimitExceededError):
+            limits.charge_api_call()
+        assert limits.api_calls_made == 2
+        assert limits.api_calls_throttled == 1
+
+    def test_on_demand_slot_limit(self):
+        limits = self.make(max_on_demand_instances=2)
+        limits.acquire_on_demand_slot()
+        limits.acquire_on_demand_slot()
+        with pytest.raises(ServiceLimitExceededError):
+            limits.acquire_on_demand_slot()
+        limits.release_on_demand_slot()
+        limits.acquire_on_demand_slot()  # freed slot reusable
+
+    def test_spot_request_slot_limit(self):
+        limits = self.make(max_open_spot_requests=1)
+        limits.acquire_spot_request_slot()
+        with pytest.raises(ServiceLimitExceededError):
+            limits.acquire_spot_request_slot()
+
+    def test_releasing_unheld_slot_rejected(self):
+        limits = self.make()
+        with pytest.raises(ValueError):
+            limits.release_on_demand_slot()
+        with pytest.raises(ValueError):
+            limits.release_spot_request_slot()

@@ -1,0 +1,160 @@
+"""Unit tests for the spot market auction."""
+
+import pytest
+
+from repro.common import errors
+from repro.ec2.market import Bid, SpotMarket
+
+
+def make_market(od=1.0, units=4):
+    return SpotMarket("us-east-1a", "c3.xlarge", "Linux/UNIX", od, units)
+
+
+def test_price_starts_at_floor():
+    market = make_market()
+    assert market.current_price() == market.floor_price
+
+
+def test_abundant_supply_clears_at_floor():
+    market = make_market()
+    market.set_bids([Bid(0.5, 2)])
+    result = market.clear(0.0, supply_instances=10)
+    assert result.clearing_price == market.floor_price
+    assert result.fulfilled_instances == 2
+    assert not result.capacity_constrained
+
+
+def test_constrained_supply_sets_marginal_price():
+    market = make_market()
+    market.set_bids([Bid(0.9, 5), Bid(0.5, 5), Bid(0.2, 5)])
+    result = market.clear(0.0, supply_instances=7)
+    # 5 go at 0.9, 2 of 5 at 0.5 -> marginal (lowest winning) bid is 0.5.
+    assert result.clearing_price == pytest.approx(0.5)
+    assert result.fulfilled_instances == 7
+    assert result.capacity_constrained
+
+
+def test_zero_supply_prices_at_top_bid():
+    market = make_market()
+    market.set_bids([Bid(0.8, 3)])
+    result = market.clear(0.0, supply_instances=0)
+    assert result.clearing_price == pytest.approx(0.8)
+    assert result.fulfilled_instances == 0
+
+
+def test_bids_above_cap_are_clamped():
+    market = make_market(od=1.0)
+    market.set_bids([Bid(100.0, 1)])
+    result = market.clear(0.0, supply_instances=0)
+    assert result.clearing_price <= market.max_bid
+
+
+def test_price_history_records_changes_only():
+    market = make_market()
+    market.set_bids([Bid(0.5, 10)])
+    market.clear(0.0, 5)
+    market.clear(300.0, 5)  # same clearing price
+    assert len(market.price_history()) == 1
+
+
+def test_history_time_range_filter():
+    market = make_market()
+    for i, supply in enumerate([1, 20, 1, 20]):
+        market.set_bids([Bid(0.5, 10)])
+        market.clear(i * 300.0, supply)
+    events = market.price_history(start=300.0, end=600.0)
+    assert all(300.0 <= t <= 600.0 for t, _ in events)
+
+
+def test_published_price_lags_actual():
+    market = make_market()
+    market.set_bids([Bid(0.5, 10)])
+    market.clear(1000.0, 5)  # constrained -> 0.5
+    actual = market.current_price(1000.0)
+    published = market.published_price(1000.0 + 1.0)
+    assert actual == pytest.approx(0.5)
+    assert published == market.floor_price  # not yet visible
+    assert market.published_price(1000.0 + 60.0) == pytest.approx(0.5)
+
+
+def test_withheld_in_deep_glut_at_low_price():
+    market = make_market()
+    market.set_bids([Bid(market.floor_price, 1)])
+    result = market.clear(0.0, supply_instances=100)
+    assert result.withheld
+
+
+def test_not_withheld_when_demand_healthy():
+    market = make_market()
+    market.set_bids([Bid(0.05, 90)])
+    result = market.clear(0.0, supply_instances=100)
+    assert not result.withheld
+
+
+def test_evaluate_bid_price_too_low():
+    market = make_market()
+    market.set_bids([Bid(0.5, 10)])
+    market.clear(0.0, 5)
+    status = market.evaluate_bid(0.3, 0.0, available_spot_units=100)
+    assert status == errors.STATUS_PRICE_TOO_LOW
+
+
+def test_evaluate_bid_wins_above_price():
+    market = make_market()
+    market.set_bids([Bid(0.5, 10)])
+    market.clear(0.0, 5)
+    assert market.evaluate_bid(0.6, 0.0, available_spot_units=100) == ""
+
+
+def test_evaluate_bid_capacity_not_available_when_units_short():
+    market = make_market(units=4)
+    market.set_bids([Bid(0.5, 10)])
+    market.clear(0.0, 5)
+    status = market.evaluate_bid(0.6, 0.0, available_spot_units=3)
+    assert status == errors.STATUS_CAPACITY_NOT_AVAILABLE
+
+
+def test_evaluate_bid_oversubscribed_on_tie_when_constrained():
+    market = make_market()
+    market.set_bids([Bid(0.5, 10)])
+    market.clear(0.0, 5)
+    price = market.current_price(0.0)
+    status = market.evaluate_bid(price, 0.0, available_spot_units=100)
+    assert status == errors.STATUS_CAPACITY_OVERSUBSCRIBED
+
+
+def test_evaluate_bid_withheld_beats_high_bid():
+    market = make_market()
+    market.set_bids([Bid(market.floor_price, 1)])
+    market.clear(0.0, supply_instances=100)
+    status = market.evaluate_bid(10.0 * 0.9, 0.0, available_spot_units=100)
+    assert status == errors.STATUS_CAPACITY_NOT_AVAILABLE
+
+
+def test_required_price_override():
+    market = make_market()
+    market.set_bids([Bid(0.5, 10)])
+    market.clear(0.0, 5)
+    status = market.evaluate_bid(
+        0.55, 0.0, available_spot_units=100, required_price=0.6
+    )
+    assert status == errors.STATUS_PRICE_TOO_LOW
+
+
+def test_malformed_construction_rejected():
+    with pytest.raises(ValueError):
+        SpotMarket("az", "t", "p", on_demand_price=0.0, units=4)
+    with pytest.raises(ValueError):
+        SpotMarket("az", "t", "p", on_demand_price=1.0, units=0)
+    with pytest.raises(ValueError):
+        SpotMarket(
+            "az", "t", "p", 1.0, 4, floor_fraction=0.2, withhold_fraction=0.1
+        )
+
+
+def test_malformed_bids_rejected():
+    market = make_market()
+    with pytest.raises(ValueError):
+        market.set_bids([Bid(-1.0, 5)])
+    with pytest.raises(ValueError):
+        market.clear(0.0, supply_instances=-1)

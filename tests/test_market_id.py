@@ -1,0 +1,42 @@
+"""Unit tests for MarketID."""
+
+from repro.core.market_id import MarketID
+
+
+def make():
+    return MarketID("us-east-1d", "c3.2xlarge", "Linux/UNIX")
+
+
+def test_region_derivation():
+    assert make().region == "us-east-1"
+    assert MarketID("ap-southeast-2c", "m3.large", "Windows").region == "ap-southeast-2"
+
+
+def test_family_derivation():
+    assert make().family == "c3"
+
+
+def test_key_matches_simulator_map_order():
+    assert make().key == ("us-east-1d", "c3.2xlarge", "Linux/UNIX")
+
+
+def test_api_args_put_type_first():
+    assert make().api_args == ("c3.2xlarge", "us-east-1d", "Linux/UNIX")
+
+
+def test_same_family():
+    a = make()
+    b = MarketID("us-east-1a", "c3.8xlarge", "Linux/UNIX")
+    c = MarketID("us-east-1d", "m3.large", "Linux/UNIX")
+    assert a.same_family(b)
+    assert not a.same_family(c)
+
+
+def test_hashable_and_ordered():
+    markets = {make(), make()}
+    assert len(markets) == 1
+    assert sorted([MarketID("b", "t", "p"), MarketID("a", "t", "p")])[0].availability_zone == "a"
+
+
+def test_str_is_readable():
+    assert str(make()) == "us-east-1d/c3.2xlarge/Linux/UNIX"

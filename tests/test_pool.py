@@ -1,0 +1,174 @@
+"""Unit tests for the Figure 2.2 capacity pool."""
+
+import pytest
+
+from repro.common.errors import InsufficientInstanceCapacityError
+from repro.ec2.pool import CapacityPool
+
+
+def make_pool(total=100, granted=30, running=20):
+    pool = CapacityPool("us-east-1a", "m3", total_units=total)
+    if granted:
+        assert pool.grant_reserved(granted)
+    if running:
+        pool.start_reserved(running)
+    return pool
+
+
+def test_initial_accounting():
+    pool = make_pool()
+    assert pool.idle_units == 80
+    assert pool.on_demand_headroom == 70
+    assert pool.spot_capacity == 80
+
+
+def test_on_demand_bound_excludes_all_granted_reservations():
+    """The Figure 2.2 upper bound: total - reserved_granted, regardless
+    of whether the reservations are running."""
+    pool = make_pool(total=100, granted=40, running=0)
+    assert pool.on_demand_headroom == 60
+
+
+def test_spot_may_use_reserved_not_running():
+    pool = make_pool(total=100, granted=40, running=10)
+    # spot capacity = total - running reserved - on-demand
+    assert pool.spot_capacity == 90
+
+
+def test_on_demand_rejection_raises_insufficient_capacity():
+    pool = make_pool(total=100, granted=30)
+    pool.allocate_on_demand(70)
+    with pytest.raises(InsufficientInstanceCapacityError):
+        pool.allocate_on_demand(1)
+
+
+def test_on_demand_allocation_preempts_background_spot():
+    pool = make_pool(total=100, granted=30, running=20)
+    pool.set_background_spot(80)  # fill the whole spot capacity
+    preemption = pool.allocate_on_demand(10)
+    assert preemption.background_units == 10
+    assert pool.background_spot_units == 70
+
+
+def test_on_demand_prefers_idle_over_preemption():
+    pool = make_pool()
+    pool.set_background_spot(10)
+    preemption = pool.allocate_on_demand(50)  # idle = 80 - 10 = 70
+    assert preemption.total_units == 0
+
+
+def test_preemption_takes_background_before_interactive():
+    pool = make_pool(total=100, granted=30, running=20)
+    assert pool.allocate_spot(5)  # interactive
+    pool.set_background_spot(75)  # the rest; idle is now 0
+    preemption = pool.allocate_on_demand(70)
+    assert preemption.background_units == 70  # background absorbs it all
+    assert preemption.interactive_units == 0
+    assert pool.background_spot_units == 5
+    assert pool.interactive_spot_units == 5
+    # Now only interactive spot remains to preempt.
+    pool2 = make_pool(total=100, granted=30, running=20)
+    assert pool2.allocate_spot(60)
+    preemption2 = pool2.allocate_on_demand(70)
+    assert preemption2.interactive_units == 50
+
+
+def test_reserved_start_is_guaranteed_and_preempts():
+    pool = make_pool(total=100, granted=40, running=0)
+    pool.set_background_spot(100)  # spot uses everything incl. reserved slack
+    preemption = pool.start_reserved(40)
+    assert preemption.background_units == 40
+    assert pool.reserved_running_units == 40
+
+
+def test_cannot_start_more_reserved_than_granted():
+    pool = make_pool(total=100, granted=30, running=30)
+    with pytest.raises(ValueError):
+        pool.start_reserved(1)
+
+
+def test_release_reservation_frees_capacity():
+    pool = make_pool(total=100, granted=30, running=0)
+    pool.release_reservation(30)
+    assert pool.on_demand_headroom == 100
+
+
+def test_release_running_reservation_rejected():
+    pool = make_pool(total=100, granted=30, running=30)
+    with pytest.raises(ValueError):
+        pool.release_reservation(1)
+
+
+def test_spot_allocation_respects_capacity():
+    pool = make_pool(total=100, granted=30, running=20)
+    assert pool.allocate_spot(80)
+    assert not pool.allocate_spot(1)
+
+
+def test_spot_release_roundtrip():
+    pool = make_pool()
+    pool.allocate_spot(10)
+    pool.release_spot(10)
+    assert pool.interactive_spot_units == 0
+    with pytest.raises(ValueError):
+        pool.release_spot(1)
+
+
+def test_background_spot_respects_interactive():
+    pool = make_pool(total=100, granted=30, running=20)
+    pool.allocate_spot(30)
+    with pytest.raises(ValueError):
+        pool.set_background_spot(51)
+    pool.set_background_spot(50)
+    assert pool.spot_units == 80
+
+
+def test_per_type_bounds_reject_independently():
+    """One type's sub-bound can be exhausted while siblings still fit —
+    the granularity the paper's related-market data shows."""
+    pool = make_pool(total=100, granted=0, running=0)
+    pool.set_type_bound("m3.large", 20)
+    pool.set_type_bound("m3.xlarge", 40)
+    pool.allocate_on_demand(20, "m3.large")
+    with pytest.raises(InsufficientInstanceCapacityError):
+        pool.allocate_on_demand(2, "m3.large")
+    pool.allocate_on_demand(4, "m3.xlarge")  # sibling unaffected
+
+
+def test_family_bound_still_binds_across_types():
+    pool = make_pool(total=100, granted=40, running=0)  # od bound 60
+    pool.set_type_bound("a", 50)
+    pool.set_type_bound("b", 50)
+    pool.allocate_on_demand(50, "a")
+    with pytest.raises(InsufficientInstanceCapacityError):
+        pool.allocate_on_demand(20, "b")  # type fits, family doesn't
+
+
+def test_typed_release_restores_headroom():
+    pool = make_pool(total=100, granted=0, running=0)
+    pool.set_type_bound("t", 10)
+    pool.allocate_on_demand(10, "t")
+    pool.release_on_demand(10, "t")
+    assert pool.type_headroom("t") == 10
+
+
+def test_typed_release_more_than_allocated_rejected():
+    pool = make_pool(total=100, granted=0, running=0)
+    pool.set_type_bound("t", 10)
+    pool.allocate_on_demand(4, "t")
+    with pytest.raises(ValueError):
+        pool.release_on_demand(6, "t")
+
+
+def test_snapshot_reflects_state():
+    pool = make_pool()
+    pool.allocate_on_demand(10)
+    snap = pool.snapshot(now=123.0)
+    assert snap.on_demand_units == 10
+    assert snap.idle_units == pool.idle_units
+    assert 0 < snap.utilization < 1
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        CapacityPool("az", "fam", total_units=0)

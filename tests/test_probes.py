@@ -1,0 +1,153 @@
+"""Tests for the five probe functions against a live simulator."""
+
+import pytest
+
+from repro.common import errors as err
+from repro.common.rng import RngStream
+from repro.core.budget import BudgetController
+from repro.core.config import SpotLightConfig
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.probes import ProbeExecutor
+from repro.core.records import OUTCOME_FULFILLED, ProbeKind, ProbeTrigger
+from repro.ec2.catalog import small_catalog
+from repro.ec2.platform import EC2Simulator, FleetConfig
+
+MARKET = MarketID("us-east-1a", "m3.large", "Linux/UNIX")
+
+
+@pytest.fixture()
+def setup():
+    catalog = small_catalog(regions=["us-east-1"], families=["m3"])
+    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=3, tick_interval=300.0))
+    sim.run_for(600.0)
+    db = ProbeDatabase()
+    budget = BudgetController(budget=1e9, window=30 * 86400.0)
+    config = SpotLightConfig()
+    executor = ProbeExecutor(sim, db, budget, config, RngStream(1, "t"))
+    return sim, db, budget, executor
+
+
+class TestRequestOnDemand:
+    def test_fulfilled_probe_terminates_instance_and_charges(self, setup):
+        sim, db, budget, executor = setup
+        record = executor.request_on_demand(MARKET, ProbeTrigger.MANUAL)
+        assert record.outcome == OUTCOME_FULFILLED
+        assert record.cost == pytest.approx(sim.on_demand_price(*MARKET.api_args))
+        instance = sim.instances[record.request_id]
+        assert instance.state.value in ("shutting-down", "terminated")
+        assert budget.total_spent() == record.cost
+
+    def test_rejected_probe_logs_error_code(self, setup):
+        sim, db, budget, executor = setup
+        pool = sim.pools[("us-east-1a", "m3")]
+        pool.od_type_bounds["m3.large"] = pool.od_units_by_type.get("m3.large", 0)
+        record = executor.request_on_demand(MARKET, ProbeTrigger.PRICE_SPIKE, 2.0)
+        assert record.outcome == err.INSUFFICIENT_INSTANCE_CAPACITY
+        assert record.cost == 0.0  # rejected probes are free
+        assert record.spike_multiple == 2.0
+
+    def test_budget_suppression_returns_none(self, setup):
+        sim, db, _, executor = setup
+        tight = BudgetController(budget=0.001, window=86400.0)
+        executor._budget = tight
+        assert executor.request_on_demand(MARKET, ProbeTrigger.MANUAL) is None
+        assert len(db) == 0
+
+    def test_probe_does_not_leak_instance_slots(self, setup):
+        sim, db, budget, executor = setup
+        limits = sim.limits["us-east-1"]
+        for _ in range(5):
+            executor.request_on_demand(MARKET, ProbeTrigger.MANUAL)
+            sim.run_for(120.0)
+        assert limits.running_on_demand == 0
+
+
+class TestCheckCapacity:
+    def test_probe_at_current_price_outcome_logged(self, setup):
+        sim, db, budget, executor = setup
+        record = executor.check_capacity(MARKET, ProbeTrigger.PERIODIC)
+        assert record.kind is ProbeKind.SPOT
+        assert record.outcome in (
+            OUTCOME_FULFILLED,
+            err.STATUS_PRICE_TOO_LOW,
+            err.STATUS_CAPACITY_OVERSUBSCRIBED,
+            err.STATUS_CAPACITY_NOT_AVAILABLE,
+        )
+
+    def test_high_bid_fulfils_and_cleans_up(self, setup):
+        sim, db, budget, executor = setup
+        od = executor.on_demand_price(MARKET)
+        record = executor.check_capacity(
+            MARKET, ProbeTrigger.PERIODIC, bid_price=od * 5
+        )
+        assert record.outcome == OUTCOME_FULFILLED
+        request = sim.spot_requests[record.request_id]
+        assert request.status == err.STATUS_TERMINATED_BY_USER
+        assert sim.limits["us-east-1"].open_spot_requests == 0
+
+    def test_keep_instance_for_revocation_watch(self, setup):
+        sim, db, budget, executor = setup
+        od = executor.on_demand_price(MARKET)
+        record = executor.check_capacity(
+            MARKET, ProbeTrigger.REVOCATION, bid_price=od * 5, keep_instance=True
+        )
+        assert record.outcome == OUTCOME_FULFILLED
+        assert sim.spot_requests[record.request_id].is_active
+
+    def test_low_bid_held_and_cancelled(self, setup):
+        sim, db, budget, executor = setup
+        record = executor.check_capacity(
+            MARKET, ProbeTrigger.PERIODIC, bid_price=0.0001
+        )
+        assert record.rejected
+        request = sim.spot_requests[record.request_id]
+        assert request.state.value in ("cancelled", "failed")
+
+
+class TestBidSpread:
+    def test_finds_intrinsic_price_within_request_cap(self, setup):
+        sim, db, budget, executor = setup
+        result = executor.bid_spread(MARKET)
+        assert result.requests_used <= SpotLightConfig().bid_spread_max_requests
+        if result.intrinsic_price is not None:
+            # Intrinsic price is never below the published price.
+            assert result.intrinsic_price >= result.published_price * 0.99
+            assert result.premium >= -0.01
+
+    def test_uses_few_requests_in_calm_market(self, setup):
+        sim, db, budget, executor = setup
+        result = executor.bid_spread(MARKET)
+        # The paper: 2-3 requests on average, max 6.
+        assert 1 <= result.requests_used <= 6
+
+
+class TestRevocationWatch:
+    def test_watch_and_stop(self, setup):
+        sim, db, budget, executor = setup
+        od = executor.on_demand_price(MARKET)
+        request_id = executor.check_capacity(
+            MARKET, ProbeTrigger.REVOCATION, bid_price=od * 5, keep_instance=True
+        ).request_id
+        assert executor.poll_revocation(request_id) is None
+        executor.stop_revocation_watch(request_id)
+        assert sim.spot_requests[request_id].status == err.STATUS_TERMINATED_BY_USER
+
+    def test_watched_instance_gets_revoked_on_spike(self, setup):
+        sim, db, budget, executor = setup
+        price = executor.published_spot_price(MARKET)
+        record = executor.check_capacity(
+            MARKET, ProbeTrigger.REVOCATION, bid_price=price * 1.2,
+            keep_instance=True,
+        )
+        if record.outcome != OUTCOME_FULFILLED:
+            pytest.skip("market did not fulfil at the published price")
+        market = sim.markets[MARKET.key]
+        from repro.ec2.market import Bid
+
+        market.set_bids([Bid(market.max_bid * 0.9, 1000)])
+        market.clear(sim.now, 1)
+        sim._revoke_outbid_instances(market)
+        sim.run_for(180.0)
+        ttr = executor.poll_revocation(record.request_id)
+        assert ttr is not None and ttr > 0

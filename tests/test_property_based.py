@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import InsufficientInstanceCapacityError
+from repro.core.budget import BudgetController
+from repro.ec2.market import Bid, SpotMarket
+from repro.ec2.pool import CapacityPool
+from repro.analysis.spikes import SpikeEvent, cluster_spikes
+from repro.core.market_id import MarketID
+
+
+# -- CapacityPool: no operation sequence may violate Figure 2.2 ------------
+
+pool_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["grant", "start_res", "stop_res", "alloc_od", "rel_od",
+             "alloc_spot", "rel_spot", "bg_spot"]
+        ),
+        st.integers(min_value=1, max_value=40),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=pool_ops)
+@settings(max_examples=200, deadline=None)
+def test_pool_invariants_hold_under_any_op_sequence(ops):
+    pool = CapacityPool("az", "fam", total_units=100)
+    od_allocated = 0
+    spot_allocated = 0
+    for op, units in ops:
+        try:
+            if op == "grant":
+                pool.grant_reserved(units)
+            elif op == "start_res":
+                can_start = (
+                    pool.reserved_granted_units - pool.reserved_running_units
+                )
+                if units <= can_start:
+                    pool.start_reserved(units)
+            elif op == "stop_res":
+                if units <= pool.reserved_running_units:
+                    pool.stop_reserved(units)
+            elif op == "alloc_od":
+                pool.allocate_on_demand(units)
+                od_allocated += units
+            elif op == "rel_od":
+                take = min(units, od_allocated)
+                if take:
+                    pool.release_on_demand(take)
+                    od_allocated -= take
+            elif op == "alloc_spot":
+                if pool.allocate_spot(units):
+                    spot_allocated += units
+            elif op == "rel_spot":
+                take = min(units, spot_allocated, pool.interactive_spot_units)
+                if take:
+                    pool.release_spot(take)
+                    spot_allocated -= take
+            elif op == "bg_spot":
+                free = pool.spot_capacity - pool.interactive_spot_units
+                pool.set_background_spot(min(units, max(free, 0)))
+        except InsufficientInstanceCapacityError:
+            pass
+        # The invariants (checked internally too, but assert explicitly):
+        occupied = (
+            pool.reserved_running_units + pool.on_demand_units + pool.spot_units
+        )
+        assert occupied <= pool.total_units
+        assert pool.on_demand_units <= pool.total_units - pool.reserved_granted_units
+        assert pool.reserved_running_units <= pool.reserved_granted_units
+
+
+# -- SpotMarket: clearing monotonicity ---------------------------------------
+
+bids_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=9.9, allow_nan=False),
+        st.integers(min_value=1, max_value=30),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(bids=bids_strategy, supply=st.integers(min_value=0, max_value=200))
+@settings(max_examples=200, deadline=None)
+def test_clearing_price_within_floor_cap_and_fulfilment_bounded(bids, supply):
+    market = SpotMarket("az", "t", "p", on_demand_price=1.0, units=2)
+    market.set_bids([Bid(price, count) for price, count in bids])
+    result = market.clear(0.0, supply)
+    assert market.floor_price <= result.clearing_price <= market.max_bid
+    assert 0 <= result.fulfilled_instances <= min(supply, result.demanded_instances)
+
+
+@given(bids=bids_strategy, supply=st.integers(min_value=0, max_value=100))
+@settings(max_examples=100, deadline=None)
+def test_more_supply_never_raises_price(bids, supply):
+    def clear_with(s):
+        market = SpotMarket("az", "t", "p", on_demand_price=1.0, units=2)
+        market.set_bids([Bid(price, count) for price, count in bids])
+        return market.clear(0.0, s).clearing_price
+
+    assert clear_with(supply + 10) <= clear_with(supply) + 1e-9
+
+
+# -- Budget: spend never undercounted ------------------------------------------
+
+charges = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    max_size=50,
+)
+
+
+@given(charges=charges)
+@settings(max_examples=100, deadline=None)
+def test_budget_total_equals_sum_of_charges(charges):
+    budget = BudgetController(budget=50.0, window=1000.0)
+    total = 0.0
+    for now, amount in sorted(charges):
+        budget.charge(now, amount)
+        total += amount
+    assert budget.total_spent() == sum(w.spent for w in budget.windows)
+    assert abs(budget.total_spent() - total) < 1e-6
+
+
+# -- Spike clustering: gap property ----------------------------------------------
+
+event_times = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=100
+)
+
+
+@given(times=event_times, window=st.floats(min_value=1.0, max_value=1e5))
+@settings(max_examples=100, deadline=None)
+def test_clustered_spikes_respect_minimum_gap(times, window):
+    market = MarketID("us-east-1a", "m3.large", "Linux/UNIX")
+    events = [SpikeEvent(t, market, 2.0) for t in sorted(times)]
+    kept = cluster_spikes(events, window)
+    for a, b in zip(kept, kept[1:]):
+        assert b.time - a.time >= window
+    # Clustering keeps a subset, never invents events.
+    assert len(kept) <= len(events)
+    if events:
+        assert kept[0] == events[0]

@@ -1,0 +1,69 @@
+"""Property-based tests on the query API and trace generator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.query import SpotLightQuery
+from repro.core.records import PriceRecord
+from repro.ec2.catalog import default_catalog
+from repro.traces import SpotPriceTraceGenerator, TraceConfig
+
+MARKET = MarketID("us-east-1a", "m3.large", "Linux/UNIX")
+
+price_series = st.lists(
+    st.floats(min_value=0.001, max_value=2.0, allow_nan=False),
+    min_size=2,
+    max_size=50,
+)
+
+
+def _build_query(prices):
+    db = ProbeDatabase()
+    for index, price in enumerate(prices):
+        db.insert_price(PriceRecord(index * 300.0, MARKET, price))
+    return SpotLightQuery(db, default_catalog())
+
+
+@given(prices=price_series)
+@settings(max_examples=100, deadline=None)
+def test_availability_at_bid_is_monotone_in_bid(prices):
+    """A higher bid can only increase spot availability."""
+    query = _build_query(prices)
+    low = query.availability_at_bid(MARKET, 0.05)
+    mid = query.availability_at_bid(MARKET, 0.5)
+    high = query.availability_at_bid(MARKET, 10.0)
+    assert 0.0 <= low <= mid <= high <= 1.0
+    assert high == 1.0  # a bid above every price is always available
+
+
+@given(prices=price_series)
+@settings(max_examples=100, deadline=None)
+def test_mean_price_within_series_bounds(prices):
+    query = _build_query(prices)
+    mean = query.mean_price(MARKET)
+    assert min(prices) - 1e-9 <= mean <= max(prices) + 1e-9
+
+
+@given(prices=price_series, bid=st.floats(min_value=0.001, max_value=3.0))
+@settings(max_examples=100, deadline=None)
+def test_mttr_bounded_by_observation_span(prices, bid):
+    query = _build_query(prices)
+    span = (len(prices) - 1) * 300.0
+    mttr = query.mean_time_to_revocation(MARKET, bid)
+    assert 0.0 <= mttr <= span + 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=25, deadline=None)
+def test_trace_generator_respects_bounds_for_any_seed(seed):
+    config = TraceConfig(on_demand_price=1.0)
+    events = SpotPriceTraceGenerator(config, seed=seed).generate(86400.0)
+    assert events
+    floor = config.on_demand_price * config.floor_fraction
+    cap = config.on_demand_price * config.cap_multiple
+    times = [t for t, _ in events]
+    assert times == sorted(times)
+    for _, price in events:
+        assert floor - 1e-9 <= price <= cap + 1e-9

@@ -1,0 +1,106 @@
+"""Unit tests for the query API over a hand-built database."""
+
+import pytest
+
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.query import SpotLightQuery
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+)
+from repro.ec2.catalog import default_catalog
+
+M1 = MarketID("us-east-1a", "m3.large", "Linux/UNIX")
+M2 = MarketID("us-east-1b", "m3.large", "Linux/UNIX")
+
+REJ = "InsufficientInstanceCapacity"
+
+
+@pytest.fixture()
+def query():
+    db = ProbeDatabase()
+    # M1 prices: 0.02 for [0, 1000), 0.5 for [1000, 2000), 0.02 after.
+    db.insert_price(PriceRecord(0.0, M1, 0.02))
+    db.insert_price(PriceRecord(1000.0, M1, 0.5))
+    db.insert_price(PriceRecord(2000.0, M1, 0.02))
+    db.insert_price(PriceRecord(3000.0, M1, 0.02))
+    # M2: flat and cheap.
+    db.insert_price(PriceRecord(0.0, M2, 0.01))
+    db.insert_price(PriceRecord(3000.0, M2, 0.01))
+    # M1 on-demand: unavailable in [500, 800).
+    for t, outcome in [(0.0, OUTCOME_FULFILLED), (500.0, REJ), (800.0, OUTCOME_FULFILLED)]:
+        db.insert_probe(
+            ProbeRecord(
+                time=t, market=M1, kind=ProbeKind.ON_DEMAND,
+                trigger=ProbeTrigger.RECOVERY, outcome=outcome,
+            )
+        )
+    return SpotLightQuery(db, default_catalog())
+
+
+def test_on_demand_price_lookup(query):
+    assert query.on_demand_price(M1) == pytest.approx(0.133)
+
+
+def test_availability_accounts_measured_periods(query):
+    availability = query.availability(M1, start=0.0, end=1000.0)
+    assert availability == pytest.approx(1.0 - 300.0 / 1000.0)
+
+
+def test_availability_of_clean_market_is_one(query):
+    assert query.availability(M2, start=0.0, end=1000.0) == 1.0
+
+
+def test_is_unavailable_at(query):
+    assert query.is_unavailable_at(M1, 600.0)
+    assert not query.is_unavailable_at(M1, 900.0)
+
+
+def test_availability_at_bid(query):
+    # Price <= 0.1 for 2000 of 3000 seconds.
+    assert query.availability_at_bid(M1, 0.1) == pytest.approx(2000.0 / 3000.0)
+    assert query.availability_at_bid(M1, 1.0) == 1.0
+
+
+def test_mean_time_to_revocation(query):
+    # Runs below 0.1: [0,1000) and [2000,3000) -> mean 1000 s.
+    assert query.mean_time_to_revocation(M1, 0.1) == pytest.approx(1000.0)
+    # A bid above every price never revokes: one run to the horizon.
+    assert query.mean_time_to_revocation(M1, 1.0) == pytest.approx(3000.0)
+
+
+def test_mean_price_is_time_weighted(query):
+    expected = (0.02 * 1000 + 0.5 * 1000 + 0.02 * 1000) / 3000
+    assert query.mean_price(M1) == pytest.approx(expected)
+
+
+def test_spike_multiples_use_on_demand_price(query):
+    series = query.spike_multiples(M1)
+    od = query.on_demand_price(M1)
+    assert series[1] == (1000.0, pytest.approx(0.5 / od))
+
+
+def test_top_stable_markets_prefers_flat_market(query):
+    ranking = query.top_stable_markets(n=2, bid_multiple=1.0)
+    assert ranking[0].market == M2  # flat, never revokes, cheaper
+    assert ranking[0].mean_time_to_revocation >= ranking[1].mean_time_to_revocation
+
+
+def test_top_stable_markets_region_filter(query):
+    ranking = query.top_stable_markets(n=5, region="sa-east-1")
+    assert ranking == []
+
+
+def test_least_unavailable_markets_orders_by_downtime(query):
+    ranked = query.least_unavailable_markets([M1, M2])
+    assert ranked[0] == (M2, 0.0)
+    assert ranked[1][0] == M1
+    assert ranked[1][1] == pytest.approx(300.0)
+
+
+def test_rejection_rate_passthrough(query):
+    assert query.rejection_rate(market=M1) == pytest.approx(1.0 / 3.0)

@@ -1,0 +1,50 @@
+"""Unit tests for probe/price record types."""
+
+from repro.core.market_id import MarketID
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+    UnavailabilityPeriod,
+)
+
+MARKET = MarketID("us-east-1a", "m3.large", "Linux/UNIX")
+
+
+def make_record(outcome=OUTCOME_FULFILLED):
+    return ProbeRecord(
+        time=100.0,
+        market=MARKET,
+        kind=ProbeKind.ON_DEMAND,
+        trigger=ProbeTrigger.PRICE_SPIKE,
+        outcome=outcome,
+        spike_multiple=2.5,
+        cost=0.133,
+        request_id="i-1",
+    )
+
+
+def test_rejected_flag():
+    assert not make_record().rejected
+    assert make_record("InsufficientInstanceCapacity").rejected
+
+
+def test_row_roundtrip():
+    record = make_record("InsufficientInstanceCapacity")
+    assert ProbeRecord.from_row(record.to_row()) == record
+
+
+def test_row_roundtrip_through_strings():
+    """CSV readers hand back strings; from_row must coerce."""
+    record = make_record()
+    row = {k: str(v) for k, v in record.to_row().items()}
+    assert ProbeRecord.from_row(row) == record
+
+
+def test_unavailability_period_duration():
+    period = UnavailabilityPeriod(
+        MARKET, ProbeKind.ON_DEMAND, start=100.0, end=400.0, probe_count=3
+    )
+    assert period.duration == 300.0
+    assert period.end_observed

@@ -1,0 +1,49 @@
+"""Unit tests for region-level admission control."""
+
+from repro.common.clock import SimClock
+from repro.core.region_manager import RegionManager
+from repro.ec2.limits import RegionLimits
+
+
+def make(clock=None, **kw):
+    clock = clock or SimClock()
+    limits = RegionLimits("us-east-1", clock, **kw)
+    return RegionManager("us-east-1", limits), limits, clock
+
+
+def test_priority_probe_needs_one_token():
+    manager, limits, clock = make(api_rate_per_second=1.0, api_burst=2.0)
+    assert manager.can_issue_probe(priority=True)
+
+
+def test_low_priority_deferred_near_api_limit():
+    manager, limits, clock = make(api_rate_per_second=0.001, api_burst=6.0)
+    assert manager.can_issue_probe(priority=False)  # 6 tokens >= reserve 5
+    limits.charge_api_call()
+    limits.charge_api_call()
+    assert not manager.can_issue_probe(priority=False)  # 4 < reserve
+    assert manager.probes_deferred == 1
+    assert manager.deferred_reasons.get("api-rate") == 1
+
+
+def test_low_priority_deferred_near_slot_limit():
+    manager, limits, clock = make(max_on_demand_instances=3)
+    limits.acquire_on_demand_slot()
+    limits.acquire_on_demand_slot()
+    assert not manager.can_issue_probe(priority=False)
+    assert manager.can_issue_probe(priority=True)
+
+
+def test_priority_deferred_only_at_hard_limit():
+    manager, limits, clock = make(max_on_demand_instances=1)
+    limits.acquire_on_demand_slot()
+    assert not manager.can_issue_probe(priority=True)
+
+
+def test_stats_reflect_counters():
+    manager, limits, clock = make()
+    manager.can_issue_probe()
+    limits.charge_api_call()
+    stats = manager.stats()
+    assert stats["probes_admitted"] == 1
+    assert stats["api_calls_made"] == 1

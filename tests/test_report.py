@@ -1,0 +1,40 @@
+"""Tests for the markdown study report."""
+
+import pytest
+
+from repro.analysis.report import render_study_report
+
+
+@pytest.fixture(scope="module")
+def report(monitored_run):
+    _, spotlight = monitored_run
+    return render_study_report(spotlight)
+
+
+def test_report_has_all_sections(report):
+    for heading in (
+        "# SpotLight availability study",
+        "## On-demand unavailability vs spot price spikes",
+        "## Per-region picture",
+        "## Related-market probing",
+        "## Unavailability durations",
+        "## Spot capacity",
+        "## On-demand vs spot relationship",
+    ):
+        assert heading in report
+
+
+def test_report_mentions_monitored_regions(report):
+    assert "sa-east-1" in report
+    assert "us-east-1" in report
+
+
+def test_report_tables_are_well_formed(report):
+    for line in report.splitlines():
+        if line.startswith("|"):
+            assert line.count("|") >= 3  # at least two cells
+
+
+def test_report_numbers_render_as_percentages(report):
+    assert "%" in report
+    assert "$" in report

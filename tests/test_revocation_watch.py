@@ -1,0 +1,69 @@
+"""Tests for the service-level Revocation probe."""
+
+import pytest
+
+from repro import EC2Simulator, FleetConfig, SpotLight, SpotLightConfig
+from repro.core.market_id import MarketID
+from repro.ec2.catalog import small_catalog
+
+
+@pytest.fixture()
+def rig():
+    catalog = small_catalog(regions=["us-east-1"], families=["m3"])
+    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=3, tick_interval=300.0))
+    spotlight = SpotLight(sim)
+    sim.run_for(600.0)
+    return sim, spotlight
+
+
+MARKET = MarketID("us-east-1a", "m3.large", "Linux/UNIX")
+
+
+def test_surviving_watch_records_none(rig):
+    sim, spotlight = rig
+    started = spotlight.watch_revocation(MARKET, duration=3600.0)
+    if not started:
+        pytest.skip("market did not fulfil at the published price")
+    sim.run_for(2 * 3600.0)
+    observations = [o for o in spotlight.revocation_observations if o[0] == MARKET]
+    assert len(observations) == 1
+    market, start, ttr = observations[0]
+    # Calm us-east market: the instance survives the watch.
+    assert ttr is None or ttr > 0
+
+
+def test_watch_cleans_up_instance(rig):
+    sim, spotlight = rig
+    if not spotlight.watch_revocation(MARKET, duration=1800.0):
+        pytest.skip("market did not fulfil")
+    sim.run_for(3 * 3600.0)
+    live = [
+        i for i in sim.instances.values()
+        if i.is_live and sim.now - i.launch_time > 600.0
+    ]
+    assert live == []
+
+
+def test_watch_on_unmonitored_market_raises(rig):
+    _, spotlight = rig
+    with pytest.raises(KeyError):
+        spotlight.watch_revocation(MarketID("sa-east-1a", "c3.large", "Linux/UNIX"))
+
+
+def test_revoked_watch_records_time_to_revocation(rig):
+    sim, spotlight = rig
+    if not spotlight.watch_revocation(MARKET, duration=12 * 3600.0):
+        pytest.skip("market did not fulfil")
+    # Force a price spike above the watch's bid.
+    market = sim.markets[MARKET.key]
+    from repro.ec2.market import Bid
+
+    sim.run_for(300.0)
+    market.set_bids([Bid(market.max_bid * 0.9, 1000)])
+    market.clear(sim.now, 1)
+    sim._revoke_outbid_instances(market)
+    sim.run_for(1200.0)  # warning + next poll
+    observations = [o for o in spotlight.revocation_observations if o[0] == MARKET]
+    assert observations
+    _, _, ttr = observations[0]
+    assert ttr is not None and ttr > 0

@@ -1,0 +1,57 @@
+"""Unit tests for seeded RNG streams."""
+
+import pytest
+
+from repro.common.rng import RngStream
+
+
+def test_same_seed_and_name_reproduce():
+    a = RngStream(42, "demand")
+    b = RngStream(42, "demand")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_are_independent():
+    a = RngStream(42, "demand")
+    b = RngStream(42, "prices")
+    assert a.random() != b.random()
+
+
+def test_different_seeds_differ():
+    assert RngStream(1, "x").random() != RngStream(2, "x").random()
+
+
+def test_child_streams_do_not_depend_on_consumption():
+    a = RngStream(42, "root")
+    b = RngStream(42, "root")
+    a.random()  # consume from one parent only
+    assert a.child("sub").random() == b.child("sub").random()
+
+
+def test_bernoulli_extremes():
+    rng = RngStream(1, "b")
+    assert all(rng.bernoulli(1.0) for _ in range(10))
+    assert not any(rng.bernoulli(0.0) for _ in range(10))
+
+
+def test_choice_picks_members():
+    rng = RngStream(7, "c")
+    seq = ["a", "b", "c"]
+    for _ in range(20):
+        assert rng.choice(seq) in seq
+
+
+def test_choice_empty_rejected():
+    with pytest.raises(ValueError):
+        RngStream(7, "c").choice([])
+
+
+def test_integers_respects_bounds():
+    rng = RngStream(9, "i")
+    values = {rng.integers(0, 3) for _ in range(100)}
+    assert values <= {0, 1, 2}
+
+
+def test_exponential_positive():
+    rng = RngStream(3, "e")
+    assert all(rng.exponential(100.0) >= 0 for _ in range(50))

@@ -1,0 +1,142 @@
+"""Integration tests for the SpotLight service."""
+
+import pytest
+
+from repro import EC2Simulator, FleetConfig, SpotLight, SpotLightConfig
+from repro.core.market_id import MarketID
+from repro.core.records import ProbeKind, ProbeTrigger
+from repro.ec2.catalog import small_catalog
+
+
+@pytest.fixture()
+def rig():
+    catalog = small_catalog(regions=["sa-east-1"], families=["c3"])
+    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=7, tick_interval=300.0))
+    spotlight = SpotLight(sim, SpotLightConfig(spot_probe_interval=2 * 3600.0))
+    return sim, spotlight
+
+
+def test_scope_filters_markets():
+    catalog = small_catalog(regions=["us-east-1", "sa-east-1"], families=["c3", "m3"])
+    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=7))
+    spotlight = SpotLight(
+        sim, SpotLightConfig(regions=["sa-east-1"], families=["c3"])
+    )
+    assert spotlight.markets
+    for market in spotlight.markets:
+        assert market.region == "sa-east-1"
+        assert market.family == "c3"
+
+
+def test_price_feed_recorded(rig):
+    sim, spotlight = rig
+    sim.run_for(3600.0)
+    market = next(iter(spotlight.markets))
+    assert spotlight.database.prices(market)
+
+
+def test_price_recording_can_be_disabled():
+    catalog = small_catalog(regions=["us-east-1"], families=["m3"])
+    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=7))
+    spotlight = SpotLight(sim, record_prices=False)
+    sim.run_for(3600.0)
+    market = next(iter(spotlight.markets))
+    assert not spotlight.database.prices(market)
+
+
+def test_spike_triggers_on_demand_probes(rig):
+    sim, spotlight = rig
+    sim.run_for(2 * 86400.0)
+    spike_probes = [
+        p
+        for p in spotlight.database.probes(kind=ProbeKind.ON_DEMAND)
+        if p.trigger is ProbeTrigger.PRICE_SPIKE
+    ]
+    assert spike_probes, "a volatile region must produce spike-triggered probes"
+    # Every spike-triggered probe was triggered at or above the threshold.
+    for probe in spike_probes:
+        assert probe.spike_multiple >= spotlight.config.threshold_multiple
+
+
+def test_detected_rejection_fans_out_to_related_markets(rig):
+    sim, spotlight = rig
+    sim.run_for(3 * 86400.0)
+    triggers = {p.trigger for p in spotlight.database.probes()}
+    if not any(
+        p.rejected for p in spotlight.database.probes(kind=ProbeKind.ON_DEMAND)
+    ):
+        pytest.skip("seed produced no rejections in the window")
+    assert ProbeTrigger.RELATED_FAMILY in triggers
+    assert ProbeTrigger.RECOVERY in triggers
+
+
+def test_periodic_spot_probes_run(rig):
+    sim, spotlight = rig
+    spotlight.start()
+    sim.run_for(86400.0)
+    periodic = [
+        p
+        for p in spotlight.database.probes(kind=ProbeKind.SPOT)
+        if p.trigger is ProbeTrigger.PERIODIC
+    ]
+    assert periodic
+
+
+def test_start_is_idempotent(rig):
+    sim, spotlight = rig
+    spotlight.start()
+    spotlight.start()
+    sim.run_for(3600.0)  # would double-probe if start stacked schedules
+
+
+def test_budget_limits_probing():
+    catalog = small_catalog(regions=["sa-east-1"], families=["c3"])
+    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=7, tick_interval=300.0))
+    spotlight = SpotLight(sim, SpotLightConfig(budget=1.0, budget_window=30 * 86400.0))
+    sim.run_for(2 * 86400.0)
+    assert spotlight.budget.total_spent() <= 3.0  # one in-flight overshoot max
+
+
+def test_zero_sampling_probability_probes_nothing():
+    catalog = small_catalog(regions=["sa-east-1"], families=["c3"])
+    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=7, tick_interval=300.0))
+    spotlight = SpotLight(sim, SpotLightConfig(sampling_probability=0.0))
+    sim.run_for(86400.0)
+    spikes = [
+        p for p in spotlight.database.probes()
+        if p.trigger is ProbeTrigger.PRICE_SPIKE
+    ]
+    assert spikes == []
+
+
+def test_manual_probes(rig):
+    sim, spotlight = rig
+    sim.run_for(600.0)
+    market = next(iter(spotlight.markets))
+    spotlight.probe_on_demand(market)
+    spotlight.probe_spot(market)
+    triggers = [p.trigger for p in spotlight.database.probes(market=market)]
+    assert triggers.count(ProbeTrigger.MANUAL) == 2
+
+
+def test_bid_spread_via_service(rig):
+    sim, spotlight = rig
+    sim.run_for(600.0)
+    market = next(iter(spotlight.markets))
+    result = spotlight.bid_spread(market)
+    assert result.market == market
+
+
+def test_unknown_market_raises(rig):
+    sim, spotlight = rig
+    with pytest.raises(KeyError):
+        spotlight.probe_on_demand(MarketID("us-east-1a", "m3.large", "Linux/UNIX"))
+
+
+def test_stats_shape(rig):
+    sim, spotlight = rig
+    sim.run_for(3600.0)
+    stats = spotlight.stats()
+    assert stats["monitored_markets"] == len(spotlight.markets)
+    assert "sa-east-1" in stats["regions"]
+    assert stats["probes_logged"] == len(spotlight.database)

@@ -1,0 +1,97 @@
+"""Tests for the spot-block (defined duration) contract of Table 2.1."""
+
+import pytest
+
+from repro.common.errors import BadParametersError, InsufficientInstanceCapacityError
+from repro.ec2.catalog import small_catalog
+from repro.ec2.instance import LIFECYCLE_SPOT_BLOCK
+from repro.ec2.platform import EC2Simulator, FleetConfig
+
+
+@pytest.fixture()
+def sim():
+    catalog = small_catalog(regions=["us-east-1"], families=["m3"])
+    simulator = EC2Simulator(FleetConfig(catalog=catalog, seed=3, tick_interval=300.0))
+    simulator.run_for(600.0)
+    return simulator
+
+
+MARKET = ("m3.large", "us-east-1a", "Linux/UNIX")
+
+
+class TestPricing:
+    def test_block_price_between_spot_and_on_demand(self, sim):
+        od = sim.catalog.on_demand_price("m3.large", "us-east-1")
+        for hours in range(1, 7):
+            block = sim.catalog.spot_block_price("m3.large", "us-east-1", "Linux/UNIX", hours)
+            assert 0.3 * od < block < od  # "Medium" cost in Table 2.1
+
+    def test_longer_blocks_cost_more_per_hour(self, sim):
+        prices = [
+            sim.catalog.spot_block_price("m3.large", "us-east-1", "Linux/UNIX", h)
+            for h in range(1, 7)
+        ]
+        assert prices == sorted(prices)
+
+    def test_duration_bounds(self, sim):
+        with pytest.raises(ValueError):
+            sim.catalog.spot_block_price("m3.large", "us-east-1", "Linux/UNIX", 0)
+        with pytest.raises(ValueError):
+            sim.catalog.spot_block_price("m3.large", "us-east-1", "Linux/UNIX", 7)
+
+
+class TestLifecycle:
+    def test_block_runs_for_its_duration_then_expires(self, sim):
+        block = sim.request_spot_block(*MARKET, duration_hours=2)
+        assert block.lifecycle == LIFECYCLE_SPOT_BLOCK
+        sim.run_for(3600.0)
+        assert block.state.value == "running"
+        sim.run_for(3700.0)  # past the 2-hour mark
+        assert block.state.value == "terminated"
+
+    def test_block_is_not_revoked_by_price_spikes(self, sim):
+        block = sim.request_spot_block(*MARKET, duration_hours=3)
+        market = sim.markets[("us-east-1a", "m3.large", "Linux/UNIX")]
+        from repro.ec2.market import Bid
+
+        sim.run_for(300.0)
+        market.set_bids([Bid(market.max_bid * 0.9, 1000)])
+        market.clear(sim.now, 1)
+        sim._revoke_outbid_instances(market)
+        sim.run_for(600.0)
+        assert block.is_live  # unaffected: blocks are not in the spot pool
+
+    def test_block_billing_at_block_rate(self, sim):
+        sim.request_spot_block(*MARKET, duration_hours=2)
+        sim.run_for(2 * 3600.0 + 120.0)
+        record = sim.billing[-1]
+        expected_rate = sim.catalog.spot_block_price(
+            "m3.large", "us-east-1", "Linux/UNIX", 2
+        )
+        assert record.rate == pytest.approx(expected_rate)
+        assert record.hours_charged >= 2.0
+
+    def test_early_termination_releases_capacity(self, sim):
+        pool = sim.pools[("us-east-1a", "m3")]
+        sim.run_for(310.0)  # settle past a demand tick
+        before = pool.od_units_by_type.get("m3.large", 0)
+        block = sim.request_spot_block(*MARKET, duration_hours=6)
+        assert pool.od_units_by_type["m3.large"] == before + block.units
+        sim.terminate_spot_block(block.instance_id)
+        assert pool.od_units_by_type["m3.large"] == before
+        assert block.state.value == "terminated"
+
+    def test_obtainability_not_guaranteed(self, sim):
+        pool = sim.pools[("us-east-1a", "m3")]
+        pool.od_type_bounds["m3.large"] = pool.od_units_by_type.get("m3.large", 0)
+        with pytest.raises(InsufficientInstanceCapacityError):
+            sim.request_spot_block(*MARKET, duration_hours=1)
+
+    def test_terminating_unknown_block_rejected(self, sim):
+        with pytest.raises(BadParametersError):
+            sim.terminate_spot_block("i-doesnotexist")
+
+    def test_terminating_regular_instance_as_block_rejected(self, sim):
+        instance = sim.run_instances(*MARKET)
+        with pytest.raises(BadParametersError):
+            sim.terminate_spot_block(instance.instance_id)

@@ -1,0 +1,100 @@
+"""Tests for the synthetic trace generator."""
+
+import pytest
+
+from repro.traces import (
+    SpotPriceTraceGenerator,
+    TraceConfig,
+    load_trace_csv,
+    profile,
+    save_trace_csv,
+)
+
+WEEK = 7 * 86400.0
+
+
+def make(seed=1, **kw):
+    return SpotPriceTraceGenerator(TraceConfig(**kw), seed=seed)
+
+
+def test_deterministic_given_seed():
+    a = make(seed=5).generate(86400.0)
+    b = make(seed=5).generate(86400.0)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    assert make(seed=1).generate(86400.0) != make(seed=2).generate(86400.0)
+
+
+def test_prices_respect_floor_and_cap():
+    cfg = TraceConfig(on_demand_price=1.0)
+    events = SpotPriceTraceGenerator(cfg, seed=3).generate(WEEK)
+    for _, price in events:
+        assert cfg.on_demand_price * cfg.floor_fraction <= price
+        assert price <= cfg.on_demand_price * cfg.cap_multiple + 1e-9
+
+
+def test_mean_price_near_base_fraction():
+    cfg = TraceConfig(on_demand_price=1.0, base_fraction=0.1, spike_rate_per_day=0.0)
+    events = SpotPriceTraceGenerator(cfg, seed=3).generate(WEEK)
+    prices = [p for _, p in events]
+    mean = sum(prices) / len(prices)
+    assert 0.03 <= mean <= 0.35
+
+
+def test_volatile_profile_exceeds_on_demand_sometimes():
+    """Figure 2.1's headline: the spot price periodically exceeds the
+    on-demand price."""
+    cfg = profile("c3.2xlarge-us-east-1d")
+    events = SpotPriceTraceGenerator(cfg, seed=9).generate(2 * WEEK)
+    assert any(price > cfg.on_demand_price for _, price in events)
+
+
+def test_events_are_time_ordered_changes():
+    events = make(seed=4).generate(86400.0)
+    times = [t for t, _ in events]
+    assert times == sorted(times)
+    for (_, p1), (_, p2) in zip(events, events[1:]):
+        assert p1 != p2  # only changes are recorded
+
+
+def test_correlated_siblings_share_spikes():
+    cfg = profile("c3.2xlarge-us-east-1d")
+    gen = SpotPriceTraceGenerator(cfg, seed=7)
+    series = gen.generate_correlated(WEEK, siblings=3, correlation=1.0)
+    assert len(series) == 3
+    for events in series:
+        assert events
+
+
+def test_correlation_bounds_validated():
+    gen = make()
+    with pytest.raises(ValueError):
+        gen.generate_correlated(WEEK, siblings=2, correlation=1.5)
+    with pytest.raises(ValueError):
+        gen.generate_correlated(WEEK, siblings=0)
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(KeyError):
+        profile("q9.mega-moon-1a")
+
+
+def test_csv_roundtrip(tmp_path):
+    events = make(seed=2).generate(86400.0)
+    path = tmp_path / "trace.csv"
+    assert save_trace_csv(path, events, market="test") == len(events)
+    restored = load_trace_csv(path)
+    assert len(restored) == len(events)
+    assert restored[0][0] == pytest.approx(events[0][0])
+    assert restored[0][1] == pytest.approx(events[0][1])
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        TraceConfig(on_demand_price=0.0)
+    with pytest.raises(ValueError):
+        TraceConfig(base_fraction=0.0)
+    with pytest.raises(ValueError):
+        TraceConfig(step_seconds=0.0)
