@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+import numpy as np
+
 from repro.analysis.context import AnalysisContext
 from repro.analysis.spikes import (
     CUMULATIVE_SPIKE_BUCKETS,
@@ -77,29 +79,37 @@ def rejected_probes_by_region(
 ) -> dict[str, dict[tuple[float, float], float]]:
     """Figure 5.5: per spike-size interval, each region's share of the
     rejected spike-triggered probes (shares sum to 1 per bucket)."""
-    counts: dict[tuple[float, float], dict[str, int]] = defaultdict(
-        lambda: defaultdict(int)
-    )
+    multiples: list[float] = []
+    record_regions: list[str] = []
     for record in context.database.probes(
         kind=ProbeKind.ON_DEMAND, rejected=True
     ):
         if record.trigger is not ProbeTrigger.PRICE_SPIKE:
             continue
-        for bucket in buckets:
-            lo, hi = bucket
-            if lo <= record.spike_multiple < hi:
-                counts[bucket][record.market.region] += 1
-                break
+        multiples.append(record.spike_multiple)
+        record_regions.append(record.market.region)
+    multiple_column = np.asarray(multiples)
+    region_column = np.asarray(record_regions)
+    # One membership mask per bucket; a record lands in the first (and,
+    # the buckets being disjoint, only) interval containing it.
+    bucket_masks = {
+        bucket: (multiple_column >= bucket[0]) & (multiple_column < bucket[1])
+        for bucket in buckets
+    }
     regions = sorted(
-        {region for bucket_counts in counts.values() for region in bucket_counts}
+        {r for mask in bucket_masks.values() for r in region_column[mask]}
     )
     result: dict[str, dict[tuple[float, float], float]] = {
         region: {} for region in regions
     }
-    for bucket in buckets:
-        total = sum(counts[bucket].values())
+    for bucket, mask in bucket_masks.items():
+        total = int(mask.sum())
         for region in regions:
-            share = counts[bucket][region] / total if total else 0.0
+            share = (
+                int((mask & (region_column == region)).sum()) / total
+                if total
+                else 0.0
+            )
             result[region][bucket] = share
     return result
 

@@ -8,28 +8,59 @@ Two phenomena the paper demonstrates with price series:
   efficient market would not allow;
 * *cross-zone divergence* (Figure 5.1b): the same type's price differs
   by 5-6x between availability zones of one region.
+
+Both readers sample every market's step-function price series on a
+shared time grid.  They work on the database's columnar views: one
+``searchsorted`` per market resamples its whole series onto the grid,
+instead of a per-sample Python scan per grid point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.database import ProbeDatabase
 from repro.core.market_id import MarketID
 
 
-def _price_series(db: ProbeDatabase, market: MarketID) -> list[tuple[float, float]]:
-    return [(r.time, r.price) for r in db.prices(market)]
+def _sample_grid(
+    db: ProbeDatabase, markets: list[MarketID], interval: float
+) -> np.ndarray:
+    """The shared sample times: ``interval`` steps over the union span."""
+    first = None
+    last = None
+    for market in markets:
+        times, _ = db.price_arrays(market)
+        if len(times) == 0:
+            continue
+        first = times[0] if first is None else min(first, times[0])
+        last = times[-1] if last is None else max(last, times[-1])
+    if first is None:
+        return np.empty(0)
+    # Inclusive of the last observation but never past it, matching the
+    # `while clock <= last` loop this replaces (the epsilon absorbs
+    # float division error when the span is an exact multiple).
+    steps = int(np.floor((last - first) / interval + 1e-9)) + 1
+    return first + interval * np.arange(steps)
 
 
-def _price_at(series: list[tuple[float, float]], when: float) -> float | None:
-    """Step-function lookup (None before the first sample)."""
-    result = None
-    for t, p in series:
-        if t > when:
-            break
-        result = p
-    return result
+def _sampled_prices(
+    db: ProbeDatabase, market: MarketID, grid: np.ndarray
+) -> np.ndarray:
+    """Step-function lookup of a market's price at each grid time.
+
+    Returns NaN before the market's first sample.
+    """
+    times, prices = db.price_arrays(market)
+    out = np.full(len(grid), np.nan)
+    if len(times) == 0:
+        return out
+    idx = np.searchsorted(times, grid, side="right") - 1
+    seen = idx >= 0
+    out[seen] = prices[idx[seen]]
+    return out
 
 
 @dataclass(frozen=True)
@@ -63,34 +94,34 @@ def family_inversions(
 
     ``units`` maps instance type name to its capacity units.
     """
-    series = {m: _price_series(db, m) for m in markets}
-    times = sorted({t for s in series.values() for t, _ in s})
-    if not times:
+    grid = _sample_grid(db, markets, sample_interval)
+    if len(grid) == 0:
         return []
-    inversions: list[ArbitrageWindow] = []
-    clock = times[0]
-    while clock <= times[-1]:
-        ordered = sorted(markets, key=lambda m: units[m.instance_type])
-        for i, small in enumerate(ordered):
-            for large in ordered[i + 1:]:
-                ps = _price_at(series[small], clock)
-                pl = _price_at(series[large], clock)
-                if ps is None or pl is None:
-                    continue
-                per_unit_small = ps / units[small.instance_type]
-                per_unit_large = pl / units[large.instance_type]
-                if per_unit_small > per_unit_large:
-                    inversions.append(
-                        ArbitrageWindow(
-                            clock,
-                            small.instance_type,
-                            large.instance_type,
-                            ps,
-                            pl,
-                        )
-                    )
-        clock += sample_interval
-    return inversions
+    ordered = sorted(markets, key=lambda m: units[m.instance_type])
+    sampled = {m: _sampled_prices(db, m, grid) for m in ordered}
+
+    # Collect (grid index, small index, large index) hits, then sort by
+    # time so the output order matches the per-instant scan it replaces.
+    hits: list[tuple[int, int, int]] = []
+    for i, small in enumerate(ordered):
+        per_unit_small = sampled[small] / units[small.instance_type]
+        for j in range(i + 1, len(ordered)):
+            large = ordered[j]
+            per_unit_large = sampled[large] / units[large.instance_type]
+            with np.errstate(invalid="ignore"):
+                inverted = per_unit_small > per_unit_large
+            hits.extend((k, i, j) for k in np.flatnonzero(inverted))
+    hits.sort()
+    return [
+        ArbitrageWindow(
+            float(grid[k]),
+            ordered[i].instance_type,
+            ordered[j].instance_type,
+            float(sampled[ordered[i]][k]),
+            float(sampled[ordered[j]][k]),
+        )
+        for k, i, j in hits
+    ]
 
 
 def cross_zone_divergence(
@@ -101,19 +132,16 @@ def cross_zone_divergence(
     """Figure 5.1b: (time, max/min price ratio) across zones for one
     instance type.  An efficient market would keep the ratio near 1;
     the paper observes ratios of 5-6x."""
-    series = {m: _price_series(db, m) for m in markets}
-    times = sorted({t for s in series.values() for t, _ in s})
-    if not times:
+    grid = _sample_grid(db, markets, sample_interval)
+    if len(grid) == 0:
         return []
-    out: list[tuple[float, float]] = []
-    clock = times[0]
-    while clock <= times[-1]:
-        prices = [
-            p
-            for m in markets
-            if (p := _price_at(series[m], clock)) is not None
-        ]
-        if len(prices) >= 2 and min(prices) > 0:
-            out.append((clock, max(prices) / min(prices)))
-        clock += sample_interval
-    return out
+    matrix = np.vstack([_sampled_prices(db, m, grid) for m in markets])
+    defined = ~np.isnan(matrix)
+    enough = defined.sum(axis=0) >= 2
+    with np.errstate(invalid="ignore"):
+        highest = np.nanmax(np.where(defined, matrix, -np.inf), axis=0)
+        lowest = np.nanmin(np.where(defined, matrix, np.inf), axis=0)
+    usable = enough & (lowest > 0)
+    return list(
+        zip(grid[usable].tolist(), (highest[usable] / lowest[usable]).tolist())
+    )

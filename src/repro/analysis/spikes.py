@@ -60,17 +60,22 @@ def extract_spike_events(
     """All price observations at/above ``threshold x on-demand``.
 
     ``on_demand_price`` is a callable ``MarketID -> float`` (usually
-    ``SpotLightQuery.on_demand_price``).
+    ``SpotLightQuery.on_demand_price``).  Works directly on the
+    database's columnar price views: the threshold filter is one
+    vectorized comparison per market and only the qualifying samples
+    are materialized as events.
     """
     events: list[SpikeEvent] = []
-    for market, records in database.iter_price_series():
-        if markets is not None and market not in markets:
+    market_set = None if markets is None else set(markets)
+    for market, times, prices in database.iter_price_arrays():
+        if market_set is not None and market not in market_set:
             continue
-        od = on_demand_price(market)
-        for record in records:
-            multiple = record.price / od
-            if multiple >= threshold_multiple:
-                events.append(SpikeEvent(record.time, market, multiple))
+        multiples = prices / on_demand_price(market)
+        hits = multiples >= threshold_multiple
+        events.extend(
+            SpikeEvent(t, market, m)
+            for t, m in zip(times[hits].tolist(), multiples[hits].tolist())
+        )
     events.sort(key=lambda e: (e.time, e.market))
     return events
 

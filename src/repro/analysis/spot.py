@@ -9,7 +9,7 @@ distribution of insufficiency events over price levels.
 
 from __future__ import annotations
 
-from collections import defaultdict
+import numpy as np
 
 from repro.analysis.context import AnalysisContext
 from repro.common import errors
@@ -26,6 +26,24 @@ def _unbiased_spot_probes(context: AnalysisContext):
     for record in context.database.probes(kind=ProbeKind.SPOT):
         if record.trigger in UNBIASED_TRIGGERS:
             yield record
+
+
+def _unbiased_spot_columns(
+    context: AnalysisContext,
+) -> tuple[np.ndarray, np.ndarray, list[str]]:
+    """The unbiased probes as columns: (price fraction, is-CNA, region).
+
+    One pass over the records; the per-level/per-bucket tallies below
+    are then vectorized comparisons instead of nested Python loops.
+    """
+    fractions: list[float] = []
+    cna: list[bool] = []
+    regions: list[str] = []
+    for record in _unbiased_spot_probes(context):
+        fractions.append(record.spike_multiple)  # spot / on-demand price
+        cna.append(record.outcome == errors.STATUS_CAPACITY_NOT_AVAILABLE)
+        regions.append(record.market.region)
+    return np.asarray(fractions), np.asarray(cna, dtype=bool), regions
 
 #: Figure 5.10 cumulative price-level thresholds: the spot price as a
 #: fraction of the on-demand price (``<1/10X`` ... ``<1X``, then >1X).
@@ -66,29 +84,26 @@ def spot_unavailability_by_price(
     Among spot probes whose trigger-time price fraction was below each
     level, the fraction held ``capacity-not-available``.
     """
-    totals: dict[str, dict[float, int]] = defaultdict(lambda: defaultdict(int))
-    hits: dict[str, dict[float, int]] = defaultdict(lambda: defaultdict(int))
+    fractions, cna, regions = _unbiased_spot_columns(context)
+    if len(fractions) == 0:
+        return {}
+    groups: dict[str, np.ndarray] = {"all": np.ones(len(fractions), dtype=bool)}
+    if by_region:
+        region_array = np.asarray(regions)
+        for region in dict.fromkeys(regions):  # first-seen order
+            groups[region] = region_array == region
 
-    for record in _unbiased_spot_probes(context):
-        fraction = record.spike_multiple  # spot price / on-demand price
-        cna = record.outcome == errors.STATUS_CAPACITY_NOT_AVAILABLE
-        keys = ["all"]
-        if by_region:
-            keys.append(record.market.region)
+    result: dict[str, dict[float, float]] = {}
+    for key, group in groups.items():
+        per_level = {}
         for level in levels:
-            if fraction < level:
-                for key in keys:
-                    totals[key][level] += 1
-                    if cna:
-                        hits[key][level] += 1
-    return {
-        key: {
-            level: hits[key][level] / totals[key][level]
-            for level in levels
-            if totals[key][level] > 0
-        }
-        for key in totals
-    }
+            below = group & (fractions < level)
+            total = int(below.sum())
+            if total > 0:
+                per_level[level] = int((below & cna).sum()) / total
+        if per_level:
+            result[key] = per_level
+    return result
 
 
 def spot_insufficiency_distribution(
@@ -97,22 +112,28 @@ def spot_insufficiency_distribution(
 ) -> dict[str, dict[tuple[float, float], float]]:
     """Figure 5.11: per region, the share of its capacity-not-available
     events falling in each price-level interval (shares sum to 1)."""
-    counts: dict[str, dict[tuple[float, float], int]] = defaultdict(
-        lambda: defaultdict(int)
-    )
-    for record in _unbiased_spot_probes(context):
-        if record.outcome != errors.STATUS_CAPACITY_NOT_AVAILABLE:
-            continue
-        for bucket in levels:
-            lo, hi = bucket
-            if lo <= record.spike_multiple < hi:
-                counts[record.market.region][bucket] += 1
-                break
+    fractions, cna, regions = _unbiased_spot_columns(context)
     result: dict[str, dict[tuple[float, float], float]] = {}
-    for region, region_counts in counts.items():
-        total = sum(region_counts.values())
+    if not cna.any():
+        return result
+    # Each event lands in the *first* interval containing it, and the
+    # shares are over bucketed events only — with partial level sets an
+    # event outside every interval does not dilute the distribution.
+    assigned = np.zeros(len(fractions), dtype=bool)
+    bucket_masks = {}
+    for lo, hi in levels:
+        mask = cna & ~assigned & (fractions >= lo) & (fractions < hi)
+        bucket_masks[(lo, hi)] = mask
+        assigned |= mask
+    region_array = np.asarray(regions)
+    for region in dict.fromkeys(regions):
+        in_region = region_array == region
+        total = int((assigned & in_region).sum())
+        if total == 0:
+            continue
         result[region] = {
-            bucket: region_counts[bucket] / total for bucket in levels
+            bucket: int((mask & in_region).sum()) / total
+            for bucket, mask in bucket_masks.items()
         }
     return result
 
@@ -120,12 +141,8 @@ def spot_insufficiency_distribution(
 def fraction_below_on_demand(context: AnalysisContext) -> float:
     """The paper's headline: ~98% of spot insufficiency happens while
     the spot price is below the on-demand price."""
-    below = 0
-    total = 0
-    for record in _unbiased_spot_probes(context):
-        if record.outcome != errors.STATUS_CAPACITY_NOT_AVAILABLE:
-            continue
-        total += 1
-        if record.spike_multiple < 1.0:
-            below += 1
-    return below / total if total else 0.0
+    fractions, cna, _ = _unbiased_spot_columns(context)
+    total = int(cna.sum())
+    if not total:
+        return 0.0
+    return int((cna & (fractions < 1.0)).sum()) / total

@@ -3,6 +3,12 @@
 A tiny, allocation-light event queue.  Events fire in (time, sequence)
 order, so two events scheduled for the same instant run in the order they
 were scheduled — this keeps every simulation run deterministic.
+
+Cancellation is lazy (a cancelled event stays in the heap until popped)
+but cheap: the queue keeps a live-event counter so ``len()`` is O(1),
+and it compacts the heap whenever cancelled entries outnumber live
+ones, so a workload that cancels heavily never pays an O(n) scan per
+operation.
 """
 
 from __future__ import annotations
@@ -14,6 +20,10 @@ from typing import Any, Callable
 
 from repro.common.clock import SimClock
 
+# Don't bother compacting tiny heaps; below this size a sweep costs
+# less than the bookkeeping.
+_COMPACT_MIN_SIZE = 64
+
 
 @dataclass(order=True)
 class Event:
@@ -24,10 +34,15 @@ class Event:
     callback: Callable[[], Any] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    _queue: "EventQueue | None" = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._on_cancel()
 
 
 class EventQueue:
@@ -37,13 +52,22 @@ class EventQueue:
         self._clock = clock
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0  # non-cancelled events currently in the heap
 
     @property
     def clock(self) -> SimClock:
         return self._clock
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
+        # Compact when dead entries dominate, keeping pops amortised
+        # O(log n) in the number of *live* events.
+        if len(self._heap) >= _COMPACT_MIN_SIZE and self._live * 2 < len(self._heap):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
 
     def schedule_at(
         self, when: float, callback: Callable[[], Any], label: str = ""
@@ -53,8 +77,9 @@ class EventQueue:
             raise ValueError(
                 f"cannot schedule in the past: now={self._clock.now}, when={when}"
             )
-        event = Event(when, next(self._counter), callback, label)
+        event = Event(when, next(self._counter), callback, label, _queue=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_in(
@@ -68,15 +93,17 @@ class EventQueue:
     def peek_time(self) -> float | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)._queue = None
         return self._heap[0].time if self._heap else None
 
     def step(self) -> Event | None:
         """Run the next event, advancing the clock to its time."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event._queue = None  # cancel() after this point is a no-op
             if event.cancelled:
                 continue
+            self._live -= 1
             self._clock.advance_to(event.time)
             event.callback()
             return event

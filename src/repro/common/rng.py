@@ -67,6 +67,22 @@ class RngStream:
     def bernoulli(self, p: float) -> bool:
         return bool(self._rng.random() < p)
 
+    # -- batch (vectorized) draws ---------------------------------------------
+    # Shape may be an int or a tuple; these consume the same underlying
+    # bit stream as the scalar helpers, just in blocks, which is what
+    # the vectorized simulation core draws from.
+    def uniforms(self, shape, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+        return self._rng.uniform(low, high, size=shape)
+
+    def normals(self, shape, loc: float = 0.0, scale: float = 1.0) -> np.ndarray:
+        return self._rng.normal(loc, scale, size=shape)
+
+    def lognormals(self, shape, mean: float = 0.0, sigma: float = 1.0) -> np.ndarray:
+        return self._rng.lognormal(mean, sigma, size=shape)
+
+    def exponentials(self, shape, mean: float) -> np.ndarray:
+        return self._rng.exponential(mean, size=shape)
+
     @property
     def numpy(self) -> np.random.Generator:
         """Direct access to the underlying numpy generator."""

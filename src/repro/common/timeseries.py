@@ -1,0 +1,63 @@
+"""Packed columnar time series.
+
+One pair of ``array('d')`` columns — times (ascending) and values —
+instead of one object per sample.  Both the spot markets' price
+histories and the probe database's price series are stored this way: a
+paper-scale run records millions of samples, and the struct-of-arrays
+layout keeps them compact, bisects on the time column directly, and
+hands analysis code zero-copy numpy views.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+
+import numpy as np
+
+
+class TimeSeries:
+    """Two packed float columns: ascending times and matching values.
+
+    Callers enforce time ordering (so they can raise domain-specific
+    errors); :meth:`append` itself is unchecked.
+    """
+
+    __slots__ = ("times", "values")
+
+    def __init__(self) -> None:
+        self.times = array("d")
+        self.values = array("d")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def append(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def bounds(self, start: float | None, end: float | None) -> tuple[int, int]:
+        """Index range of samples with ``start <= time <= end``."""
+        lo = 0 if start is None else bisect_left(self.times, start)
+        hi = len(self.times) if end is None else bisect_right(self.times, end)
+        return lo, hi
+
+    def arrays(
+        self, start: float | None = None, end: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` as numpy snapshot copies.
+
+        Copies, not views: ``np.frombuffer`` over the live columns would
+        pin their buffers and make the next :meth:`append` raise
+        ``BufferError`` while a caller still holds the result.  The
+        transient view below is dropped as soon as the copy is made.
+        """
+        lo, hi = self.bounds(start, end)
+        times = np.frombuffer(self.times, dtype=np.float64)[lo:hi].copy()
+        values = np.frombuffer(self.values, dtype=np.float64)[lo:hi].copy()
+        return times, values
+
+    def value_at_or_before(self, when: float) -> float | None:
+        """Step-function lookup: the last value at or before ``when``."""
+        idx = bisect_right(self.times, when) - 1
+        return self.values[idx] if idx >= 0 else None

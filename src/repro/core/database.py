@@ -6,17 +6,32 @@ concurrent markets; here the database is an in-memory, indexed store
 with CSV export/import.  Everything the analysis chapter needs is
 derived from it: rejected-probe sets, unavailability periods, and price
 series.
+
+Price series are stored **column-wise**: per market, two packed
+``array('d')`` columns (times, prices) instead of one ``PriceRecord``
+object per sample.  A paper-scale run logs millions of samples, and the
+columnar layout keeps them compact, lets range queries bisect the time
+column directly, and gives the analysis readers numpy snapshots
+(:meth:`ProbeDatabase.price_arrays`).  ``PriceRecord`` objects are
+materialized lazily, only when a caller asks for them.
+
+Probe records are kept once, per market (the old layout also kept a
+second global list, doubling memory); the global, time-ordered view is
+derived lazily by merging the per-market lists and cached until the
+next insert.
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from bisect import bisect_left, bisect_right
-from collections import defaultdict
+from heapq import merge
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterator
 
+import numpy as np
+
+from repro.common.timeseries import TimeSeries
 from repro.core.market_id import MarketID
 from repro.core.records import (
     OUTCOME_FULFILLED,
@@ -27,41 +42,73 @@ from repro.core.records import (
 )
 
 
+def _materialize_prices(
+    column: TimeSeries,
+    market: MarketID,
+    start: float | None = None,
+    end: float | None = None,
+) -> list[PriceRecord]:
+    lo, hi = column.bounds(start, end)
+    return [
+        PriceRecord(t, market, p)
+        for t, p in zip(column.times[lo:hi], column.values[lo:hi])
+    ]
+
+
 class ProbeDatabase:
     """Indexed in-memory store of probe and price records."""
 
     def __init__(self) -> None:
-        self._probes: list[ProbeRecord] = []
-        self._probes_by_market: dict[MarketID, list[ProbeRecord]] = defaultdict(list)
-        self._prices_by_market: dict[MarketID, list[PriceRecord]] = defaultdict(list)
+        self._probes_by_market: dict[MarketID, list[ProbeRecord]] = {}
+        self._probe_count = 0
+        self._all_probes_cache: list[ProbeRecord] | None = None
+        self._prices_by_market: dict[MarketID, TimeSeries] = {}
 
     # -- ingestion -----------------------------------------------------------
     def insert_probe(self, record: ProbeRecord) -> None:
         """Append a probe record (times must be non-decreasing per market)."""
-        per_market = self._probes_by_market[record.market]
+        per_market = self._probes_by_market.setdefault(record.market, [])
         if per_market and record.time < per_market[-1].time:
             raise ValueError(
                 f"probe records must arrive in time order for {record.market}"
             )
-        self._probes.append(record)
         per_market.append(record)
+        self._probe_count += 1
+        self._all_probes_cache = None
 
     def insert_price(self, record: PriceRecord) -> None:
-        per_market = self._prices_by_market[record.market]
-        if per_market and record.time < per_market[-1].time:
+        column = self._prices_by_market.setdefault(record.market, TimeSeries())
+        if column.times and record.time < column.times[-1]:
             raise ValueError(
                 f"price records must arrive in time order for {record.market}"
             )
-        per_market.append(record)
+        column.append(record.time, record.price)
 
     # -- raw queries -----------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._probes)
+        return self._probe_count
 
     @property
     def markets(self) -> list[MarketID]:
         """All markets with at least one probe or price record."""
         return sorted(set(self._probes_by_market) | set(self._prices_by_market))
+
+    def _all_probes(self) -> list[ProbeRecord]:
+        """Every probe record, globally time-ordered (ties by market).
+
+        Derived by merging the per-market time-ordered lists; cached
+        until the next insert, so repeated analysis passes pay the merge
+        once.
+        """
+        if self._all_probes_cache is None:
+            per_market = [
+                self._probes_by_market[market]
+                for market in sorted(self._probes_by_market)
+            ]
+            self._all_probes_cache = list(
+                merge(*per_market, key=lambda record: record.time)
+            )
+        return self._all_probes_cache
 
     def probes(
         self,
@@ -72,11 +119,10 @@ class ProbeDatabase:
         end: float | None = None,
     ) -> list[ProbeRecord]:
         """Probe records filtered by market/kind/outcome/time range."""
-        source: Iterable[ProbeRecord]
         if market is not None:
             source = self._probes_by_market.get(market, [])
         else:
-            source = self._probes
+            source = self._all_probes()
         out = []
         for record in source:
             if kind is not None and record.kind is not kind:
@@ -96,21 +142,39 @@ class ProbeDatabase:
         start: float | None = None,
         end: float | None = None,
     ) -> list[PriceRecord]:
-        """Price records for one market, time-ordered."""
-        records = self._prices_by_market.get(market, [])
-        if start is None and end is None:
-            return list(records)
-        times = [r.time for r in records]
-        lo = 0 if start is None else bisect_left(times, start)
-        hi = len(records) if end is None else bisect_right(times, end)
-        return records[lo:hi]
+        """Price records for one market, time-ordered (materialized)."""
+        column = self._prices_by_market.get(market)
+        if column is None:
+            return []
+        return _materialize_prices(column, market, start, end)
+
+    def price_arrays(
+        self,
+        market: MarketID,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar snapshot of one market's price series: ``(times,
+        prices)`` as numpy arrays (copies — safe to hold across further
+        inserts)."""
+        column = self._prices_by_market.get(market)
+        if column is None:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty
+        return column.arrays(start, end)
+
+    def price_count(self, market: MarketID | None = None) -> int:
+        """Number of price samples (for one market or in total)."""
+        if market is not None:
+            return len(self._prices_by_market.get(market, ()))
+        return sum(len(c) for c in self._prices_by_market.values())
 
     def price_at(self, market: MarketID, when: float) -> float | None:
         """The last observed price at or before ``when`` (None if unseen)."""
-        records = self._prices_by_market.get(market, [])
-        times = [r.time for r in records]
-        idx = bisect_right(times, when) - 1
-        return records[idx].price if idx >= 0 else None
+        column = self._prices_by_market.get(market)
+        if column is None:
+            return None
+        return column.value_at_or_before(when)
 
     # -- derived data -------------------------------------------------------------
     def unavailability_periods(
@@ -159,7 +223,11 @@ class ProbeDatabase:
         return periods
 
     def total_probe_cost(self) -> float:
-        return sum(record.cost for record in self._probes)
+        return sum(
+            record.cost
+            for records in self._probes_by_market.values()
+            for record in records
+        )
 
     def rejection_rate(
         self, market: MarketID | None = None, kind: ProbeKind | None = None
@@ -172,8 +240,8 @@ class ProbeDatabase:
 
     # -- persistence --------------------------------------------------------------------
     def export_probes_csv(self, path: str | Path) -> int:
-        """Write all probe records to CSV; returns the row count."""
-        rows = [record.to_row() for record in self._probes]
+        """Write all probe records to CSV (time-ordered); returns the row count."""
+        rows = [record.to_row() for record in self._all_probes()]
         path = Path(path)
         with path.open("w", newline="") as handle:
             if not rows:
@@ -192,11 +260,52 @@ class ProbeDatabase:
                 db.insert_probe(ProbeRecord.from_row(row))
         return db
 
+    def export_prices_csv(self, path: str | Path) -> int:
+        """Write all price series to CSV; returns the sample count.
+
+        Markets are written in sorted order, each market's samples in
+        time order, so the file is deterministic and re-importable.
+        """
+        path = Path(path)
+        count = 0
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["time", "availability_zone", "instance_type", "product", "price"]
+            )
+            for market in sorted(self._prices_by_market):
+                column = self._prices_by_market[market]
+                for t, p in zip(column.times, column.values):
+                    writer.writerow(
+                        [
+                            repr(t),
+                            market.availability_zone,
+                            market.instance_type,
+                            market.product,
+                            repr(p),
+                        ]
+                    )
+                    count += 1
+        return count
+
+    @classmethod
+    def import_prices_csv(cls, path: str | Path) -> "ProbeDatabase":
+        db = cls()
+        with Path(path).open(newline="") as handle:
+            for row in csv.DictReader(handle):
+                market = MarketID(
+                    row["availability_zone"], row["instance_type"], row["product"]
+                )
+                db.insert_price(
+                    PriceRecord(float(row["time"]), market, float(row["price"]))
+                )
+        return db
+
     def export_prices_json(self, path: str | Path) -> int:
         """Write all price series to JSON; returns the sample count."""
         payload = {
-            str(market): [(r.time, r.price) for r in records]
-            for market, records in self._prices_by_market.items()
+            str(market): list(zip(column.times, column.values))
+            for market, column in self._prices_by_market.items()
         }
         Path(path).write_text(json.dumps(payload))
         return sum(len(v) for v in payload.values())
@@ -204,5 +313,13 @@ class ProbeDatabase:
     def iter_price_series(
         self,
     ) -> Iterator[tuple[MarketID, list[PriceRecord]]]:
-        for market, records in self._prices_by_market.items():
-            yield market, list(records)
+        for market, column in self._prices_by_market.items():
+            yield market, _materialize_prices(column, market)
+
+    def iter_price_arrays(
+        self,
+    ) -> Iterator[tuple[MarketID, np.ndarray, np.ndarray]]:
+        """Columnar iteration: ``(market, times, prices)`` per market."""
+        for market, column in self._prices_by_market.items():
+            times, prices = column.arrays()
+            yield market, times, prices

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.database import ProbeDatabase
 from repro.core.market_id import MarketID
 from repro.core.records import ProbeKind, UnavailabilityPeriod
@@ -101,17 +103,15 @@ class SpotLightQuery:
         """Fraction of time the spot price sat at or below ``bid_price``
         (the spot-availability estimate the paper describes users
         computing from price history)."""
-        records = self._db.prices(market, start, end)
-        if len(records) < 2:
+        times, prices = self._db.price_arrays(market, start, end)
+        if len(times) < 2:
             return 1.0
-        total = records[-1].time - records[0].time
+        total = times[-1] - times[0]
         if total <= 0:
             return 1.0
-        available = 0.0
-        for prev, cur in zip(records, records[1:]):
-            if prev.price <= bid_price:
-                available += cur.time - prev.time
-        return available / total
+        intervals = np.diff(times)
+        available = intervals[prices[:-1] <= bid_price].sum()
+        return float(available / total)
 
     def mean_time_to_revocation(
         self,
@@ -123,47 +123,44 @@ class SpotLightQuery:
         """Average run length (seconds) the spot price stays at or
         below ``bid_price`` once it is below — the expected lifetime of
         a spot instance bid at that level."""
-        records = self._db.prices(market, start, end)
-        if not records:
+        times, prices = self._db.price_arrays(market, start, end)
+        if len(times) == 0:
             return 0.0
-        runs: list[float] = []
-        run_start: float | None = None
-        for record in records:
-            if record.price <= bid_price:
-                if run_start is None:
-                    run_start = record.time
-            elif run_start is not None:
-                runs.append(record.time - run_start)
-                run_start = None
-        if run_start is not None:
-            runs.append(records[-1].time - run_start)
-        if not runs:
+        below = prices <= bid_price
+        # Run starts: below-samples whose predecessor was above (or the
+        # first sample); run ends: the first above-sample after each
+        # start, or the final sample time for a still-open run.
+        previous = np.concatenate(([False], below[:-1]))
+        starts = times[below & ~previous]
+        if len(starts) == 0:
             return 0.0
-        return sum(runs) / len(runs)
+        ends = times[~below & previous]
+        if len(ends) < len(starts):  # trailing open run
+            ends = np.concatenate((ends, times[-1:]))
+        return float(np.mean(ends - starts))
 
     def mean_price(
         self, market: MarketID, start: float = 0.0, end: float | None = None
     ) -> float:
         """Time-weighted mean spot price over the window."""
-        records = self._db.prices(market, start, end)
-        if not records:
+        times, prices = self._db.price_arrays(market, start, end)
+        if len(times) == 0:
             return 0.0
-        if len(records) == 1:
-            return records[0].price
-        weighted = 0.0
-        for prev, cur in zip(records, records[1:]):
-            weighted += prev.price * (cur.time - prev.time)
-        total = records[-1].time - records[0].time
-        return weighted / total if total > 0 else records[-1].price
+        if len(times) == 1:
+            return float(prices[0])
+        total = times[-1] - times[0]
+        if total <= 0:
+            return float(prices[-1])
+        weighted = float(np.dot(prices[:-1], np.diff(times)))
+        return weighted / total
 
     def spike_multiples(
         self, market: MarketID, start: float = 0.0, end: float | None = None
     ) -> list[tuple[float, float]]:
         """(time, price / on-demand price) series for a market."""
         od = self.on_demand_price(market)
-        return [
-            (r.time, r.price / od) for r in self._db.prices(market, start, end)
-        ]
+        times, prices = self._db.price_arrays(market, start, end)
+        return list(zip(times.tolist(), (prices / od).tolist()))
 
     # -- rankings ------------------------------------------------------------------------
     def top_stable_markets(
@@ -181,7 +178,7 @@ class SpotLightQuery:
         for market in self._db.markets:
             if region is not None and market.region != region:
                 continue
-            if not self._db.prices(market):
+            if not self._db.price_count(market):
                 continue
             bid = bid_multiple * self.on_demand_price(market)
             entries.append(

@@ -29,6 +29,19 @@ of Figure 5.10.  When a type's on-demand demand exceeds its bound, the
 overflow fails over to that type's spot markets with high convenience
 bids — the paper's own mechanism for why spot prices spike exactly when
 on-demand servers are unavailable.
+
+Implementation: the hot path is **batched**.  One tick event per pool
+builds the bid stacks of *all* the pool's markets as two ``(markets,
+tiers)`` matrices, draws every random variate of the tick as a handful
+of vectorized blocks from a dedicated ``tick`` child stream, and clears
+all the auctions with array operations (see PERFORMANCE.md for the
+layout and the intentional RNG-stream change this introduced).  A
+scalar reference path (``vectorized=False``) shares the same bid-stack
+construction and RNG draws but runs each auction through
+:meth:`SpotMarket.clear`; seeded runs produce byte-identical price
+series on either path, which the golden regression tests pin down.
+Burst/lull arrivals are likewise coalesced into one superposed Poisson
+process per pool instead of two self-rescheduling events per market.
 """
 
 from __future__ import annotations
@@ -37,11 +50,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.common.clock import SECONDS_PER_DAY, SECONDS_PER_WEEK
 from repro.common.events import EventQueue
 from repro.common.rng import RngStream
 from repro.ec2.catalog import PRODUCT_LINUX, PRODUCT_SUSE, PRODUCT_WINDOWS, Catalog
-from repro.ec2.market import Bid, SpotMarket
+from repro.ec2.market import GLUT_DEMAND_RATIO, Bid, ClearingResult, SpotMarket
 from repro.ec2.pool import CapacityPool, Preemption
 
 DEFAULT_TICK_INTERVAL = 300.0
@@ -63,6 +78,15 @@ BID_WEIGHTS = (0.26, 0.20, 0.16, 0.12, 0.08, 0.06, 0.055, 0.025, 0.015, 0.01, 0.
 # How burst/overflow extra demand spreads over the tiers at and above
 # the on-demand price (zero below it).
 HIGH_TIER_WEIGHTS = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.28, 0.22, 0.19, 0.16, 0.15)
+
+# Adjacent grid multipliers are at least 1.33x apart while the per-tier
+# price jitter spans at most 1.08/0.92 ≈ 1.17x, so jittered tier prices
+# can never reorder — the batch clearing leans on tiers being strictly
+# ascending in price.
+_GRID = np.asarray(BID_GRID)
+_WEIGHTS = np.asarray(BID_WEIGHTS)
+_HIGH_WEIGHTS = np.asarray(HIGH_TIER_WEIGHTS)
+_TIERS = len(BID_GRID)
 
 # Per-type on-demand sub-bounds allow some statistical multiplexing: the
 # shares sum to more than the family bound, so the family-level bound
@@ -258,7 +282,14 @@ class MarketDemandState:
 
 
 class PoolDemandProcess:
-    """Drives one capacity pool and the spot markets it hosts."""
+    """Drives one capacity pool and the spot markets it hosts.
+
+    ``vectorized`` selects the batch clearing path (the default); the
+    scalar path draws the same RNG blocks and builds the same bid
+    stacks, then runs each market through :meth:`SpotMarket.clear` —
+    it exists as the reference implementation the regression tests
+    compare against.
+    """
 
     def __init__(
         self,
@@ -270,6 +301,7 @@ class PoolDemandProcess:
         tick_interval: float = DEFAULT_TICK_INTERVAL,
         on_interactive_preemption: Callable[[CapacityPool, int], None] | None = None,
         on_market_cleared: Callable[[SpotMarket], None] | None = None,
+        vectorized: bool = True,
     ) -> None:
         if not markets:
             raise ValueError("a pool demand process needs at least one market")
@@ -280,10 +312,16 @@ class PoolDemandProcess:
         self.tick_interval = tick_interval
         self.on_interactive_preemption = on_interactive_preemption
         self.on_market_cleared = on_market_cleared
+        self.vectorized = vectorized
+        # All per-tick randomness comes from this dedicated child stream
+        # in fixed-size blocks, so the scalar and vectorized paths see
+        # the exact same variates (see PERFORMANCE.md).
+        self._tick_rng = rng.child("tick")
 
         self._initialise_pool()
         self._build_type_states(markets)
         self._build_market_states(markets)
+        self._build_batch_arrays()
 
     # -- setup -------------------------------------------------------------
     def _initialise_pool(self) -> None:
@@ -360,15 +398,39 @@ class PoolDemandProcess:
                 f"exposure/{state.market.market_key}"
             ).lognormal(0.0, 0.7)
 
+    def _build_batch_arrays(self) -> None:
+        """Freeze the per-market/per-type constants into columns."""
+        states = self.market_states
+        self._type_list = list(self.type_states.values())
+        type_index = {s.instance_type: i for i, s in enumerate(self._type_list)}
+        self._type_overflow = np.zeros(len(self._type_list))
+
+        self._mk_units = np.array([s.market.units for s in states], dtype=np.float64)
+        self._mk_units_int = self._mk_units.astype(np.int64)
+        self._mk_od_price = np.array([s.market.on_demand_price for s in states])
+        self._mk_max_bid = np.array([s.market.max_bid for s in states])
+        self._mk_floor = np.array([s.market.floor_price for s in states])
+        self._mk_withhold = np.array([s.market.withhold_price for s in states])
+        self._mk_share = np.array([s.share_weight for s in states])
+        self._mk_exposure = np.array([s.squeeze_exposure for s in states])
+        self._mk_anchor = np.array([s.base_instances for s in states], dtype=np.float64)
+        self._mk_type_idx = np.array(
+            [type_index[s.type_state.instance_type] for s in states], dtype=np.intp
+        )
+        # Mutable burst/lull columns, mirrored into the dataclasses for
+        # observability; the tick only reads the columns.
+        self._mk_burst_until = np.zeros(len(states))
+        self._mk_burst_strength = np.zeros(len(states))
+        self._mk_lull_until = np.zeros(len(states))
+
     def start(self) -> None:
         """Schedule ticks and surge/burst/lull arrivals."""
         self.queue.schedule_in(0.0, self._tick, label=f"tick/{self._label()}")
         for state in self.type_states.values():
             self._schedule_type_surge(state)
         self._schedule_family_surge()
-        for state in self.market_states:
-            self._schedule_burst(state)
-            self._schedule_lull(state)
+        self._schedule_pool_burst()
+        self._schedule_pool_lull()
 
     def _label(self) -> str:
         return f"{self.pool.availability_zone}/{self.pool.family}"
@@ -437,16 +499,21 @@ class PoolDemandProcess:
         return surge
 
     # -- spot demand events -----------------------------------------------------
-    def _schedule_burst(self, state: MarketDemandState) -> None:
-        rate = self.regime.spot_burst_rate_per_day
+    # Burst and lull arrivals are independent Poisson processes per
+    # market; scheduling them as one *superposed* process per pool (rate
+    # = per-market rate x market count, victim drawn uniformly) is
+    # statistically identical and keeps the event queue small: two live
+    # events per pool instead of two per market.
+    def _schedule_pool_burst(self) -> None:
+        rate = self.regime.spot_burst_rate_per_day * len(self.market_states)
         if rate <= 0:
             return
         delay = self.rng.exponential(SECONDS_PER_DAY / rate)
-        self.queue.schedule_in(
-            delay, lambda: self._start_burst(state), label="spot-burst"
-        )
+        self.queue.schedule_in(delay, self._start_burst, label="spot-burst")
 
-    def _start_burst(self, state: MarketDemandState) -> None:
+    def _start_burst(self) -> None:
+        index = self.rng.integers(0, len(self.market_states))
+        state = self.market_states[index]
         now = self.queue.clock.now
         state.burst_until = now + self.rng.exponential(2400.0)
         # Burst strength shifts demand into the high-bid tail.  Bursts
@@ -455,19 +522,24 @@ class PoolDemandProcess:
         # partial; their tail is lighter than squeeze-induced spikes,
         # so the correlation strengthens with spike size.
         state.burst_strength = self.rng.lognormal(1.1, 0.8)
-        self._schedule_burst(state)
+        self._mk_burst_until[index] = state.burst_until
+        self._mk_burst_strength[index] = state.burst_strength
+        self._schedule_pool_burst()
 
-    def _schedule_lull(self, state: MarketDemandState) -> None:
-        rate = self.regime.spot_lull_rate_per_day
+    def _schedule_pool_lull(self) -> None:
+        rate = self.regime.spot_lull_rate_per_day * len(self.market_states)
         if rate <= 0:
             return
         delay = self.rng.exponential(SECONDS_PER_DAY / rate)
-        self.queue.schedule_in(delay, lambda: self._start_lull(state), label="spot-lull")
+        self.queue.schedule_in(delay, self._start_lull, label="spot-lull")
 
-    def _start_lull(self, state: MarketDemandState) -> None:
+    def _start_lull(self) -> None:
+        index = self.rng.integers(0, len(self.market_states))
+        state = self.market_states[index]
         now = self.queue.clock.now
         state.lull_until = now + self.rng.exponential(self.regime.lull_duration_mean_s)
-        self._schedule_lull(state)
+        self._mk_lull_until[index] = state.lull_until
+        self._schedule_pool_lull()
 
     # -- the tick -----------------------------------------------------------------
     def _tick(self) -> None:
@@ -486,7 +558,12 @@ class PoolDemandProcess:
         return diurnal + weekly
 
     def type_target_fraction(self, state: TypeDemandState, now: float) -> float:
-        """Target occupancy of one type as a fraction of its sub-bound."""
+        """Target occupancy of one type as a fraction of its sub-bound.
+
+        Draws fresh AR(1) noise from the pool's event stream; the batch
+        tick computes the same quantity inline from its block draws, so
+        this method is for scenarios and tests that poke a single type.
+        """
         cycles = self._shared_cycles(now)
         state.noise = 0.9 * state.noise + self.rng.normal(
             0.0, self.regime.noise_sigma
@@ -497,9 +574,22 @@ class PoolDemandProcess:
 
     def _apply_on_demand(self, now: float) -> None:
         pool = self.pool
-        for state in self.type_states.values():
-            target_frac = self.type_target_fraction(state, now)
+        cycles = self._shared_cycles(now)
+        states = self._type_list
+        # Tick RNG block 1: one AR(1) noise innovation per type.
+        noise = self._tick_rng.normals(len(states), 0.0, self.regime.noise_sigma)
+        for i, state in enumerate(states):
+            state.noise = 0.9 * state.noise + float(noise[i])
+            if state.surges:
+                state.surges = [s for s in state.surges if s.end > now]
+                surge_level = sum(s.level_at(now) for s in state.surges)
+            else:
+                surge_level = 0.0
+            target_frac = (
+                state.base_utilization * (1.0 + cycles) + state.noise + surge_level
+            )
             state.overflow = min(0.5, max(0.0, target_frac - 1.0))
+            self._type_overflow[i] = state.overflow
             target_units = int(
                 round(min(max(target_frac, 0.0), 1.0) * state.bound_units)
             )
@@ -524,30 +614,12 @@ class PoolDemandProcess:
     def _clear_spot_markets(self, now: float) -> None:
         pool = self.pool
         supply_units = pool.spot_capacity - pool.interactive_spot_units
-        calm_units = pool.total_units * 0.35
-        squeeze = max(0.0, 1.0 - supply_units / calm_units) if calm_units else 0.0
-        # Squeezed supply is withdrawn unevenly: exposed markets lose
-        # their share first while protected ones keep theirs, so only a
-        # subset of a family's markets spikes in any one squeeze.
-        if squeeze > 0.0:
-            effective = [
-                state.share_weight
-                * math.exp(-3.0 * squeeze * state.squeeze_exposure)
-                for state in self.market_states
-            ]
-            total_effective = sum(effective) or 1.0
-            shares = [w / total_effective for w in effective]
+        prices, counts, supply = self._build_bid_matrix(now, supply_units)
+        if self.vectorized:
+            fulfilled = self._clear_markets_batch(now, prices, counts, supply)
         else:
-            shares = [state.share_weight for state in self.market_states]
-
-        background_total = 0
-        for state, share in zip(self.market_states, shares):
-            share_units = supply_units * share
-            supply_instances = max(0, int(share_units // state.market.units))
-            bids = self._build_bid_stack(state, now, supply_instances)
-            state.market.set_bids(bids)
-            result = state.market.clear(now, supply_instances)
-            background_total += result.fulfilled_instances * state.market.units
+            fulfilled = self._clear_markets_scalar(now, prices, counts, supply)
+        background_total = int((fulfilled * self._mk_units_int).sum())
         background_total = min(
             background_total, pool.spot_capacity - pool.interactive_spot_units
         )
@@ -556,37 +628,133 @@ class PoolDemandProcess:
             for state in self.market_states:
                 self.on_market_cleared(state.market)
 
-    def _build_bid_stack(
-        self, state: MarketDemandState, now: float, supply_instances: int
-    ) -> list[Bid]:
-        """Sample this tick's background bid stack for one market."""
-        regime = self.regime
-        market = state.market
-        anchor = state.base_instances
-        quantity_factor = regime.spot_quantity_factor * self.rng.lognormal(0.0, 0.10)
-        if now < state.lull_until:
-            quantity_factor *= self.rng.uniform(0.25, 0.80)
-        base_quantity = quantity_factor * anchor
+    def _build_bid_matrix(
+        self, now: float, supply_units: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """This tick's bid stacks for every market, as columns.
 
-        burst = state.burst_strength if now < state.burst_until else 0.0
+        Returns ``(prices, counts, supply_instances)`` where the first
+        two are ``(markets, tiers)`` matrices (tier prices strictly
+        ascending, already rounded and clamped to the bid cap) and the
+        third is each market's supply share in instances.
+        """
+        calm_units = self.pool.total_units * 0.35
+        squeeze = max(0.0, 1.0 - supply_units / calm_units) if calm_units else 0.0
+        # Squeezed supply is withdrawn unevenly: exposed markets lose
+        # their share first while protected ones keep theirs, so only a
+        # subset of a family's markets spikes in any one squeeze.
+        if squeeze > 0.0:
+            effective = self._mk_share * np.exp(-3.0 * squeeze * self._mk_exposure)
+            shares = effective / (effective.sum() or 1.0)
+        else:
+            shares = self._mk_share
+        share_units = supply_units * shares
+        supply = np.maximum(
+            0, (share_units // self._mk_units).astype(np.int64)
+        )
+
+        # Tick RNG blocks 2-5, in this fixed order (a documented stream
+        # change from the pre-vectorized per-market scalar draws).
+        n = len(self.market_states)
+        quantity_draw = self._tick_rng.lognormals(n, 0.0, 0.10)
+        lull_draw = self._tick_rng.uniforms(n, 0.25, 0.80)
+        count_noise = self._tick_rng.lognormals((n, _TIERS), 0.0, 0.15)
+        price_jitter = self._tick_rng.uniforms((n, _TIERS), 0.92, 1.08)
+
+        quantity_factor = self.regime.spot_quantity_factor * quantity_draw
+        lulled = self._mk_lull_until > now
+        if lulled.any():
+            quantity_factor = np.where(
+                lulled, quantity_factor * lull_draw, quantity_factor
+            )
+        base_quantity = quantity_factor * self._mk_anchor
+
+        burst = np.where(self._mk_burst_until > now, self._mk_burst_strength, 0.0)
         # High-tier extra demand: bid wars (bursts) plus the on-demand
         # overflow fail-over from this market's own type.  Both bid at
         # or above the on-demand price.
-        overflow = state.type_state.overflow * min(2.0, state.squeeze_exposure)
-        high_extra = anchor * (0.25 * burst + 1.6 * overflow)
-        bids: list[Bid] = []
-        for multiple, weight, high_weight in zip(
-            BID_GRID, BID_WEIGHTS, HIGH_TIER_WEIGHTS
-        ):
-            quantity = base_quantity * weight
-            if high_weight:
-                quantity += high_extra * high_weight
-            count = int(round(quantity * self.rng.lognormal(0.0, 0.15)))
-            if count <= 0:
-                continue
-            price = market.on_demand_price * multiple * self.rng.uniform(0.92, 1.08)
-            bids.append(Bid(round(price, 4), count))
-        return bids
+        overflow = self._type_overflow[self._mk_type_idx] * np.minimum(
+            2.0, self._mk_exposure
+        )
+        high_extra = self._mk_anchor * (0.25 * burst + 1.6 * overflow)
+
+        quantity = (
+            base_quantity[:, None] * _WEIGHTS + high_extra[:, None] * _HIGH_WEIGHTS
+        )
+        counts = np.rint(quantity * count_noise).astype(np.int64)
+        prices = np.round(self._mk_od_price[:, None] * _GRID * price_jitter, 4)
+        np.minimum(prices, self._mk_max_bid[:, None], out=prices)
+        return prices, counts, supply
+
+    def _clear_markets_batch(
+        self,
+        now: float,
+        prices: np.ndarray,
+        counts: np.ndarray,
+        supply: np.ndarray,
+    ) -> np.ndarray:
+        """Clear every market's auction with array operations.
+
+        Tier prices ascend within a row, so the descending bid stack is
+        the reversed row and the marginal (lowest winning) bid is the
+        first reversed tier whose cumulative demand exceeds supply —
+        exactly what :meth:`SpotMarket.clear` finds by iteration.
+        """
+        counts_desc = counts[:, ::-1]
+        prices_desc = prices[:, ::-1]
+        cumulative = np.cumsum(counts_desc, axis=1)
+        demanded = cumulative[:, -1]
+        fulfilled = np.minimum(supply, demanded)
+        constrained = demanded > supply
+        # argmax finds the first True; rows with no True (unconstrained)
+        # are masked off through `constrained` below.
+        marginal_idx = (cumulative > supply[:, None]).argmax(axis=1)
+        marginal = prices_desc[np.arange(len(supply)), marginal_idx]
+        clearing = np.where(constrained, marginal, self._mk_floor)
+        np.maximum(clearing, self._mk_floor, out=clearing)
+        np.minimum(clearing, self._mk_max_bid, out=clearing)
+        # Withholding is judged on the clamped (pre-rounding) level,
+        # matching SpotMarket.clear.
+        withheld = (demanded < supply * GLUT_DEMAND_RATIO) & (
+            clearing <= self._mk_withhold
+        )
+        clearing = np.round(clearing, 4)
+
+        for i, state in enumerate(self.market_states):
+            state.market.set_bid_columns(prices[i], counts[i])
+            state.market.record_clearing(
+                ClearingResult(
+                    time=now,
+                    clearing_price=float(clearing[i]),
+                    fulfilled_instances=int(fulfilled[i]),
+                    demanded_instances=int(demanded[i]),
+                    supply_instances=int(supply[i]),
+                    capacity_constrained=bool(constrained[i]),
+                    withheld=bool(withheld[i]),
+                )
+            )
+        return fulfilled
+
+    def _clear_markets_scalar(
+        self,
+        now: float,
+        prices: np.ndarray,
+        counts: np.ndarray,
+        supply: np.ndarray,
+    ) -> np.ndarray:
+        """Reference path: the same stacks through the object auction."""
+        fulfilled = np.zeros(len(self.market_states), dtype=np.int64)
+        for i, state in enumerate(self.market_states):
+            state.market.set_bids(
+                [
+                    Bid(float(p), int(c))
+                    for p, c in zip(prices[i], counts[i])
+                    if c > 0
+                ]
+            )
+            result = state.market.clear(now, int(supply[i]))
+            fulfilled[i] = result.fulfilled_instances
+        return fulfilled
 
 
 class RegionalSurgeCoordinator:
@@ -644,6 +812,7 @@ def build_demand(
     on_interactive_preemption: Callable[[CapacityPool, int], None] | None = None,
     on_market_cleared: Callable[[SpotMarket], None] | None = None,
     regimes: dict[str, RegionRegime] | None = None,
+    vectorized: bool = True,
 ) -> tuple[list[PoolDemandProcess], list[RegionalSurgeCoordinator]]:
     """Construct pool processes and regional coordinators for a fleet."""
     regime_map = regimes or REGION_REGIMES
@@ -665,6 +834,7 @@ def build_demand(
             tick_interval,
             on_interactive_preemption,
             on_market_cleared,
+            vectorized=vectorized,
         )
         processes.append(process)
         by_region_family.setdefault((region, family), []).append(process)

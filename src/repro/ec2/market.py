@@ -16,13 +16,23 @@ Two EC2 realities the paper leans on are modelled explicitly:
   operating cost, so when the clearing price would fall below the
   floor, new spot requests are held with ``capacity-not-available``
   (the Figure 5.10/5.11 behaviour).
+
+Price history is stored column-wise (two packed ``array('d')`` columns
+of times and prices) rather than as one tuple per change: a three-month
+paper-scale run records millions of price changes, and the struct-of-
+arrays layout keeps them compact and lets queries bisect on the time
+column directly.  Background bid stacks can likewise be supplied as
+columns by the vectorized demand engine; ``Bid`` objects are only
+materialized if someone asks for them.
 """
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+import numpy as np
+
+from repro.common.timeseries import TimeSeries
 from repro.ec2.catalog import MAX_BID_MULTIPLE
 
 # Hard price floor as a fraction of the on-demand price.
@@ -91,8 +101,10 @@ class SpotMarket:
         self.max_bid = on_demand_price * MAX_BID_MULTIPLE
         self.publication_lag = publication_lag
 
-        self._bids: list[Bid] = []  # background demand, any order
-        self._price_events: list[tuple[float, float]] = []  # (time, price) actual
+        self._bids: list[Bid] | None = []  # background demand, any order
+        self._bid_prices: np.ndarray | None = None  # columnar alternative
+        self._bid_counts: np.ndarray | None = None
+        self._prices = TimeSeries()  # price-change events, columnar
         self._last_clearing: ClearingResult | None = None
         # Cleared background occupancy, in instances, from the last evaluation.
         self.background_instances = 0
@@ -118,10 +130,40 @@ class SpotMarket:
         self._bids = [
             Bid(min(b.price, self.max_bid), b.count) for b in bids if b.count > 0
         ]
+        self._bid_prices = None
+        self._bid_counts = None
+
+    def set_bid_columns(self, prices: np.ndarray, counts: np.ndarray) -> None:
+        """Replace the bid stack with pre-validated columns.
+
+        The vectorized demand engine hands each market one row of its
+        batch-built (price, count) matrix; prices are already rounded
+        and clamped to the bid cap.  ``Bid`` objects are materialized
+        lazily, only if something asks for them.
+        """
+        self._bid_prices = prices
+        self._bid_counts = counts
+        self._bids = None
+
+    @property
+    def bids(self) -> list[Bid]:
+        """The standing bid stack (materialized on demand)."""
+        if self._bids is None:
+            prices = self._bid_prices
+            counts = self._bid_counts
+            self._bids = [
+                Bid(float(p), int(c))
+                for p, c in zip(prices, counts)  # type: ignore[arg-type]
+                if c > 0
+            ]
+        return self._bids
 
     def demand_at(self, price: float) -> int:
         """Total instances demanded at or above ``price``."""
-        return sum(b.count for b in self._bids if b.price >= price)
+        if self._bids is None and self._bid_prices is not None:
+            mask = self._bid_prices >= price
+            return int(self._bid_counts[mask].sum())
+        return sum(b.count for b in self.bids if b.price >= price)
 
     # -- auction -------------------------------------------------------------
     def clear(self, now: float, supply_instances: int) -> ClearingResult:
@@ -133,7 +175,7 @@ class SpotMarket:
         """
         if supply_instances < 0:
             raise ValueError(f"negative supply: {supply_instances}")
-        stack = sorted(self._bids, key=lambda b: b.price, reverse=True)
+        stack = sorted(self.bids, key=lambda b: b.price, reverse=True)
         demanded = sum(b.count for b in stack)
 
         fulfilled = 0
@@ -151,7 +193,6 @@ class SpotMarket:
                 # Price is set by the first bid that could not be fully
                 # served — the marginal (lowest winning) level.
                 marginal_bid = bid.price
-
         if demanded > supply_instances and marginal_bid is not None:
             clearing = marginal_bid
         elif demanded > supply_instances:
@@ -173,29 +214,38 @@ class SpotMarket:
             capacity_constrained=demanded > supply_instances,
             withheld=withheld,
         )
-        self._record_price(now, result.clearing_price)
-        self._last_clearing = result
-        self.background_instances = fulfilled
+        self.record_clearing(result)
         return result
 
+    def record_clearing(self, result: ClearingResult) -> None:
+        """Record an externally computed auction outcome.
+
+        The batch clearing path in :mod:`repro.ec2.demand` evaluates all
+        of a pool's auctions in one set of array operations and then
+        records each market's outcome here; :meth:`clear` goes through
+        the same bookkeeping so both paths stay in lockstep.
+        """
+        self._record_price(result.time, result.clearing_price)
+        self._last_clearing = result
+        self.background_instances = result.fulfilled_instances
+
     def _record_price(self, now: float, price: float) -> None:
-        if self._price_events and self._price_events[-1][0] > now:
+        series = self._prices
+        if series.times and series.times[-1] > now:
             raise ValueError("price events must be recorded in time order")
-        if self._price_events and self._price_events[-1][1] == price:
+        if series.times and series.values[-1] == price:
             return  # EC2 only records changes
-        self._price_events.append((now, price))
+        series.append(now, price)
 
     # -- price queries ------------------------------------------------------
     def current_price(self, now: float | None = None) -> float:
         """The *actual* market price in force (what a bid must beat)."""
-        if not self._price_events:
+        if not self._prices.times:
             return self.floor_price
         if now is None:
-            return self._price_events[-1][1]
-        idx = bisect.bisect_right(self._price_events, (now, float("inf"))) - 1
-        if idx < 0:
-            return self.floor_price
-        return self._price_events[idx][1]
+            return self._prices.values[-1]
+        price = self._prices.value_at_or_before(now)
+        return self.floor_price if price is None else price
 
     def published_price(self, now: float) -> float:
         """The price visible in the public history (lagged 20-40 s)."""
@@ -205,10 +255,16 @@ class SpotMarket:
         self, start: float | None = None, end: float | None = None
     ) -> list[tuple[float, float]]:
         """Price-change events in ``[start, end]`` (as published)."""
-        events = self._price_events
-        lo = 0 if start is None else bisect.bisect_left(events, (start, -1.0))
-        hi = len(events) if end is None else bisect.bisect_right(events, (end, float("inf")))
-        return list(events[lo:hi])
+        lo, hi = self._prices.bounds(start, end)
+        return list(zip(self._prices.times[lo:hi], self._prices.values[lo:hi]))
+
+    def price_arrays(
+        self, start: float | None = None, end: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar snapshot of the price history: ``(times, prices)``
+        as numpy arrays (copies — safe to hold while the simulation
+        continues)."""
+        return self._prices.arrays(start, end)
 
     @property
     def last_clearing(self) -> ClearingResult | None:

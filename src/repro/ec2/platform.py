@@ -99,6 +99,10 @@ class FleetConfig:
     base_pool_units: int = 6000
     regimes: dict[str, RegionRegime] | None = None
     start_time: float = 0.0
+    #: Use the batch (numpy) demand tick.  The scalar path draws the
+    #: same random blocks and produces identical price series; it exists
+    #: as the reference implementation for the golden regression tests.
+    vectorized_demand: bool = True
 
 
 MarketObserver = Callable[[SpotMarket, float, float], None]
@@ -138,6 +142,7 @@ class EC2Simulator:
             self._on_interactive_preemption,
             self._on_market_cleared,
             self.config.regimes,
+            vectorized=self.config.vectorized_demand,
         )
         for process in self.demand_processes:
             process.start()
@@ -192,12 +197,23 @@ class EC2Simulator:
         self._observers.append(observer)
 
     def _on_market_cleared(self, market: SpotMarket) -> None:
+        # This runs once per market per demand tick — fleet-wide, tens
+        # of thousands of times per simulated day — so skip the request
+        # re-evaluation and revocation scans outright unless this market
+        # actually has open requests or its pool has live spot instances.
         now = self.clock.now
-        self._reevaluate_open_requests(market)
-        self._revoke_outbid_instances(market)
-        price = market.current_price(now)
-        for observer in self._observers:
-            observer(market, now, price)
+        if self._open_requests_by_market.get(market.market_key):
+            self._reevaluate_open_requests(market)
+        pool_key = (
+            market.availability_zone,
+            self.catalog.family_of(market.instance_type),
+        )
+        if self._active_spot_by_pool.get(pool_key):
+            self._revoke_outbid_instances(market)
+        if self._observers:
+            price = market.current_price(now)
+            for observer in self._observers:
+                observer(market, now, price)
 
     # -- helpers ---------------------------------------------------------------------
     def _market(self, az: str, instance_type: str, product: str) -> SpotMarket:
@@ -651,8 +667,9 @@ class EC2Simulator:
         market = self._market(availability_zone, instance_type, product)
         self._region_limits(availability_zone).charge_api_call()
         horizon = self.clock.now - market.publication_lag
-        events = market.price_history(start, end)
-        return [(t, p) for t, p in events if t <= horizon]
+        times, prices = market.price_arrays(start, end)
+        visible = times <= horizon
+        return list(zip(times[visible].tolist(), prices[visible].tolist()))
 
     def current_spot_price(
         self, instance_type: str, availability_zone: str, product: str

@@ -125,6 +125,75 @@ def test_prices_json_export(db, tmp_path):
     assert count == 2
 
 
+def test_csv_roundtrip_probes_and_prices(db, tmp_path):
+    """Full persistence round-trip over both record kinds.
+
+    Covers the columnar price path: prices go in through the packed
+    columns, out through CSV, and back in; a probe-only market and a
+    price-only market must both survive the trip.
+    """
+    db.insert_probe(probe(0.0))
+    db.insert_probe(probe(1.0, outcome=REJ))
+    db.insert_probe(probe(0.5, market=M2, kind=ProbeKind.SPOT))
+    db.insert_price(PriceRecord(10.0, M2, 0.123456))
+    db.insert_price(PriceRecord(20.0, M2, 0.2))
+    db.insert_price(PriceRecord(20.0, M2, 0.2))  # duplicate sample survives
+
+    probes_path = tmp_path / "probes.csv"
+    prices_path = tmp_path / "prices.csv"
+    assert db.export_probes_csv(probes_path) == 3
+    assert db.export_prices_csv(prices_path) == 3
+
+    restored_probes = ProbeDatabase.import_probes_csv(probes_path)
+    restored_prices = ProbeDatabase.import_prices_csv(prices_path)
+
+    assert len(restored_probes) == 3
+    assert [r.time for r in restored_probes.probes()] == [0.0, 0.5, 1.0]
+    assert restored_probes.probes(market=M2)[0].kind is ProbeKind.SPOT
+    # M1 has probes but no prices; M2 has prices in the restored DB.
+    assert restored_prices.prices(M1) == []
+    assert restored_prices.prices(M2) == db.prices(M2)
+    times, prices = restored_prices.price_arrays(M2)
+    assert list(times) == [10.0, 20.0, 20.0]
+    assert prices[0] == 0.123456
+
+
+def test_csv_roundtrip_empty_database(tmp_path):
+    db = ProbeDatabase()
+    probes_path = tmp_path / "probes.csv"
+    prices_path = tmp_path / "prices.csv"
+    assert db.export_probes_csv(probes_path) == 0
+    assert db.export_prices_csv(prices_path) == 0
+    assert len(ProbeDatabase.import_probes_csv(probes_path)) == 0
+    restored = ProbeDatabase.import_prices_csv(prices_path)
+    assert restored.markets == []
+
+
+def test_price_arrays_views_and_counts(db):
+    assert db.price_count() == 0
+    times, prices = db.price_arrays(M1)
+    assert len(times) == 0 and len(prices) == 0
+    for t in [0.0, 100.0, 200.0]:
+        db.insert_price(PriceRecord(t, M1, t / 1000))
+    times, prices = db.price_arrays(M1, start=50.0)
+    assert list(times) == [100.0, 200.0]
+    assert list(prices) == [0.1, 0.2]
+    assert db.price_count(M1) == 3
+    assert db.price_count() == 3
+
+
+def test_global_probe_order_is_time_ordered(db):
+    """The global view merges per-market logs by time (the per-market
+    duplicate list is gone; order across markets is by timestamp)."""
+    db.insert_probe(probe(5.0, market=M1))
+    db.insert_probe(probe(1.0, market=M2))
+    db.insert_probe(probe(3.0, market=M2, outcome=REJ))
+    assert [r.time for r in db.probes()] == [1.0, 3.0, 5.0]
+    # Cache invalidates on insert (times stay non-decreasing per market).
+    db.insert_probe(probe(4.0, market=M2))
+    assert [r.time for r in db.probes()] == [1.0, 3.0, 4.0, 5.0]
+
+
 def test_total_probe_cost(db):
     db.insert_probe(
         ProbeRecord(

@@ -95,6 +95,33 @@ def test_len_counts_live_events(queue):
     assert len(queue) == 1
 
 
+def test_len_is_constant_time_bookkeeping(queue):
+    """len() comes from a live counter, not a heap scan: it stays
+    correct through schedule, double-cancel, pop, and post-pop cancel."""
+    events = [queue.schedule_at(float(i), lambda: None) for i in range(10)]
+    assert len(queue) == 10
+    events[3].cancel()
+    events[3].cancel()  # idempotent
+    assert len(queue) == 9
+    queue.step()  # pops event 0
+    assert len(queue) == 8
+    events[0].cancel()  # cancelling an already-fired event is a no-op
+    assert len(queue) == 8
+    queue.run_all()
+    assert len(queue) == 0
+
+
+def test_heavy_cancellation_compacts_heap(queue):
+    """Mass cancellation must not leave the heap full of dead entries."""
+    events = [queue.schedule_at(float(i), lambda: None) for i in range(500)]
+    for event in events[:499]:
+        event.cancel()
+    assert len(queue) == 1
+    assert len(queue._heap) < 500  # compaction kicked in
+    assert queue.peek_time() == 499.0
+    assert queue.run_all() == 1
+
+
 def test_peek_time_skips_cancelled(queue):
     e1 = queue.schedule_at(1.0, lambda: None)
     queue.schedule_at(2.0, lambda: None)

@@ -1,0 +1,105 @@
+"""Golden regression tests for the vectorized simulation core.
+
+Three guarantees the vectorization must not break:
+
+* **Determinism** — two runs with the same seed produce byte-identical
+  price series (checksummed per market).
+* **Path equivalence** — the vectorized batch clearing and the scalar
+  reference path (``vectorized_demand=False``) produce identical
+  series: both draw the same RNG blocks and build the same bid stacks,
+  so any divergence is a bug in the batch auction math.
+* **Goldens** — the per-market checksums of a pinned seeded run match
+  the checked-in golden file, so a refactor cannot silently change the
+  price series behind the paper's figures.  Regenerate with
+  ``REPRO_UPDATE_GOLDENS=1`` after an *intentional* model change and
+  commit the diff.
+
+The golden comparison is exact within one platform/numpy build; libm
+differences across platforms can shift the last float ulp, which is why
+the regeneration escape hatch exists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import EC2Simulator, FleetConfig
+from repro.ec2.catalog import small_catalog
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_prices.json"
+GOLDEN_SEED = 1234
+GOLDEN_DAY = 86400.0
+
+
+def _golden_sim(vectorized: bool = True) -> EC2Simulator:
+    catalog = small_catalog(regions=["us-east-1", "sa-east-1"], families=["m3"])
+    sim = EC2Simulator(
+        FleetConfig(
+            catalog=catalog,
+            seed=GOLDEN_SEED,
+            tick_interval=300.0,
+            vectorized_demand=vectorized,
+        )
+    )
+    sim.run_for(GOLDEN_DAY)
+    return sim
+
+
+def _checksums(sim: EC2Simulator) -> dict[str, str]:
+    out = {}
+    for key, market in sim.markets.items():
+        payload = repr(market.price_history()).encode()
+        out["/".join(key)] = hashlib.sha256(payload).hexdigest()
+    return out
+
+
+@pytest.fixture(scope="module")
+def golden_run() -> dict[str, str]:
+    return _checksums(_golden_sim())
+
+
+def test_seeded_run_is_deterministic(golden_run):
+    again = _checksums(_golden_sim())
+    assert golden_run == again
+
+
+def test_scalar_and_vectorized_paths_match(golden_run):
+    scalar = _checksums(_golden_sim(vectorized=False))
+    mismatched = [k for k in golden_run if golden_run[k] != scalar.get(k)]
+    assert scalar.keys() == golden_run.keys()
+    assert mismatched == []
+
+
+def test_price_series_match_goldens(golden_run):
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(golden_run, indent=1, sort_keys=True))
+        pytest.skip("goldens regenerated")
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing; regenerate with REPRO_UPDATE_GOLDENS=1"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    changed = sorted(k for k in golden if golden[k] != golden_run.get(k))
+    assert golden_run == golden, (
+        f"{len(changed)} market series changed (first: {changed[:3]}); if the "
+        "model change is intentional, rerun with REPRO_UPDATE_GOLDENS=1 and "
+        "commit the new goldens"
+    )
+
+
+def test_run_is_deterministic_across_chunked_stepping():
+    """run_for in chunks must equal one straight run (event coalescing
+    must not depend on the observation pattern)."""
+    whole = _checksums(_golden_sim())
+    catalog = small_catalog(regions=["us-east-1", "sa-east-1"], families=["m3"])
+    sim = EC2Simulator(
+        FleetConfig(catalog=catalog, seed=GOLDEN_SEED, tick_interval=300.0)
+    )
+    for _ in range(24):
+        sim.run_for(GOLDEN_DAY / 24)
+    assert _checksums(sim) == whole

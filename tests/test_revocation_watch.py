@@ -10,7 +10,11 @@ from repro.ec2.catalog import small_catalog
 @pytest.fixture()
 def rig():
     catalog = small_catalog(regions=["us-east-1"], families=["m3"])
-    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=3, tick_interval=300.0))
+    # Seed 1 is a realization where the watch bid fulfils, so the
+    # revocation tests actually exercise the watch instead of skipping
+    # (re-picked from seed 3 with the vectorized core's RNG streams —
+    # see PERFORMANCE.md).
+    sim = EC2Simulator(FleetConfig(catalog=catalog, seed=1, tick_interval=300.0))
     spotlight = SpotLight(sim)
     sim.run_for(600.0)
     return sim, spotlight
