@@ -2,9 +2,9 @@
 """Quickstart: deploy SpotLight on a simulated EC2 and query it.
 
 Runs a two-day monitoring deployment over three regions, then uses the
-query API to answer the questions the paper motivates: how often are
-on-demand servers actually unavailable, for how long, and which spot
-markets are the most stable to bid in?
+serving frontend to answer the questions the paper motivates: how often
+are on-demand servers actually unavailable, for how long, and which
+spot markets are the most stable to bid in?
 
     python examples/quickstart.py
 """
@@ -14,30 +14,40 @@ from repro.core.records import ProbeKind
 from repro.ec2.catalog import small_catalog
 
 
-def main() -> None:
+def main(
+    days: float = 2.0,
+    regions: list[str] | None = None,
+    families: list[str] | None = None,
+    seed: int = 42,
+) -> SpotLight:
     # A fleet of three regions (one well provisioned, two not) and two
     # instance families; 126 markets in total.
     catalog = small_catalog(
-        regions=["us-east-1", "sa-east-1", "ap-southeast-2"],
-        families=["c3", "m3"],
+        regions=regions or ["us-east-1", "sa-east-1", "ap-southeast-2"],
+        families=families or ["c3", "m3"],
     )
-    simulator = EC2Simulator(FleetConfig(catalog=catalog, seed=42))
+    simulator = EC2Simulator(FleetConfig(catalog=catalog, seed=seed))
 
     # SpotLight with the paper's defaults: trigger threshold T = 1x the
     # on-demand price, sample every spike, re-probe every 5 minutes.
     spotlight = SpotLight(simulator, SpotLightConfig(spot_probe_interval=4 * 3600))
     spotlight.start()
 
-    print("monitoring", len(spotlight.markets), "markets for 2 simulated days...")
-    simulator.run_for(2 * 86400)
+    print(f"monitoring {len(spotlight.markets)} markets "
+          f"for {days} simulated day(s)...")
+    simulator.run_for(days * 86400)
 
     stats = spotlight.stats()
     print(f"probes issued:        {stats['probes_logged']}")
     print(f"detections:           {stats['unavailability_detections']}")
     print(f"probing spend:        ${stats['budget_spent']:.2f}")
 
+    # Applications talk to the TTL-cached serving frontend, either via
+    # the typed methods or the dict request/response schema.
+    frontend = spotlight.frontend
+
     print("\non-demand unavailability periods (first 10):")
-    periods = spotlight.query.unavailability_periods(kind=ProbeKind.ON_DEMAND)
+    periods = frontend.unavailability_periods(kind=ProbeKind.ON_DEMAND)
     for period in periods[:10]:
         print(
             f"  {str(period.market):<44} "
@@ -46,13 +56,17 @@ def main() -> None:
     print(f"  ... {len(periods)} periods in total")
 
     print("\ntop 5 most stable spot markets (bid = 1x on-demand):")
-    for entry in spotlight.query.top_stable_markets(n=5, bid_multiple=1.0):
+    response = frontend.handle(
+        {"query": "top-stable-markets", "params": {"n": 5, "bid_multiple": 1.0}}
+    )
+    for entry in response["result"]:
         print(
-            f"  {str(entry.market):<44} "
-            f"mttr {entry.mean_time_to_revocation / 3600:6.1f} h  "
-            f"avail {entry.availability_at_bid:.1%}  "
-            f"mean ${entry.mean_price:.4f}/h"
+            f"  {entry['market']:<44} "
+            f"mttr {entry['mean_time_to_revocation'] / 3600:6.1f} h  "
+            f"avail {entry['availability_at_bid']:.1%}  "
+            f"mean ${entry['mean_price']:.4f}/h"
         )
+    return spotlight
 
 
 if __name__ == "__main__":

@@ -10,8 +10,10 @@ Layout:
 
 * :mod:`repro.ec2` — the simulated EC2 substrate (capacity pools,
   spot auctions, demand, lifecycles, limits, a boto3-like client);
-* :mod:`repro.core` — SpotLight itself (probing policies, database,
-  budget, query API);
+* :mod:`repro.providers` — the data sources SpotLight runs against
+  (the simulator, or replay of recorded price CSVs);
+* :mod:`repro.core` — SpotLight itself (probing policies, pluggable
+  datastores, budget, the query engine and serving frontend);
 * :mod:`repro.analysis` — the Chapter 5 analyses (one per figure);
 * :mod:`repro.apps` — the Chapter 6 case studies (SpotCheck, SpotOn);
 * :mod:`repro.traces` — synthetic spot-price trace generation.
@@ -32,11 +34,15 @@ Quickstart::
 
 from repro.core import (
     BudgetController,
+    Datastore,
+    InMemoryDatastore,
     MarketID,
     ProbeDatabase,
     ProbeKind,
     ProbeRecord,
     ProbeTrigger,
+    QueryFrontend,
+    SnapshotDatastore,
     SpotLight,
     SpotLightConfig,
     SpotLightQuery,
@@ -45,14 +51,24 @@ from repro.core import (
 from repro.ec2 import EC2Client, EC2Simulator
 from repro.ec2.catalog import Catalog, default_catalog, small_catalog
 from repro.ec2.platform import FleetConfig
+from repro.providers import (
+    CloudProvider,
+    ProbeUnsupportedError,
+    SimulatorProvider,
+    TraceReplayProvider,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SpotLight",
     "SpotLightConfig",
     "SpotLightQuery",
+    "QueryFrontend",
     "ProbeDatabase",
+    "Datastore",
+    "InMemoryDatastore",
+    "SnapshotDatastore",
     "BudgetController",
     "MarketID",
     "ProbeKind",
@@ -63,6 +79,10 @@ __all__ = [
     "EC2Client",
     "FleetConfig",
     "Catalog",
+    "CloudProvider",
+    "SimulatorProvider",
+    "TraceReplayProvider",
+    "ProbeUnsupportedError",
     "default_catalog",
     "small_catalog",
     "__version__",

@@ -27,7 +27,7 @@ def render_study_report(
 ) -> str:
     """Render the full availability study as a markdown document."""
     context = context or AnalysisContext(
-        spotlight.database, spotlight.simulator.catalog
+        spotlight.database, spotlight.provider.catalog
     )
     out = StringIO()
     stats = spotlight.stats()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.frontend import QueryFrontend
 from repro.core.market_id import MarketID
 from repro.core.query import SpotLightQuery
 from repro.core.records import ProbeKind
@@ -58,10 +59,16 @@ class SpotCheckResult:
 
 
 class SpotCheckSimulator:
-    """Replay SpotCheck against SpotLight-measured market data."""
+    """Replay SpotCheck against SpotLight-measured market data.
 
-    def __init__(self, query: SpotLightQuery) -> None:
-        self.query = query
+    Consumes the serving frontend (a bare query engine is wrapped in a
+    private frontend, so per-revocation unavailability lookups are
+    served from the TTL cache)."""
+
+    def __init__(self, query: QueryFrontend | SpotLightQuery) -> None:
+        self.query = (
+            query if isinstance(query, QueryFrontend) else QueryFrontend(query)
+        )
 
     # -- revocation extraction ------------------------------------------------
     def revocation_times(

@@ -27,6 +27,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.common.rng import RngStream
+from repro.core.frontend import QueryFrontend
 from repro.core.market_id import MarketID
 from repro.core.query import SpotLightQuery
 from repro.core.records import ProbeKind
@@ -69,10 +70,20 @@ class JobOutcome:
 
 
 class SpotOnSimulator:
-    """Replay SpotOn jobs against SpotLight-measured market data."""
+    """Replay SpotOn jobs against SpotLight-measured market data.
 
-    def __init__(self, query: SpotLightQuery, seed: int = 20151005) -> None:
-        self.query = query
+    Consumes the serving frontend; a bare query engine is accepted for
+    convenience and wrapped in a private frontend, so the app's repeated
+    MTTR/mean-price lookups hit the TTL cache instead of recomputing per
+    trial.
+    """
+
+    def __init__(
+        self, query: QueryFrontend | SpotLightQuery, seed: int = 20151005
+    ) -> None:
+        self.query = (
+            query if isinstance(query, QueryFrontend) else QueryFrontend(query)
+        )
         self.rng = RngStream(seed, "spoton")
 
     # -- Equation 6.1 ------------------------------------------------------------

@@ -1,39 +1,76 @@
 """Command-line interface.
 
-Three subcommands mirror the ways the paper's prototype was used:
+The subcommands mirror the ways the paper's prototype was used, plus
+the layered-service workflows:
 
 * ``study`` — deploy SpotLight on a simulated fleet, monitor for N
   days, and print the availability report (optionally exporting the
-  probe log to CSV);
+  probe log to CSV and/or saving a datastore snapshot);
 * ``trace`` — generate a synthetic spot-price trace CSV from a named
   profile;
 * ``figures`` — run a monitoring deployment and print the Chapter 5
-  figure series.
+  figure series;
+* ``replay`` — run a (passive) SpotLight over a recorded price CSV —
+  no simulator — and print the top-N stable markets;
+* ``query`` — reload a datastore snapshot in a fresh process and serve
+  one frontend request against it, printing the JSON response.
 
 Examples::
 
     python -m repro study --days 3 --regions us-east-1 sa-east-1 --seed 7
     python -m repro trace --profile c3.2xlarge-us-east-1d --days 14 -o trace.csv
     python -m repro figures --days 5 --seed 11
+    python -m repro study --days 2 --snapshot ./spotlight-state
+    python -m repro replay --prices prices.csv --top 10
+    python -m repro query --snapshot ./spotlight-state \\
+        --name top-stable-markets --params '{"n": 10}'
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro import EC2Simulator, FleetConfig, SpotLight, SpotLightConfig
+from repro import (
+    EC2Simulator,
+    FleetConfig,
+    SnapshotDatastore,
+    SpotLight,
+    SpotLightConfig,
+    SpotLightQuery,
+    TraceReplayProvider,
+)
 from repro.analysis import availability as av
 from repro.analysis import duration as du
 from repro.analysis import related as rel
 from repro.analysis.context import AnalysisContext
 from repro.analysis.spikes import bucket_label
+from repro.core.frontend import QueryFrontend
 from repro.core.records import ProbeKind
-from repro.ec2.catalog import small_catalog
+from repro.ec2.catalog import default_catalog, small_catalog
 from repro.traces import SpotPriceTraceGenerator, profile, save_trace_csv
 
 DEFAULT_REGIONS = ["us-east-1", "sa-east-1", "ap-southeast-2"]
 DEFAULT_FAMILIES = ["c3", "m3"]
+
+
+def _fresh_snapshot_store(path: str) -> SnapshotDatastore:
+    """Open a snapshot directory for a *new* recording run.
+
+    A monitoring run starts its clock at t=0, so it cannot append to a
+    directory that already holds observations (their timestamps would
+    collide); refuse loudly instead of crashing mid-run.
+    """
+    datastore = SnapshotDatastore(path)
+    if len(datastore) or datastore.price_count():
+        datastore.close()
+        raise SystemExit(
+            f"error: snapshot directory {path!r} already holds a recording "
+            f"({datastore.price_count()} prices, {len(datastore)} probes); "
+            f"use a fresh directory (or `query` to read this one)"
+        )
+    return datastore
 
 
 def _deploy(args) -> tuple[EC2Simulator, SpotLight]:
@@ -41,6 +78,9 @@ def _deploy(args) -> tuple[EC2Simulator, SpotLight]:
     simulator = EC2Simulator(
         FleetConfig(catalog=catalog, seed=args.seed, tick_interval=300.0)
     )
+    datastore = None
+    if getattr(args, "snapshot", None):
+        datastore = _fresh_snapshot_store(args.snapshot)
     spotlight = SpotLight(
         simulator,
         SpotLightConfig(
@@ -48,6 +88,7 @@ def _deploy(args) -> tuple[EC2Simulator, SpotLight]:
             sampling_probability=args.sampling,
             spot_probe_interval=4 * 3600.0,
         ),
+        datastore=datastore,
     )
     spotlight.start()
     print(
@@ -86,7 +127,69 @@ def cmd_study(args) -> int:
 
         Path(args.report).write_text(render_study_report(spotlight))
         print(f"wrote study report to {args.report}")
+    if args.snapshot:
+        spotlight.save()
+        print(f"saved datastore snapshot to {args.snapshot}")
     return 0
+
+
+def _print_top_stable(frontend: QueryFrontend, n: int) -> None:
+    response = frontend.handle(
+        {"query": "top-stable-markets", "params": {"n": n, "bid_multiple": 1.0}}
+    )
+    print(f"top {n} most stable markets (bid = 1x on-demand):")
+    for entry in response["result"]:
+        print(
+            f"  {entry['market']:<44} "
+            f"mttr {entry['mean_time_to_revocation'] / 3600:8.1f} h  "
+            f"avail {entry['availability_at_bid']:.1%}  "
+            f"mean ${entry['mean_price']:.4f}/h"
+        )
+
+
+def cmd_replay(args) -> int:
+    provider = TraceReplayProvider.from_prices_csv(args.prices)
+    datastore = _fresh_snapshot_store(args.snapshot) if args.snapshot else None
+    spotlight = SpotLight(provider, SpotLightConfig(), datastore=datastore)
+    spotlight.start()
+    print(
+        f"replaying {len(spotlight.markets)} markets to "
+        f"t={provider.end_time:.0f}s...",
+        file=sys.stderr,
+    )
+    provider.replay_all()
+    stats = spotlight.stats()
+    print(f"price samples replayed: {spotlight.database.price_count()}")
+    print(f"passive mode:           {stats['passive']}")
+    _print_top_stable(spotlight.frontend, args.top)
+    if args.snapshot:
+        spotlight.save()
+        print(f"saved datastore snapshot to {args.snapshot}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    # Prices are resolved against the full default catalog.  Snapshots
+    # recorded by this CLI always price identically (study/replay use
+    # subsets of the same 2015 price table); snapshots built in-library
+    # against a *custom* catalog should be queried in-library instead.
+    try:
+        datastore = SnapshotDatastore(
+            args.snapshot, append_log=False, must_exist=True
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    engine = SpotLightQuery(datastore, default_catalog())
+    frontend = QueryFrontend(engine)
+    try:
+        params = json.loads(args.params)
+    except json.JSONDecodeError as exc:
+        print(f"--params is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    response = frontend.handle({"query": args.name, "params": params})
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response["ok"] else 1
 
 
 def cmd_trace(args) -> int:
@@ -145,7 +248,31 @@ def build_parser() -> argparse.ArgumentParser:
     add_deploy_args(study)
     study.add_argument("--export", help="write the probe log to this CSV path")
     study.add_argument("--report", help="write a markdown study report here")
+    study.add_argument("--snapshot",
+                       help="persist the datastore to this directory")
     study.set_defaults(func=cmd_study)
+
+    replay = sub.add_parser(
+        "replay", help="run SpotLight over a recorded price CSV (no simulator)"
+    )
+    replay.add_argument("--prices", required=True,
+                        help="multi-market price CSV (export_prices_csv format)")
+    replay.add_argument("--top", type=int, default=10,
+                        help="print the N most stable markets")
+    replay.add_argument("--snapshot",
+                        help="persist the datastore to this directory")
+    replay.set_defaults(func=cmd_replay)
+
+    query = sub.add_parser(
+        "query", help="serve one frontend request over a saved snapshot"
+    )
+    query.add_argument("--snapshot", required=True,
+                       help="datastore snapshot directory to load")
+    query.add_argument("--name", default="top-stable-markets",
+                       help="query name (frontend schema)")
+    query.add_argument("--params", default="{}",
+                       help="query parameters as a JSON object")
+    query.set_defaults(func=cmd_query)
 
     trace = sub.add_parser("trace", help="generate a synthetic price trace")
     trace.add_argument("--profile", default="c3.2xlarge-us-east-1d")

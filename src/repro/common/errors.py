@@ -73,5 +73,11 @@ class SpotBidTooHighError(EC2Error):
     code = SPOT_BID_TOO_HIGH
 
 
+class ProbeUnsupportedError(EC2Error):
+    """Raised when a provider has no probe surface (e.g. trace replay)."""
+
+    code = "ProbeUnsupported"
+
+
 class InvalidStateTransition(Exception):
     """Raised when a lifecycle state machine is driven illegally."""

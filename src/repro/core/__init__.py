@@ -20,6 +20,8 @@ cloud does not publish:
 from repro.core.budget import BudgetController
 from repro.core.config import SpotLightConfig
 from repro.core.database import ProbeDatabase
+from repro.core.datastore import Datastore, InMemoryDatastore, SnapshotDatastore
+from repro.core.frontend import QueryFrontend
 from repro.core.market_id import MarketID
 from repro.core.query import SpotLightQuery
 from repro.core.records import (
@@ -36,7 +38,11 @@ __all__ = [
     "SpotLight",
     "SpotLightConfig",
     "SpotLightQuery",
+    "QueryFrontend",
     "ProbeDatabase",
+    "Datastore",
+    "InMemoryDatastore",
+    "SnapshotDatastore",
     "BudgetController",
     "MarketID",
     "ProbeRecord",

@@ -50,6 +50,11 @@ class SpotLightConfig:
     budget_window: float = 30 * SECONDS_PER_DAY
     seed: int = 20160501
 
+    # -- serving ----------------------------------------------------------------------
+    #: TTL of the frontend's query-result cache, in provider-clock
+    #: seconds (availability answers change slowly; serving is read-heavy).
+    frontend_cache_ttl: float = 300.0
+
     # -- scope ------------------------------------------------------------------------
     regions: list[str] = field(default_factory=list)  # empty = all
     families: list[str] = field(default_factory=list)  # empty = all
@@ -68,3 +73,7 @@ class SpotLightConfig:
             raise ValueError("bid spread needs at least two requests")
         if self.budget <= 0:
             raise ValueError(f"budget must be positive: {self.budget}")
+        if self.frontend_cache_ttl < 0:
+            raise ValueError(
+                f"frontend cache TTL must be non-negative: {self.frontend_cache_ttl}"
+            )

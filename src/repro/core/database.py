@@ -34,12 +34,35 @@ import numpy as np
 from repro.common.timeseries import TimeSeries
 from repro.core.market_id import MarketID
 from repro.core.records import (
-    OUTCOME_FULFILLED,
     PriceRecord,
     ProbeKind,
     ProbeRecord,
     UnavailabilityPeriod,
 )
+
+
+#: Column order of the price-CSV schema, shared by exports, imports,
+#: and the snapshot datastore's write-ahead log.
+PRICE_CSV_FIELDS = ["time", "availability_zone", "instance_type", "product", "price"]
+
+
+def price_csv_row(time: float, market: MarketID, price: float) -> list[str]:
+    """One price sample as a CSV row (``repr`` floats round-trip exactly)."""
+    return [
+        repr(time),
+        market.availability_zone,
+        market.instance_type,
+        market.product,
+        repr(price),
+    ]
+
+
+def parse_price_csv_row(row: dict[str, str]) -> PriceRecord:
+    """Inverse of :func:`price_csv_row` over a ``csv.DictReader`` row."""
+    market = MarketID(
+        row["availability_zone"], row["instance_type"], row["product"]
+    )
+    return PriceRecord(float(row["time"]), market, float(row["price"]))
 
 
 def _materialize_prices(
@@ -270,21 +293,11 @@ class ProbeDatabase:
         count = 0
         with path.open("w", newline="") as handle:
             writer = csv.writer(handle)
-            writer.writerow(
-                ["time", "availability_zone", "instance_type", "product", "price"]
-            )
+            writer.writerow(PRICE_CSV_FIELDS)
             for market in sorted(self._prices_by_market):
                 column = self._prices_by_market[market]
                 for t, p in zip(column.times, column.values):
-                    writer.writerow(
-                        [
-                            repr(t),
-                            market.availability_zone,
-                            market.instance_type,
-                            market.product,
-                            repr(p),
-                        ]
-                    )
+                    writer.writerow(price_csv_row(t, market, p))
                     count += 1
         return count
 
@@ -293,12 +306,7 @@ class ProbeDatabase:
         db = cls()
         with Path(path).open(newline="") as handle:
             for row in csv.DictReader(handle):
-                market = MarketID(
-                    row["availability_zone"], row["instance_type"], row["product"]
-                )
-                db.insert_price(
-                    PriceRecord(float(row["time"]), market, float(row["price"]))
-                )
+                db.insert_price(parse_price_csv_row(row))
         return db
 
     def export_prices_json(self, path: str | Path) -> int:

@@ -1,0 +1,243 @@
+"""Pluggable datastore backends for the probe/price log.
+
+:class:`~repro.core.database.ProbeDatabase` is the columnar in-memory
+engine; the datastore layer puts it behind a small lifecycle interface
+so a service can pick where its observations live:
+
+* :class:`InMemoryDatastore` — the existing columnar store, volatile
+  (``save``/``close`` are no-ops);
+* :class:`SnapshotDatastore` — the same store bound to a directory on
+  disk.  ``save()`` writes a full snapshot (probes + prices, CSV with
+  exact float round-trip) and every insert is also appended to a
+  write-ahead log, so a service that stops without a final snapshot
+  still resumes from snapshot + log replay.  ``save()`` compacts: it
+  rewrites the snapshot and drops the logs.
+
+Snapshots are **generation-stamped**: data files are named
+``probes.<gen>.csv`` / ``probes.wal.<gen>.csv`` and the manifest —
+whose atomic replace is the single commit point of ``save()`` — names
+the live generation.  A crash anywhere inside ``save()`` therefore
+leaves either the old generation (snapshot + its WAL) or the new one
+(whose snapshot already contains the WAL'd rows, and whose stale WAL is
+ignored and swept on the next load) — never a double replay.
+
+Both backends expose the complete :class:`ProbeDatabase` read/query
+surface — they *are* probe databases — so the query engine, analysis
+readers, and exports work against either unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import IO, Protocol, runtime_checkable
+
+from repro.core.database import (
+    PRICE_CSV_FIELDS,
+    ProbeDatabase,
+    parse_price_csv_row,
+    price_csv_row,
+)
+from repro.core.records import PROBE_CSV_FIELDS, PriceRecord, ProbeRecord
+
+SNAPSHOT_FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+
+
+@runtime_checkable
+class Datastore(Protocol):
+    """Lifecycle contract a SpotLight datastore adds on top of the
+    :class:`ProbeDatabase` ingestion/query surface."""
+
+    def insert_probe(self, record: ProbeRecord) -> None: ...
+
+    def insert_price(self, record: PriceRecord) -> None: ...
+
+    def save(self) -> None:
+        """Persist the current state (no-op for volatile backends)."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release any resources held by the backend."""
+        ...
+
+
+class InMemoryDatastore(ProbeDatabase):
+    """The columnar in-memory backend: fast, volatile."""
+
+    def save(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+class _CsvAppender:
+    """An append-mode CSV file whose writer is built once (the WAL sits
+    on the per-sample insert path, so per-row writer construction would
+    be pure overhead)."""
+
+    def __init__(self, path: Path, header: list[str]) -> None:
+        self.handle: IO[str] = path.open("a", newline="")
+        self.writer = csv.writer(self.handle)
+        if self.handle.tell() == 0:
+            self.writer.writerow(header)
+
+    def flush(self) -> None:
+        self.handle.flush()
+
+    def close(self) -> None:
+        self.handle.close()
+
+
+class SnapshotDatastore(ProbeDatabase):
+    """A probe database bound to an on-disk snapshot directory.
+
+    Opening a directory that holds a previous snapshot (and/or pending
+    write-ahead logs) loads the full state back, so a second process
+    answers queries over exactly the observations the first recorded.
+    With ``must_exist`` the constructor refuses an empty directory
+    instead of silently serving an empty store (catches typo'd paths).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        append_log: bool = True,
+        must_exist: bool = False,
+    ) -> None:
+        super().__init__()
+        self.root = Path(root)
+        if must_exist and not (self.root / _MANIFEST).exists():
+            raise FileNotFoundError(
+                f"{self.root}: no datastore snapshot here (missing {_MANIFEST})"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._append_log = append_log
+        self._generation = 0
+        self._probe_wal: _CsvAppender | None = None
+        self._price_wal: _CsvAppender | None = None
+        self._load()
+
+    # -- file layout --------------------------------------------------------
+    def _snapshot_path(self, kind: str, generation: int) -> Path:
+        return self.root / f"{kind}.{generation}.csv"
+
+    def _wal_path(self, kind: str, generation: int) -> Path:
+        return self.root / f"{kind}.wal.{generation}.csv"
+
+    # -- ingestion (write-through to the WAL) -------------------------------
+    def insert_probe(self, record: ProbeRecord) -> None:
+        super().insert_probe(record)
+        if self._append_log:
+            if self._probe_wal is None:
+                self._probe_wal = _CsvAppender(
+                    self._wal_path("probes", self._generation), PROBE_CSV_FIELDS
+                )
+            row = record.to_row()
+            self._probe_wal.writer.writerow(
+                [row[field] for field in PROBE_CSV_FIELDS]
+            )
+
+    def insert_price(self, record: PriceRecord) -> None:
+        super().insert_price(record)
+        if self._append_log:
+            if self._price_wal is None:
+                self._price_wal = _CsvAppender(
+                    self._wal_path("prices", self._generation), PRICE_CSV_FIELDS
+                )
+            self._price_wal.writer.writerow(
+                price_csv_row(record.time, record.market, record.price)
+            )
+
+    # -- persistence --------------------------------------------------------
+    def flush(self) -> None:
+        """Push buffered WAL rows to disk without snapshotting."""
+        for wal in (self._probe_wal, self._price_wal):
+            if wal is not None:
+                wal.flush()
+
+    def save(self) -> None:
+        """Write a full snapshot; the manifest replace is the atomic
+        commit point, after which the old generation is swept."""
+        self._close_wals()
+        new_gen = self._generation + 1
+        for kind, export in (
+            ("probes", self.export_probes_csv),
+            ("prices", self.export_prices_csv),
+        ):
+            tmp = self._snapshot_path(kind, new_gen).with_suffix(".csv.tmp")
+            export(tmp)
+            tmp.replace(self._snapshot_path(kind, new_gen))
+        manifest = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "generation": new_gen,
+            "probe_count": len(self),
+            "price_count": self.price_count(),
+            "markets": len(self.markets),
+        }
+        manifest_tmp = self.root / (_MANIFEST + ".tmp")
+        manifest_tmp.write_text(json.dumps(manifest, indent=2))
+        manifest_tmp.replace(self.root / _MANIFEST)  # commit point
+        self._generation = new_gen
+        self._sweep_stale_files()
+
+    def close(self) -> None:
+        """Flush and close the WALs (state stays recoverable on disk)."""
+        self._close_wals()
+
+    def _close_wals(self) -> None:
+        for attr in ("_probe_wal", "_price_wal"):
+            wal = getattr(self, attr)
+            if wal is not None:
+                wal.close()
+                setattr(self, attr, None)
+
+    def _sweep_stale_files(self) -> None:
+        """Remove snapshots and WALs of any generation but the live one."""
+        keep = {
+            self._snapshot_path("probes", self._generation),
+            self._snapshot_path("prices", self._generation),
+            self._wal_path("probes", self._generation),
+            self._wal_path("prices", self._generation),
+        }
+        for pattern in ("probes.*.csv", "prices.*.csv"):
+            for path in self.root.glob(pattern):
+                if path not in keep:
+                    path.unlink()
+
+    # -- loading ------------------------------------------------------------
+    def _load(self) -> None:
+        manifest_path = self.root / _MANIFEST
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text())
+            version = manifest.get("format_version")
+            if version != SNAPSHOT_FORMAT_VERSION:
+                raise ValueError(
+                    f"{self.root}: unsupported snapshot format {version!r}"
+                )
+            self._generation = int(manifest.get("generation", 0))
+            self._load_probes(self._snapshot_path("probes", self._generation))
+            self._load_prices(self._snapshot_path("prices", self._generation))
+        # Only the live generation's WAL extends the snapshot; a WAL
+        # left behind by a save() that crashed mid-sweep is stale (its
+        # rows are already in the snapshot) and must not replay.
+        self._sweep_stale_files()
+        self._load_probes(self._wal_path("probes", self._generation))
+        self._load_prices(self._wal_path("prices", self._generation))
+
+    def _load_probes(self, path: Path) -> None:
+        if not path.exists() or path.stat().st_size == 0:
+            return
+        with path.open(newline="") as handle:
+            for row in csv.DictReader(handle):
+                ProbeDatabase.insert_probe(self, ProbeRecord.from_row(row))
+
+    def _load_prices(self, path: Path) -> None:
+        if not path.exists() or path.stat().st_size == 0:
+            return
+        with path.open(newline="") as handle:
+            for row in csv.DictReader(handle):
+                ProbeDatabase.insert_price(self, parse_price_csv_row(row))

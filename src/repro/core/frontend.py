@@ -1,0 +1,497 @@
+"""The serving frontend.
+
+:class:`~repro.core.query.SpotLightQuery` is the stateless query
+engine: pure reads over a datastore and a catalog.  The
+:class:`QueryFrontend` is the layer applications actually talk to:
+
+* **typed methods** mirroring the engine's flagship queries, with a
+  TTL-based result cache in front (availability answers change slowly;
+  the paper's serving path is read-heavy);
+* a **request/response schema** — dict-in/dict-out ``handle()`` — for
+  clients that speak plain data (the CLI ``query`` subcommand, or a
+  network transport layered on top).  Markets travel as
+  ``"zone/type/product"`` strings, enums as their values, and every
+  response carries ``ok``, ``cached``, and ``served_at``.
+
+The cache key is the canonical JSON of ``(query, params)``; entries
+expire ``cache_ttl`` seconds after being filled, measured on the clock
+the frontend is given (the provider's clock for an embedded frontend,
+wall time for a standalone one).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.market_id import MarketID
+from repro.core.query import MarketStability, SpotLightQuery
+from repro.core.records import ProbeKind, UnavailabilityPeriod
+
+#: Default result-cache TTL (seconds on the frontend's clock).
+DEFAULT_CACHE_TTL = 300.0
+
+
+class BadRequestError(ValueError):
+    """A request that does not fit the schema."""
+
+
+@dataclass
+class _CacheEntry:
+    value: Any
+    expires: float
+
+
+def _parse_market(value: object) -> MarketID:
+    """Accept a MarketID, a ``"zone/type/product"`` string, or a dict."""
+    if isinstance(value, MarketID):
+        return value
+    if isinstance(value, str):
+        parts = value.split("/", 2)
+        if len(parts) != 3 or not all(parts):
+            raise BadRequestError(
+                f"market must be 'zone/type/product', got {value!r}"
+            )
+        return MarketID(*parts)
+    if isinstance(value, dict):
+        try:
+            return MarketID(
+                str(value["availability_zone"]),
+                str(value["instance_type"]),
+                str(value["product"]),
+            )
+        except KeyError as exc:
+            raise BadRequestError(f"market dict missing key: {exc}") from None
+    raise BadRequestError(f"cannot interpret market: {value!r}")
+
+
+def _parse_kind(value: object) -> ProbeKind:
+    if isinstance(value, ProbeKind):
+        return value
+    try:
+        return ProbeKind(str(value))
+    except ValueError:
+        raise BadRequestError(f"unknown probe kind: {value!r}") from None
+
+
+_MISSING = object()
+
+
+class _Params:
+    """Schema-side access to a request's params: every failure here is
+    the *client's* fault and raises :class:`BadRequestError`, so
+    ``handle()`` can tell bad requests apart from engine-side errors."""
+
+    def __init__(self, raw: dict[str, object]) -> None:
+        self._raw = raw
+
+    def _get(self, key: str, default: object = _MISSING) -> object:
+        value = self._raw.get(key, default)
+        if value is _MISSING:
+            raise BadRequestError(f"missing required param {key!r}")
+        return value
+
+    def market(self, key: str = "market") -> MarketID:
+        return _parse_market(self._get(key))
+
+    def optional_market(self, key: str = "market") -> MarketID | None:
+        value = self._raw.get(key)
+        return None if value is None else _parse_market(value)
+
+    def markets(self, key: str) -> list[MarketID]:
+        value = self._get(key)
+        if not isinstance(value, list) or not value:
+            raise BadRequestError(f"{key} must be a non-empty list")
+        return [_parse_market(item) for item in value]
+
+    def number(self, key: str, default: object = _MISSING) -> float:
+        value = self._get(key, default)
+        try:
+            return float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise BadRequestError(f"{key} must be a number: {value!r}") from None
+
+    def optional_number(self, key: str) -> float | None:
+        if self._raw.get(key) is None:
+            return None
+        return self.number(key)
+
+    def integer(self, key: str, default: object = _MISSING) -> int:
+        value = self._get(key, default)
+        try:
+            return int(value)  # type: ignore[call-overload]
+        except (TypeError, ValueError):
+            raise BadRequestError(f"{key} must be an integer: {value!r}") from None
+
+    def kind(self, key: str = "kind",
+             default: ProbeKind = ProbeKind.ON_DEMAND) -> ProbeKind:
+        return _parse_kind(self._get(key, default))
+
+    def optional_kind(self, key: str = "kind") -> ProbeKind | None:
+        value = self._raw.get(key)
+        return None if value is None else _parse_kind(value)
+
+    def optional_string(self, key: str) -> str | None:
+        value = self._raw.get(key)
+        if value is not None and not isinstance(value, str):
+            raise BadRequestError(f"{key} must be a string: {value!r}")
+        return value
+
+
+def _market_json(market: MarketID) -> dict[str, str]:
+    return {
+        "market": str(market),
+        "availability_zone": market.availability_zone,
+        "instance_type": market.instance_type,
+        "product": market.product,
+    }
+
+
+def _stability_json(entry: MarketStability) -> dict[str, object]:
+    return {
+        **_market_json(entry.market),
+        "mean_time_to_revocation": entry.mean_time_to_revocation,
+        "availability_at_bid": entry.availability_at_bid,
+        "mean_price": entry.mean_price,
+    }
+
+
+def _period_json(period: UnavailabilityPeriod) -> dict[str, object]:
+    return {
+        **_market_json(period.market),
+        "kind": period.kind.value,
+        "start": period.start,
+        "end": period.end,
+        "duration": period.duration,
+        "probe_count": period.probe_count,
+        "end_observed": period.end_observed,
+    }
+
+
+class QueryFrontend:
+    """TTL-cached serving layer over a stateless query engine."""
+
+    def __init__(
+        self,
+        engine: SpotLightQuery,
+        clock: Callable[[], float] | None = None,
+        cache_ttl: float = DEFAULT_CACHE_TTL,
+        max_entries: int = 1024,
+    ) -> None:
+        if cache_ttl < 0:
+            raise ValueError(f"cache TTL must be non-negative: {cache_ttl}")
+        if max_entries < 1:
+            raise ValueError(f"cache needs at least one entry: {max_entries}")
+        self.engine = engine
+        self.cache_ttl = cache_ttl
+        self.max_entries = max_entries
+        self._clock = clock if clock is not None else time.monotonic
+        self._cache: dict[str, _CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._handlers: dict[str, Callable[[dict], object]] = {
+            "top-stable-markets": self._q_top_stable_markets,
+            "availability": self._q_availability,
+            "availability-at-bid": self._q_availability_at_bid,
+            "mean-time-to-revocation": self._q_mean_time_to_revocation,
+            "mean-price": self._q_mean_price,
+            "on-demand-price": self._q_on_demand_price,
+            "unavailability-periods": self._q_unavailability_periods,
+            "least-unavailable-markets": self._q_least_unavailable,
+            "rejection-rate": self._q_rejection_rate,
+        }
+
+    # -- cache machinery ----------------------------------------------------
+    def _cached(
+        self, query: str, params: dict[str, object], compute: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Serve from cache or compute; returns ``(value, was_cached)``."""
+        key = json.dumps({"query": query, "params": params}, sort_keys=True)
+        now = self._clock()
+        entry = self._cache.get(key)
+        if entry is not None and now < entry.expires:
+            self.hits += 1
+            return entry.value, True
+        self.misses += 1
+        value = compute()
+        if entry is None and len(self._cache) >= self.max_entries:
+            self._evict(now)
+        self._cache[key] = _CacheEntry(value, now + self.cache_ttl)
+        return value, False
+
+    def _evict(self, now: float) -> None:
+        expired = [k for k, e in self._cache.items() if e.expires <= now]
+        for key in expired:
+            del self._cache[key]
+        while len(self._cache) >= self.max_entries:
+            # Dicts iterate in insertion order: drop the oldest entry.
+            del self._cache[next(iter(self._cache))]
+            self.evictions += 1
+        self.evictions += len(expired)
+
+    def invalidate(self) -> None:
+        """Drop every cached result (e.g. after a bulk data import)."""
+        self._cache.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._cache),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    # -- typed API (what the apps consume) ---------------------------------
+    def on_demand_price(self, market: MarketID) -> float:
+        value, _ = self._cached(
+            "on-demand-price",
+            {"market": str(market)},
+            lambda: self.engine.on_demand_price(market),
+        )
+        return value
+
+    def top_stable_markets(
+        self,
+        n: int = 10,
+        bid_multiple: float = 1.0,
+        start: float = 0.0,
+        end: float | None = None,
+        region: str | None = None,
+    ) -> list[MarketStability]:
+        value, _ = self._cached(
+            "top-stable-markets",
+            {"n": n, "bid_multiple": bid_multiple, "start": start, "end": end,
+             "region": region},
+            lambda: self.engine.top_stable_markets(n, bid_multiple, start, end, region),
+        )
+        return list(value)
+
+    def availability(
+        self,
+        market: MarketID,
+        kind: ProbeKind = ProbeKind.ON_DEMAND,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> float:
+        value, _ = self._cached(
+            "availability",
+            {"market": str(market), "kind": kind.value, "start": start, "end": end},
+            lambda: self.engine.availability(market, kind, start, end),
+        )
+        return value
+
+    def availability_at_bid(
+        self,
+        market: MarketID,
+        bid_price: float,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> float:
+        value, _ = self._cached(
+            "availability-at-bid",
+            {"market": str(market), "bid_price": bid_price, "start": start,
+             "end": end},
+            lambda: self.engine.availability_at_bid(market, bid_price, start, end),
+        )
+        return value
+
+    def mean_time_to_revocation(
+        self,
+        market: MarketID,
+        bid_price: float,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> float:
+        value, _ = self._cached(
+            "mean-time-to-revocation",
+            {"market": str(market), "bid_price": bid_price, "start": start,
+             "end": end},
+            lambda: self.engine.mean_time_to_revocation(market, bid_price, start, end),
+        )
+        return value
+
+    def mean_price(
+        self, market: MarketID, start: float = 0.0, end: float | None = None
+    ) -> float:
+        value, _ = self._cached(
+            "mean-price",
+            {"market": str(market), "start": start, "end": end},
+            lambda: self.engine.mean_price(market, start, end),
+        )
+        return value
+
+    def spike_multiples(
+        self, market: MarketID, start: float = 0.0, end: float | None = None
+    ) -> list[tuple[float, float]]:
+        value, _ = self._cached(
+            "spike-multiples",
+            {"market": str(market), "start": start, "end": end},
+            lambda: self.engine.spike_multiples(market, start, end),
+        )
+        return list(value)
+
+    def unavailability_periods(
+        self,
+        market: MarketID | None = None,
+        kind: ProbeKind = ProbeKind.ON_DEMAND,
+        horizon: float | None = None,
+    ) -> list[UnavailabilityPeriod]:
+        value, _ = self._cached(
+            "unavailability-periods",
+            {"market": None if market is None else str(market),
+             "kind": kind.value, "horizon": horizon},
+            lambda: self.engine.unavailability_periods(market, kind, horizon),
+        )
+        return list(value)
+
+    def least_unavailable_markets(
+        self,
+        candidates: list[MarketID],
+        kind: ProbeKind = ProbeKind.ON_DEMAND,
+        horizon: float | None = None,
+    ) -> list[tuple[MarketID, float]]:
+        value, _ = self._cached(
+            "least-unavailable-markets",
+            {"candidates": [str(m) for m in candidates], "kind": kind.value,
+             "horizon": horizon},
+            lambda: self.engine.least_unavailable_markets(candidates, kind, horizon),
+        )
+        return list(value)
+
+    def is_unavailable_at(
+        self, market: MarketID, when: float, kind: ProbeKind = ProbeKind.ON_DEMAND
+    ) -> bool:
+        value, _ = self._cached(
+            "is-unavailable-at",
+            {"market": str(market), "when": when, "kind": kind.value},
+            lambda: self.engine.is_unavailable_at(market, when, kind),
+        )
+        return value
+
+    def rejection_rate(
+        self, market: MarketID | None = None, kind: ProbeKind | None = None
+    ) -> float:
+        value, _ = self._cached(
+            "rejection-rate",
+            {"market": None if market is None else str(market),
+             "kind": None if kind is None else kind.value},
+            lambda: self.engine.rejection_rate(market, kind),
+        )
+        return value
+
+    # -- request/response API ----------------------------------------------
+    def handle(self, request: dict[str, object]) -> dict[str, object]:
+        """Serve one schema request; never raises on bad input.
+
+        Request: ``{"query": <name>, "params": {...}}``.  Response:
+        ``{"ok": True, "query", "result", "cached", "served_at"}`` or
+        ``{"ok": False, "error": {"code", "message"}}``.
+        """
+        if not isinstance(request, dict):
+            return self._error("bad-request", "request must be a dict")
+        query = request.get("query")
+        handler = self._handlers.get(query) if isinstance(query, str) else None
+        if handler is None:
+            return self._error(
+                "unknown-query",
+                f"unknown query {query!r}; valid: {sorted(self._handlers)}",
+            )
+        params = request.get("params", {})
+        if not isinstance(params, dict):
+            return self._error("bad-request", "params must be a dict")
+        hits_before = self.hits
+        try:
+            result = handler(params)
+        except BadRequestError as exc:
+            return self._error("bad-request", str(exc))
+        except Exception as exc:  # engine-side failure, not the client's fault
+            return self._error("internal-error", f"{type(exc).__name__}: {exc}")
+        return {
+            "ok": True,
+            "query": query,
+            "result": result,
+            "cached": self.hits > hits_before,
+            "served_at": self._clock(),
+        }
+
+    @staticmethod
+    def _error(code: str, message: str) -> dict[str, object]:
+        return {"ok": False, "error": {"code": code, "message": message}}
+
+    # -- schema handlers ----------------------------------------------------
+    def _q_top_stable_markets(self, params: dict) -> object:
+        p = _Params(params)
+        entries = self.top_stable_markets(
+            n=p.integer("n", 10),
+            bid_multiple=p.number("bid_multiple", 1.0),
+            start=p.number("start", 0.0),
+            end=p.optional_number("end"),
+            region=p.optional_string("region"),
+        )
+        return [_stability_json(entry) for entry in entries]
+
+    def _q_availability(self, params: dict) -> object:
+        p = _Params(params)
+        return self.availability(
+            p.market(),
+            kind=p.kind(),
+            start=p.number("start", 0.0),
+            end=p.optional_number("end"),
+        )
+
+    def _q_availability_at_bid(self, params: dict) -> object:
+        p = _Params(params)
+        return self.availability_at_bid(
+            p.market(),
+            p.number("bid_price"),
+            start=p.number("start", 0.0),
+            end=p.optional_number("end"),
+        )
+
+    def _q_mean_time_to_revocation(self, params: dict) -> object:
+        p = _Params(params)
+        return self.mean_time_to_revocation(
+            p.market(),
+            p.number("bid_price"),
+            start=p.number("start", 0.0),
+            end=p.optional_number("end"),
+        )
+
+    def _q_mean_price(self, params: dict) -> object:
+        p = _Params(params)
+        return self.mean_price(
+            p.market(), start=p.number("start", 0.0), end=p.optional_number("end")
+        )
+
+    def _q_on_demand_price(self, params: dict) -> object:
+        return self.on_demand_price(_Params(params).market())
+
+    def _q_unavailability_periods(self, params: dict) -> object:
+        p = _Params(params)
+        periods = self.unavailability_periods(
+            market=p.optional_market(),
+            kind=p.kind(),
+            horizon=p.optional_number("horizon"),
+        )
+        return [_period_json(period) for period in periods]
+
+    def _q_least_unavailable(self, params: dict) -> object:
+        p = _Params(params)
+        ranked = self.least_unavailable_markets(
+            p.markets("candidates"),
+            kind=p.kind(),
+            horizon=p.optional_number("horizon"),
+        )
+        return [
+            {**_market_json(market), "unavailable_seconds": total}
+            for market, total in ranked
+        ]
+
+    def _q_rejection_rate(self, params: dict) -> object:
+        p = _Params(params)
+        return self.rejection_rate(
+            market=p.optional_market(), kind=p.optional_kind()
+        )

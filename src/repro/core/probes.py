@@ -22,6 +22,7 @@ in the database, with its cost charged to the budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.common import errors
 from repro.common.errors import (
@@ -40,7 +41,9 @@ from repro.core.records import (
     ProbeRecord,
     ProbeTrigger,
 )
-from repro.ec2.platform import EC2Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.providers.base import CloudProvider
 
 #: Probe outcomes that mean "try again later" rather than information
 #: about the market (these are account-side limits, not availability).
@@ -71,13 +74,13 @@ class ProbeExecutor:
 
     def __init__(
         self,
-        simulator: EC2Simulator,
+        provider: "CloudProvider",
         database: ProbeDatabase,
         budget: BudgetController,
         config: SpotLightConfig,
         rng: RngStream,
     ) -> None:
-        self._sim = simulator
+        self._provider = provider
         self._db = database
         self._budget = budget
         self._config = config
@@ -86,25 +89,25 @@ class ProbeExecutor:
     # -- helpers ---------------------------------------------------------------
     @property
     def now(self) -> float:
-        return self._sim.now
+        return self._provider.now
 
     def _region_ready(self, market: MarketID, tokens: float = 2.0) -> bool:
         """Whether the region's API bucket can cover a probe (request +
         cleanup call).  Probing with an empty bucket would strand held
         requests, so the executor defers instead."""
-        limits = self._sim.limits[market.region]
-        return limits._bucket.available >= tokens
+        limits = self._provider.limits[market.region]
+        return limits.available_api_tokens >= tokens
 
     def _abandon_request(self, request_id: str) -> None:
         """Walk away from a held request.  If the market fulfilled it in
         the meantime (held requests auto-fulfil when the price falls),
         terminate the instance too — otherwise it would run up charges
         indefinitely."""
-        request = self._sim.spot_requests[request_id]
+        request = self._provider.spot_requests[request_id]
         if request.is_open:
-            self._sim.cancel_spot_request(request_id)
+            self._provider.cancel_spot_request(request_id)
         if request.is_active:
-            self._sim.terminate_spot_instance(request_id)
+            self._provider.terminate_spot_instance(request_id)
 
     def _cleanup(self, action, attempts: int = 8) -> None:
         """Run a cleanup call (terminate/cancel), retrying on throttling.
@@ -116,17 +119,17 @@ class ProbeExecutor:
             action()
         except RequestLimitExceededError:
             if attempts > 0:
-                self._sim.queue.schedule_in(
+                self._provider.schedule_in(
                     10.0,
                     lambda: self._cleanup(action, attempts - 1),
                     label="probe-cleanup",
                 )
 
     def on_demand_price(self, market: MarketID) -> float:
-        return self._sim.on_demand_price(*market.api_args)
+        return self._provider.on_demand_price(*market.api_args)
 
     def published_spot_price(self, market: MarketID) -> float:
-        return self._sim.current_spot_price(*market.api_args)
+        return self._provider.current_spot_price(*market.api_args)
 
     def spike_multiple(self, market: MarketID, price: float | None = None) -> float:
         """Spot price as a multiple of the on-demand price."""
@@ -154,7 +157,7 @@ class ProbeExecutor:
         if not self._region_ready(market):
             return None
         try:
-            instance = self._sim.run_instances(*market.api_args)
+            instance = self._provider.run_instances(*market.api_args)
         except (RequestLimitExceededError, ServiceLimitExceededError):
             return None
         except EC2Error as exc:
@@ -169,7 +172,7 @@ class ProbeExecutor:
                 )
             )
         # Granted: pay the one-hour minimum and terminate immediately.
-        self._cleanup(lambda: self._sim.terminate_instances([instance.instance_id]))
+        self._cleanup(lambda: self._provider.terminate_instances([instance.instance_id]))
         return self._log(
             ProbeRecord(
                 time=self.now,
@@ -205,7 +208,7 @@ class ProbeExecutor:
         if not self._region_ready(market):
             return None
         try:
-            request = self._sim.request_spot_instances(*market.api_args, bid_price=price)
+            request = self._provider.request_spot_instances(*market.api_args, bid_price=price)
         except (RequestLimitExceededError, ServiceLimitExceededError):
             return None
         except EC2Error as exc:
@@ -224,7 +227,7 @@ class ProbeExecutor:
             cost = self.published_spot_price(market)
             if not keep_instance:
                 self._cleanup(
-                    lambda: self._sim.terminate_spot_instance(request.request_id)
+                    lambda: self._provider.terminate_spot_instance(request.request_id)
                 )
             return self._log(
                 ProbeRecord(
@@ -333,11 +336,11 @@ class ProbeExecutor:
     def poll_revocation(self, request_id: str) -> float | None:
         """Check a watched request; returns time-to-revocation once the
         market revoked it, None while it is still running."""
-        request = self._sim.spot_requests[request_id]
+        request = self._provider.spot_requests[request_id]
         return request.time_to_revocation()
 
     def stop_revocation_watch(self, request_id: str) -> None:
         """Terminate a watched instance that was never revoked."""
-        request = self._sim.spot_requests[request_id]
+        request = self._provider.spot_requests[request_id]
         if request.is_active:
-            self._cleanup(lambda: self._sim.terminate_spot_instance(request_id))
+            self._cleanup(lambda: self._provider.terminate_spot_instance(request_id))

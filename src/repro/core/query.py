@@ -1,10 +1,16 @@
-"""SpotLight's query interface.
+"""SpotLight's query engine.
 
 The service the paper envisions: applications query availability
 characteristics programmatically to continuously optimise server and
 contract selection.  The flagship example from Chapter 3: "the top ten
 server types with the longest mean-time-to-revocation for a bid price
 equal to the corresponding on-demand price over the past week".
+
+:class:`SpotLightQuery` is the **stateless** half of the serving path:
+pure reads over a datastore and a catalog, no caching, no session
+state — safe to construct per request or share across threads of a
+serving tier.  Applications normally consume it through the cached
+:class:`~repro.core.frontend.QueryFrontend`.
 """
 
 from __future__ import annotations

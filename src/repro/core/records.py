@@ -17,6 +17,22 @@ from repro.core.market_id import MarketID
 #: Outcome string for a successful probe (any error code otherwise).
 OUTCOME_FULFILLED = "fulfilled"
 
+#: Column order of :meth:`ProbeRecord.to_row` — the probe-CSV schema
+#: shared by exports and the snapshot datastore's write-ahead log.
+PROBE_CSV_FIELDS = [
+    "time",
+    "availability_zone",
+    "instance_type",
+    "product",
+    "kind",
+    "trigger",
+    "outcome",
+    "spike_multiple",
+    "bid_price",
+    "cost",
+    "request_id",
+]
+
 
 class ProbeKind(str, enum.Enum):
     """Which contract the probe requested."""

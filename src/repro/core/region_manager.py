@@ -41,7 +41,7 @@ class RegionManager:
         ``priority`` probes (initial spike probes, recovery steps) only
         require a single available slot.
         """
-        bucket_available = self.limits._bucket.available
+        bucket_available = self.limits.available_api_tokens
         slots_used = self.limits.running_on_demand
         if priority:
             admitted = bucket_available >= 1.0 and (

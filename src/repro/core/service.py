@@ -1,9 +1,11 @@
 """The SpotLight service.
 
-Wires everything together: market managers, the probe executor, the
-budget, the database, and the query interface.  SpotLight passively
-monitors the spot price of every market in scope and actively probes
-per the market-based policy:
+Wires the three layers together: a **provider** (the data source — the
+in-process simulator, or a trace replay), a **datastore** (where probe
+and price observations live), and the **serving layer** (the stateless
+query engine plus the cached :class:`~repro.core.frontend.QueryFrontend`
+applications consume).  SpotLight passively monitors the spot price of
+every market in scope and actively probes per the market-based policy:
 
 * a spot price at or above ``T x on-demand`` triggers an on-demand
   probe of that market;
@@ -15,24 +17,33 @@ per the market-based policy:
 * spot markets are additionally probed on a periodic schedule
   (CheckCapacity), with BidSpread and Revocation probes available on
   demand.
+
+Against a provider with no probe surface (``supports_probes`` False,
+e.g. :class:`~repro.providers.trace_replay.TraceReplayProvider`) the
+service runs **passively**: it records the price feed and serves
+queries, but issues no probes.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
+from repro.common.errors import ProbeUnsupportedError
 from repro.common.rng import RngStream
 from repro.core.budget import BudgetController
 from repro.core.config import SpotLightConfig
-from repro.core.database import ProbeDatabase
+from repro.core.datastore import Datastore, InMemoryDatastore
+from repro.core.frontend import QueryFrontend
 from repro.core.market_id import MarketID
 from repro.core.probe_manager import ProbeManager
 from repro.core.probes import BidSpreadResult, ProbeExecutor
 from repro.core.query import SpotLightQuery
 from repro.core.records import PriceRecord, ProbeKind, ProbeTrigger
 from repro.core.region_manager import RegionManager
-from repro.ec2.market import SpotMarket
 from repro.ec2.platform import EC2Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.providers.base import CloudProvider
 
 
 class SpotLight:
@@ -40,26 +51,44 @@ class SpotLight:
 
     def __init__(
         self,
-        simulator: EC2Simulator,
+        provider: CloudProvider | EC2Simulator,
         config: SpotLightConfig | None = None,
         record_prices: bool = True,
+        datastore: Datastore | None = None,
     ) -> None:
+        if isinstance(provider, EC2Simulator):
+            # Imported lazily: repro.core must not import repro.providers
+            # at module load (providers import core types back).
+            from repro.providers.simulator import SimulatorProvider
+
+            provider = SimulatorProvider(provider)
+        self.provider = provider
+        #: The wrapped simulator, when the provider has one (else None).
+        self.simulator = getattr(provider, "simulator", None)
+        #: True when the provider has no probe surface (trace replay):
+        #: the service records prices and serves queries but never probes.
+        self.passive = not provider.supports_probes
         self.config = config or SpotLightConfig()
-        self.simulator = simulator
-        self.database = ProbeDatabase()
+        self.datastore = datastore if datastore is not None else InMemoryDatastore()
+        #: The probe/price log (the datastore's read surface).
+        self.database = self.datastore
         self.budget = BudgetController(
             budget=self.config.budget, window=self.config.budget_window
         )
         self.rng = RngStream(self.config.seed, "spotlight")
         self.executor = ProbeExecutor(
-            simulator, self.database, self.budget, self.config, self.rng.child("exec")
+            provider, self.database, self.budget, self.config, self.rng.child("exec")
         )
-        self.query = SpotLightQuery(self.database, simulator.catalog)
+        self.query = SpotLightQuery(self.database, provider.catalog)
+        self.frontend = QueryFrontend(
+            self.query,
+            clock=lambda: self.provider.now,
+            cache_ttl=self.config.frontend_cache_ttl,
+        )
         self.record_prices = record_prices
 
         self.markets: dict[MarketID, ProbeManager] = {}
-        for az, itype, product in simulator.markets:
-            market = MarketID(az, itype, product)
+        for market in provider.market_ids():
             if not self._in_scope(market):
                 continue
             self.markets[market] = ProbeManager(
@@ -72,7 +101,7 @@ class SpotLight:
 
         self.regions: dict[str, RegionManager] = {
             region: RegionManager(region, limits)
-            for region, limits in simulator.limits.items()
+            for region, limits in provider.limits.items()
         }
 
         # Fan-out covers every product of the family: products of one
@@ -82,7 +111,7 @@ class SpotLight:
             key = (market.region, market.family)
             self._by_family_region.setdefault(key, []).append(market)
 
-        simulator.subscribe_market_updates(self._on_market_update)
+        provider.subscribe_prices(self._on_market_update)
         self._spot_probe_started = False
         self.unavailability_detections = 0
         #: (market, start_time, time_to_revocation|None) per finished watch.
@@ -105,6 +134,8 @@ class SpotLight:
         if self._spot_probe_started:
             return
         self._spot_probe_started = True
+        if self.passive:
+            return
         interval = self.config.spot_probe_interval
         if interval <= 0:
             return
@@ -124,18 +155,22 @@ class SpotLight:
         return step
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Schedule service work on the simulation's event queue."""
-        self.simulator.queue.schedule_in(delay, callback, label="spotlight")
+        """Schedule service work on the provider's clock."""
+        self.provider.schedule_in(delay, callback, label="spotlight")
+
+    def save(self) -> None:
+        """Persist the datastore (a no-op for the in-memory backend)."""
+        self.datastore.save()
 
     # -- price feed --------------------------------------------------------------------
-    def _on_market_update(self, market: SpotMarket, now: float, price: float) -> None:
-        market_id = MarketID(*market.market_key)
-        manager = self.markets.get(market_id)
+    def _on_market_update(self, market: MarketID, now: float, price: float) -> None:
+        manager = self.markets.get(market)
         if manager is None:
             return
         if self.record_prices:
-            self.database.insert_price(PriceRecord(now, market_id, price))
-        manager.on_price(now, price)
+            self.database.insert_price(PriceRecord(now, market, price))
+        if not self.passive:
+            manager.on_price(now, price)
 
     # -- unavailability fan-out ------------------------------------------------------------
     def on_unavailable(
@@ -180,8 +215,15 @@ class SpotLight:
             self.markets[market].probe_related(trigger, multiple)
 
     # -- direct probe entry points -------------------------------------------------------------
+    def _require_active(self) -> None:
+        if self.passive:
+            raise ProbeUnsupportedError(
+                "this SpotLight runs against a passive provider (no probe surface)"
+            )
+
     def probe_on_demand(self, market: MarketID) -> None:
         """User-requested one-off on-demand probe."""
+        self._require_active()
         manager = self._require_market(market)
         record = self.executor.request_on_demand(
             market, ProbeTrigger.MANUAL, self.executor.spike_multiple(market)
@@ -190,12 +232,14 @@ class SpotLight:
 
     def probe_spot(self, market: MarketID) -> None:
         """User-requested one-off spot CheckCapacity probe."""
+        self._require_active()
         manager = self._require_market(market)
         record = self.executor.check_capacity(market, ProbeTrigger.MANUAL)
         manager._handle_spot_outcome(record)
 
     def bid_spread(self, market: MarketID) -> BidSpreadResult:
         """Find the intrinsic bid price of a market (Figure 5.2)."""
+        self._require_active()
         self._require_market(market)
         return self.executor.bid_spread(market)
 
@@ -213,6 +257,7 @@ class SpotLight:
         means the instance survived the whole watch.  Returns False if
         the initial request did not fulfil.
         """
+        self._require_active()
         self._require_market(market)
         request_id = self.executor.start_revocation_watch(market)
         if request_id is None:
@@ -248,5 +293,7 @@ class SpotLight:
             "probes_logged": len(self.database),
             "unavailability_detections": self.unavailability_detections,
             "budget_spent": self.budget.total_spent(),
+            "passive": self.passive,
             "regions": {name: mgr.stats() for name, mgr in self.regions.items()},
+            "frontend_cache": self.frontend.stats(),
         }

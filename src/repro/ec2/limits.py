@@ -76,6 +76,11 @@ class RegionLimits:
         self._bucket = TokenBucket(self.clock, self.api_rate_per_second, self.api_burst)
 
     # -- API rate -----------------------------------------------------------
+    @property
+    def available_api_tokens(self) -> float:
+        """API calls the region's rate bucket can absorb right now."""
+        return self._bucket.available
+
     def charge_api_call(self) -> None:
         """Account one API call; raises ``RequestLimitExceeded`` if throttled."""
         if not self._bucket.try_consume():

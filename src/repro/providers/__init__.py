@@ -1,0 +1,24 @@
+"""Cloud providers — the data sources SpotLight can run against.
+
+* :class:`~repro.providers.base.CloudProvider` — the protocol;
+* :class:`~repro.providers.simulator.SimulatorProvider` — the
+  in-process EC2 simulator (full probe surface);
+* :class:`~repro.providers.trace_replay.TraceReplayProvider` — replay
+  of recorded price CSVs (passive: prices only, no probing).
+"""
+
+from repro.providers.base import (
+    CloudProvider,
+    PriceObserver,
+    ProbeUnsupportedError,
+)
+from repro.providers.simulator import SimulatorProvider
+from repro.providers.trace_replay import TraceReplayProvider
+
+__all__ = [
+    "CloudProvider",
+    "PriceObserver",
+    "ProbeUnsupportedError",
+    "SimulatorProvider",
+    "TraceReplayProvider",
+]

@@ -1,0 +1,100 @@
+"""The provider abstraction SpotLight is written against.
+
+The paper's information service outlives any one data source: the same
+probing/serving machinery should run against a live cloud, a simulated
+one, or a recorded price history.  :class:`CloudProvider` is the
+contract between SpotLight and whatever is behind it:
+
+* a **catalog** of instance types, regions, and on-demand prices;
+* a **price feed** (``subscribe_prices``) delivering one callback per
+  observed spot-price update;
+* a **probe surface** — the EC2-shaped request/terminate calls the five
+  probe functions of Chapter 4 need — which a provider may not support
+  (``supports_probes`` is False for pure replay sources; SpotLight then
+  runs passively, recording prices without probing);
+* per-region **limit state** (API token bucket, instance slots) that
+  admission control paces against;
+* a **clock and scheduler** so recovery loops and periodic probes run
+  in the provider's own time domain (simulated, replayed, or real).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Protocol, runtime_checkable
+
+from repro.common.errors import ProbeUnsupportedError  # noqa: F401  (re-export)
+from repro.core.market_id import MarketID
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ec2.catalog import Catalog
+    from repro.ec2.instance import Instance
+    from repro.ec2.limits import RegionLimits
+    from repro.ec2.spot_request import SpotRequest
+
+#: Price-feed callback: ``observer(market, now, price)``.
+PriceObserver = Callable[[MarketID, float, float], None]
+
+
+@runtime_checkable
+class CloudProvider(Protocol):
+    """What SpotLight needs from the platform behind it."""
+
+    #: Whether the probe surface below is functional.  Passive providers
+    #: (trace replay) expose prices only; SpotLight disables its active
+    #: probing policies against them.
+    supports_probes: bool
+
+    @property
+    def catalog(self) -> "Catalog": ...
+
+    @property
+    def now(self) -> float: ...
+
+    @property
+    def limits(self) -> Mapping[str, "RegionLimits"]: ...
+
+    # -- scope + feed -------------------------------------------------------
+    def market_ids(self) -> Iterable[MarketID]:
+        """Every market this provider can observe."""
+        ...
+
+    def subscribe_prices(self, observer: PriceObserver) -> None:
+        """Register a price-feed observer."""
+        ...
+
+    # -- time ---------------------------------------------------------------
+    def schedule_in(self, delay: float, callback: Callable[[], None],
+                    label: str = "") -> None:
+        """Run ``callback`` after ``delay`` seconds of provider time."""
+        ...
+
+    def run_until(self, when: float) -> int:
+        """Advance the provider to absolute time ``when``."""
+        ...
+
+    def run_for(self, duration: float) -> int:
+        """Advance the provider by ``duration`` seconds."""
+        ...
+
+    # -- pricing ------------------------------------------------------------
+    def on_demand_price(self, instance_type: str, availability_zone: str,
+                        product: str) -> float: ...
+
+    def current_spot_price(self, instance_type: str, availability_zone: str,
+                           product: str) -> float: ...
+
+    # -- probe surface (EC2-shaped) ----------------------------------------
+    @property
+    def spot_requests(self) -> Mapping[str, "SpotRequest"]: ...
+
+    def run_instances(self, instance_type: str, availability_zone: str,
+                      product: str) -> "Instance": ...
+
+    def terminate_instances(self, instance_ids: Iterable[str]) -> None: ...
+
+    def request_spot_instances(self, instance_type: str, availability_zone: str,
+                               product: str, bid_price: float) -> "SpotRequest": ...
+
+    def cancel_spot_request(self, request_id: str) -> "SpotRequest": ...
+
+    def terminate_spot_instance(self, request_id: str) -> None: ...

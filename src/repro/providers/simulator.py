@@ -1,0 +1,103 @@
+"""The simulator-backed provider.
+
+A thin adapter: the in-process :class:`~repro.ec2.platform.EC2Simulator`
+already speaks the EC2-shaped probe surface, so most calls delegate
+directly.  The adapter's real work is normalising the price feed (the
+simulator publishes :class:`~repro.ec2.market.SpotMarket` objects; the
+provider contract speaks :class:`~repro.core.market_id.MarketID`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.core.market_id import MarketID
+from repro.ec2.catalog import Catalog
+from repro.ec2.instance import Instance
+from repro.ec2.limits import RegionLimits
+from repro.ec2.market import SpotMarket
+from repro.ec2.platform import EC2Simulator
+from repro.ec2.spot_request import SpotRequest
+from repro.providers.base import PriceObserver
+
+
+class SimulatorProvider:
+    """Serve SpotLight from an in-process :class:`EC2Simulator`."""
+
+    supports_probes = True
+
+    def __init__(self, simulator: EC2Simulator) -> None:
+        self.simulator = simulator
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.simulator.catalog
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    @property
+    def limits(self) -> Mapping[str, RegionLimits]:
+        return self.simulator.limits
+
+    # -- scope + feed -------------------------------------------------------
+    def market_ids(self) -> Iterable[MarketID]:
+        for az, itype, product in self.simulator.markets:
+            yield MarketID(az, itype, product)
+
+    def subscribe_prices(self, observer: PriceObserver) -> None:
+        def adapt(market: SpotMarket, now: float, price: float) -> None:
+            observer(MarketID(*market.market_key), now, price)
+
+        self.simulator.subscribe_market_updates(adapt)
+
+    # -- time ---------------------------------------------------------------
+    def schedule_in(self, delay: float, callback: Callable[[], None],
+                    label: str = "") -> None:
+        self.simulator.queue.schedule_in(delay, callback, label=label)
+
+    def run_until(self, when: float) -> int:
+        return self.simulator.run_until(when)
+
+    def run_for(self, duration: float) -> int:
+        return self.simulator.run_for(duration)
+
+    # -- pricing ------------------------------------------------------------
+    def on_demand_price(self, instance_type: str, availability_zone: str,
+                        product: str) -> float:
+        return self.simulator.on_demand_price(
+            instance_type, availability_zone, product
+        )
+
+    def current_spot_price(self, instance_type: str, availability_zone: str,
+                           product: str) -> float:
+        return self.simulator.current_spot_price(
+            instance_type, availability_zone, product
+        )
+
+    # -- probe surface ------------------------------------------------------
+    @property
+    def spot_requests(self) -> Mapping[str, SpotRequest]:
+        return self.simulator.spot_requests
+
+    def run_instances(self, instance_type: str, availability_zone: str,
+                      product: str) -> Instance:
+        return self.simulator.run_instances(
+            instance_type, availability_zone, product
+        )
+
+    def terminate_instances(self, instance_ids: Iterable[str]) -> None:
+        self.simulator.terminate_instances(instance_ids)
+
+    def request_spot_instances(self, instance_type: str, availability_zone: str,
+                               product: str, bid_price: float) -> SpotRequest:
+        return self.simulator.request_spot_instances(
+            instance_type, availability_zone, product, bid_price=bid_price
+        )
+
+    def cancel_spot_request(self, request_id: str) -> SpotRequest:
+        return self.simulator.cancel_spot_request(request_id)
+
+    def terminate_spot_instance(self, request_id: str) -> None:
+        self.simulator.terminate_spot_instance(request_id)

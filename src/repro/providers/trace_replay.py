@@ -1,0 +1,208 @@
+"""Replay recorded spot-price histories as a (passive) cloud provider.
+
+The paper's service is meant to run against captured price histories as
+well as a live platform: trace-driven cost tools (EMRio-style planners,
+the Chapter 6 app studies) are built on recorded spot-price CSVs.  The
+:class:`TraceReplayProvider` turns such a recording back into a price
+feed on its own simulated clock, so a full SpotLight instance — scope
+filtering, price recording, datastore, query engine, frontend — runs
+against it unchanged, with **no simulator**.
+
+Replay is passive: there is no capacity model behind a recorded trace,
+so the probe surface is unsupported (``supports_probes`` is False) and
+SpotLight runs in passive mode against it.  Events are scheduled
+lazily — one pending event per market — so a multi-million-sample
+recording never materialises more than ``len(markets)`` heap entries.
+
+Two recorded formats load directly:
+
+* the multi-market price CSV written by
+  :meth:`repro.core.database.ProbeDatabase.export_prices_csv` (the PR 1
+  round-trip format), via :meth:`TraceReplayProvider.from_prices_csv`;
+* the single-market ``traces/`` generator format written by
+  :func:`repro.traces.io.save_trace_csv`, via
+  :meth:`TraceReplayProvider.from_trace_csv`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from repro.common.clock import SimClock
+from repro.common.events import EventQueue
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.ec2.catalog import Catalog, default_catalog
+from repro.ec2.limits import RegionLimits
+from repro.providers.base import PriceObserver, ProbeUnsupportedError
+from repro.traces.io import load_trace_csv
+
+
+class TraceReplayProvider:
+    """A price-feed-only provider over recorded ``(time, price)`` events."""
+
+    supports_probes = False
+
+    def __init__(
+        self,
+        events_by_market: Mapping[MarketID, list[tuple[float, float]]],
+        catalog: Catalog | None = None,
+        start_time: float = 0.0,
+    ) -> None:
+        self._catalog = catalog or default_catalog()
+        self.clock = SimClock(start_time)
+        self.queue = EventQueue(self.clock)
+        self._events: dict[MarketID, list[tuple[float, float]]] = {}
+        self._cursor: dict[MarketID, int] = {}
+        self._last_price: dict[MarketID, float] = {}
+        self._observers: list[PriceObserver] = []
+        self._limits: dict[str, RegionLimits] = {}
+        self.end_time = start_time
+
+        for market, events in sorted(events_by_market.items()):
+            if not events:
+                continue
+            if any(t1 > t2 for (t1, _), (t2, _) in zip(events, events[1:])):
+                raise ValueError(f"{market}: price events out of time order")
+            if events[0][0] < start_time:
+                raise ValueError(
+                    f"{market}: first event at {events[0][0]} precedes the "
+                    f"replay start time {start_time}"
+                )
+            # Fail fast on markets the catalog cannot price: every query
+            # the service serves needs the on-demand reference price.
+            self._catalog.on_demand_price(
+                market.instance_type, market.region, market.product
+            )
+            self._events[market] = list(events)
+            self._cursor[market] = 0
+            self.end_time = max(self.end_time, events[-1][0])
+            self._limits.setdefault(
+                market.region, RegionLimits(market.region, self.clock)
+            )
+            self._schedule_next(market)
+
+    # -- replay machinery ---------------------------------------------------
+    def _schedule_next(self, market: MarketID) -> None:
+        index = self._cursor[market]
+        events = self._events[market]
+        if index >= len(events):
+            return
+        when = events[index][0]
+        self.queue.schedule_at(
+            when, lambda: self._fire(market), label=f"replay/{market}"
+        )
+
+    def _fire(self, market: MarketID) -> None:
+        index = self._cursor[market]
+        when, price = self._events[market][index]
+        self._cursor[market] = index + 1
+        self._last_price[market] = price
+        for observer in self._observers:
+            observer(market, when, price)
+        self._schedule_next(market)
+
+    def replay_all(self) -> int:
+        """Drive the replay through its last recorded event."""
+        return self.run_until(self.end_time)
+
+    # -- provider surface ---------------------------------------------------
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def limits(self) -> Mapping[str, RegionLimits]:
+        return self._limits
+
+    def market_ids(self) -> Iterable[MarketID]:
+        return list(self._events)
+
+    def subscribe_prices(self, observer: PriceObserver) -> None:
+        self._observers.append(observer)
+
+    def schedule_in(self, delay: float, callback: Callable[[], None],
+                    label: str = "") -> None:
+        self.queue.schedule_in(delay, callback, label=label)
+
+    def run_until(self, when: float) -> int:
+        return self.queue.run_until(when)
+
+    def run_for(self, duration: float) -> int:
+        return self.queue.run_until(self.clock.now + duration)
+
+    # -- pricing ------------------------------------------------------------
+    def on_demand_price(self, instance_type: str, availability_zone: str,
+                        product: str) -> float:
+        region = self._catalog.region_of_zone(availability_zone)
+        return self._catalog.on_demand_price(instance_type, region, product)
+
+    def current_spot_price(self, instance_type: str, availability_zone: str,
+                           product: str) -> float:
+        market = MarketID(availability_zone, instance_type, product)
+        price = self._last_price.get(market)
+        if price is None:
+            raise KeyError(f"no price replayed yet for {market}")
+        return price
+
+    # -- probe surface (unsupported) ---------------------------------------
+    def _no_probes(self) -> ProbeUnsupportedError:
+        return ProbeUnsupportedError(
+            "a trace replay has no capacity model to probe"
+        )
+
+    @property
+    def spot_requests(self) -> Mapping[str, object]:
+        return {}
+
+    def run_instances(self, instance_type: str, availability_zone: str,
+                      product: str):
+        raise self._no_probes()
+
+    def terminate_instances(self, instance_ids: Iterable[str]) -> None:
+        raise self._no_probes()
+
+    def request_spot_instances(self, instance_type: str, availability_zone: str,
+                               product: str, bid_price: float):
+        raise self._no_probes()
+
+    def cancel_spot_request(self, request_id: str):
+        raise self._no_probes()
+
+    def terminate_spot_instance(self, request_id: str) -> None:
+        raise self._no_probes()
+
+    # -- loading ------------------------------------------------------------
+    @classmethod
+    def from_prices_csv(
+        cls,
+        path: str | Path,
+        catalog: Catalog | None = None,
+        start_time: float = 0.0,
+    ) -> "TraceReplayProvider":
+        """Load the multi-market CSV written by
+        :meth:`ProbeDatabase.export_prices_csv`."""
+        db = ProbeDatabase.import_prices_csv(path)
+        events: dict[MarketID, list[tuple[float, float]]] = {}
+        for market, times, prices in db.iter_price_arrays():
+            events[market] = list(zip(times.tolist(), prices.tolist()))
+        return cls(events, catalog=catalog, start_time=start_time)
+
+    @classmethod
+    def from_trace_csv(
+        cls,
+        path: str | Path,
+        market: MarketID,
+        catalog: Catalog | None = None,
+        start_time: float = 0.0,
+    ) -> "TraceReplayProvider":
+        """Load a single-market ``traces/`` CSV
+        (:func:`repro.traces.io.save_trace_csv` format) as ``market``."""
+        return cls(
+            {market: load_trace_csv(path)}, catalog=catalog, start_time=start_time
+        )

@@ -18,7 +18,7 @@ price *series* (Figures 2.1, 5.1, 5.3) and for fast app simulations.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.rng import RngStream
 

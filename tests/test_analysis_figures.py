@@ -13,7 +13,6 @@ from repro.analysis import duration as du
 from repro.analysis import related as rel
 from repro.analysis import spot as spa
 from repro.analysis.context import AnalysisContext
-from repro.core.records import ProbeKind
 
 
 @pytest.fixture(scope="module")

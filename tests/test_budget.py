@@ -48,6 +48,47 @@ def test_invalid_construction():
         BudgetController(budget=1.0, window=0.0)
 
 
+class TestWindowEdges:
+    """Window-boundary behaviour: charges at exactly k*window belong to
+    window k, and spend up to exactly the budget is allowed."""
+
+    def test_charge_exactly_at_boundary_lands_in_new_window(self):
+        budget = BudgetController(budget=10.0, window=100.0)
+        budget.charge(0.0, 10.0)
+        assert not budget.can_spend(99.999, 0.01)
+        # t=100.0 is the first instant of the second window.
+        assert budget.can_spend(100.0, 10.0)
+        budget.charge(100.0, 10.0)
+        assert budget.windows[0].window_start == 0.0
+        assert budget.windows[1].window_start == 100.0
+        assert budget.windows[1].spent == 10.0
+
+    def test_spend_exactly_to_budget_allowed(self):
+        budget = BudgetController(budget=10.0, window=100.0)
+        assert budget.can_spend(0.0, 10.0)
+        budget.charge(0.0, 10.0)
+        # The window is exactly full: nothing more fits, but a zero-cost
+        # check is still within budget.
+        assert not budget.can_spend(1.0, 0.0001)
+        assert budget.can_spend(1.0, 0.0)
+
+    def test_skipped_windows_do_not_materialise(self):
+        budget = BudgetController(budget=10.0, window=100.0)
+        budget.charge(50.0, 1.0)
+        budget.charge(950.0, 2.0)  # windows 1..8 were silent
+        assert [w.window_start for w in budget.windows] == [0.0, 900.0]
+        assert budget.total_spent() == pytest.approx(3.0)
+
+    def test_suppression_counted_in_the_window_it_happened(self):
+        budget = BudgetController(budget=1.0, window=100.0)
+        budget.charge(0.0, 1.0)
+        budget.can_spend(50.0, 1.0)  # suppressed in window 0
+        budget.can_spend(150.0, 0.5)  # fine in window 1
+        assert budget.windows[0].probes_suppressed == 1
+        assert budget.windows[1].probes_suppressed == 0
+        assert budget.windows[0].probes_charged == 1
+
+
 class TestThresholdDerivation:
     # A month of spikes: many small, few large.
     SPIKES = [0.6] * 100 + [1.5] * 40 + [3.0] * 10 + [8.0] * 2

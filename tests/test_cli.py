@@ -1,8 +1,16 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def test_trace_command_writes_csv(tmp_path, capsys):
@@ -45,6 +53,87 @@ def test_figures_command_prints_series(capsys):
     captured = capsys.readouterr().out
     assert "[Fig 5.4]" in captured
     assert "[Fig 5.9]" in captured
+
+
+def test_study_snapshot_then_replay_then_query(tmp_path, capsys):
+    """The layered workflow end-to-end: record a study with a snapshot,
+    replay its exported prices with no simulator, and serve the flagship
+    query from the snapshot in a *separate process*."""
+    snapshot = tmp_path / "state"
+    prices = tmp_path / "prices.csv"
+    code = main([
+        "study", "--days", "0.5", "--seed", "3",
+        "--regions", "sa-east-1", "--families", "c3",
+        "--snapshot", str(snapshot),
+    ])
+    assert code == 0
+    assert (snapshot / "manifest.json").exists()
+    captured = capsys.readouterr().out
+    assert "saved datastore snapshot" in captured
+
+    # Export the recorded prices and replay them simulator-free.
+    from repro.core.datastore import SnapshotDatastore
+
+    SnapshotDatastore(snapshot, append_log=False).export_prices_csv(prices)
+    code = main(["replay", "--prices", str(prices), "--top", "3"])
+    assert code == 0
+    replay_out = capsys.readouterr().out
+    assert "passive mode:           True" in replay_out
+    assert "top 3 most stable markets" in replay_out
+
+    # A second process reloads the snapshot and answers the query.
+    in_process = main([
+        "query", "--snapshot", str(snapshot),
+        "--name", "top-stable-markets", "--params", '{"n": 5}',
+    ])
+    assert in_process == 0
+    in_process_response = json.loads(capsys.readouterr().out)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "query", "--snapshot", str(snapshot),
+         "--name", "top-stable-markets", "--params", '{"n": 5}'],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    subprocess_response = json.loads(result.stdout)
+    assert subprocess_response["ok"]
+    assert subprocess_response["result"] == in_process_response["result"]
+
+
+def test_query_command_reports_schema_errors(tmp_path, capsys):
+    from repro.core.datastore import SnapshotDatastore
+
+    snapshot = tmp_path / "state"
+    SnapshotDatastore(snapshot).save()  # a valid (empty) snapshot
+    code = main(["query", "--snapshot", str(snapshot), "--name", "bogus"])
+    assert code == 1
+    response = json.loads(capsys.readouterr().out)
+    assert response["error"]["code"] == "unknown-query"
+
+    code = main(["query", "--snapshot", str(snapshot), "--params", "{not json"])
+    assert code == 2
+
+
+def test_query_refuses_a_missing_snapshot(tmp_path, capsys):
+    code = main(["query", "--snapshot", str(tmp_path / "typo")])
+    assert code == 2
+    assert "no datastore snapshot" in capsys.readouterr().err
+    assert not (tmp_path / "typo").exists()
+
+
+def test_study_refuses_an_occupied_snapshot_dir(tmp_path, capsys):
+    snapshot = tmp_path / "state"
+    args = ["study", "--days", "0.1", "--seed", "3",
+            "--regions", "sa-east-1", "--families", "c3",
+            "--snapshot", str(snapshot)]
+    assert main(args) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="already holds a recording"):
+        main(args)
 
 
 def test_parser_requires_subcommand():

@@ -1,0 +1,201 @@
+"""Tests for the pluggable datastore backends (snapshot + WAL resume)."""
+
+import pytest
+
+from repro import (
+    EC2Simulator,
+    FleetConfig,
+    InMemoryDatastore,
+    MarketID,
+    SnapshotDatastore,
+    SpotLight,
+    SpotLightConfig,
+    SpotLightQuery,
+)
+from repro.core.datastore import Datastore
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+)
+from repro.ec2.catalog import default_catalog, small_catalog
+
+M1 = MarketID("us-east-1a", "m3.large", "Linux/UNIX")
+M2 = MarketID("us-east-1b", "m3.large", "Linux/UNIX")
+
+
+def _probe(t: float, market: MarketID = M1, outcome: str = OUTCOME_FULFILLED):
+    return ProbeRecord(
+        time=t,
+        market=market,
+        kind=ProbeKind.ON_DEMAND,
+        trigger=ProbeTrigger.MANUAL,
+        outcome=outcome,
+        spike_multiple=1.25,
+        cost=0.133,
+    )
+
+
+def _fill(store) -> None:
+    store.insert_probe(_probe(10.0))
+    store.insert_probe(_probe(20.0, outcome="InsufficientInstanceCapacity"))
+    store.insert_probe(_probe(30.0))
+    store.insert_probe(_probe(15.0, market=M2))
+    store.insert_price(PriceRecord(0.0, M1, 0.0203))
+    store.insert_price(PriceRecord(100.0, M1, 0.517))
+    store.insert_price(PriceRecord(50.0, M2, 0.0101))
+
+
+class TestInMemoryDatastore:
+    def test_is_a_probe_database_with_noop_lifecycle(self):
+        store = InMemoryDatastore()
+        _fill(store)
+        assert isinstance(store, Datastore)
+        assert len(store) == 4
+        assert store.price_count() == 3
+        store.save()
+        store.close()
+        assert len(store) == 4  # nothing happened
+
+
+class TestSnapshotDatastore:
+    def test_save_and_reload_round_trips_exactly(self, tmp_path):
+        store = SnapshotDatastore(tmp_path / "state")
+        _fill(store)
+        store.save()
+        store.close()
+
+        reloaded = SnapshotDatastore(tmp_path / "state")
+        assert reloaded.probes() == store.probes()
+        for market in (M1, M2):
+            t0, p0 = store.price_arrays(market)
+            t1, p1 = reloaded.price_arrays(market)
+            assert t0.tolist() == t1.tolist()
+            assert p0.tolist() == p1.tolist()
+
+    def test_wal_recovers_unsnapshotted_inserts(self, tmp_path):
+        store = SnapshotDatastore(tmp_path / "state")
+        store.insert_probe(_probe(10.0))
+        store.save()
+        # Inserts after the snapshot land in the write-ahead log only.
+        store.insert_probe(_probe(20.0))
+        store.insert_price(PriceRecord(5.0, M1, 0.02))
+        store.close()  # flush, but no snapshot
+
+        reloaded = SnapshotDatastore(tmp_path / "state")
+        assert len(reloaded) == 2
+        assert reloaded.price_count(M1) == 1
+        assert [p.time for p in reloaded.probes(market=M1)] == [10.0, 20.0]
+
+    def test_wal_alone_recovers_without_any_snapshot(self, tmp_path):
+        store = SnapshotDatastore(tmp_path / "state")
+        _fill(store)
+        store.close()  # never snapshotted
+        reloaded = SnapshotDatastore(tmp_path / "state")
+        assert reloaded.probes() == store.probes()
+        assert reloaded.price_count() == 3
+
+    def test_save_compacts_the_wal(self, tmp_path):
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root)
+        _fill(store)
+        store.flush()
+        assert list(root.glob("*.wal.*.csv"))
+        store.save()
+        assert not list(root.glob("*.wal.*.csv"))
+        assert (root / "manifest.json").exists()
+
+    def test_stale_wal_from_crashed_save_is_not_replayed(self, tmp_path):
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root)
+        _fill(store)
+        store.save()  # now at generation 1; WALs swept
+        # Simulate a save() that crashed after the manifest commit but
+        # before the sweep: a WAL of the *previous* generation remains,
+        # holding rows the snapshot already contains.
+        wal = root / "probes.wal.0.csv"
+        store.export_probes_csv(wal)
+
+        reloaded = SnapshotDatastore(root)
+        assert len(reloaded) == len(store)  # no double replay
+        assert not wal.exists()  # stale file swept on load
+
+    def test_append_log_can_be_disabled(self, tmp_path):
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root, append_log=False)
+        _fill(store)
+        store.close()
+        assert not list(root.glob("*.wal.*.csv"))
+        # Without a snapshot either, nothing survives.
+        assert len(SnapshotDatastore(root)) == 0
+
+    def test_must_exist_refuses_an_empty_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SnapshotDatastore(tmp_path / "typo", must_exist=True)
+        assert not (tmp_path / "typo").exists()  # no side-effect mkdir
+        store = SnapshotDatastore(tmp_path / "real")
+        store.save()
+        assert len(SnapshotDatastore(tmp_path / "real", must_exist=True)) == 0
+
+    def test_unsupported_format_version_rejected(self, tmp_path):
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root)
+        _fill(store)
+        store.save()
+        manifest = root / "manifest.json"
+        manifest.write_text(manifest.read_text().replace(
+            '"format_version": 1', '"format_version": 99'
+        ))
+        with pytest.raises(ValueError):
+            SnapshotDatastore(root)
+
+    def test_reopening_appends_after_reload(self, tmp_path):
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root)
+        store.insert_probe(_probe(10.0))
+        store.close()
+        resumed = SnapshotDatastore(root)
+        resumed.insert_probe(_probe(20.0))
+        resumed.close()
+        final = SnapshotDatastore(root)
+        assert [p.time for p in final.probes(market=M1)] == [10.0, 20.0]
+
+
+class TestServiceStopResume:
+    """The acceptance scenario: one service run snapshots its state; a
+    fresh service (new objects, as a second process would build) answers
+    the flagship query identically."""
+
+    def test_snapshot_resume_answers_top_stable_identically(self, tmp_path):
+        root = tmp_path / "spotlight-state"
+        catalog = small_catalog(regions=["sa-east-1"], families=["c3"])
+        sim = EC2Simulator(FleetConfig(catalog=catalog, seed=7, tick_interval=300.0))
+        spotlight = SpotLight(
+            sim, SpotLightConfig(), datastore=SnapshotDatastore(root)
+        )
+        spotlight.start()
+        sim.run_for(12 * 3600.0)
+        spotlight.save()
+        original = spotlight.frontend.top_stable_markets(n=10, bid_multiple=1.0)
+        assert original  # the run must produce data for this test to mean anything
+        spotlight.datastore.close()
+
+        reloaded = SnapshotDatastore(root)
+        engine = SpotLightQuery(reloaded, default_catalog())
+        resumed = engine.top_stable_markets(n=10, bid_multiple=1.0)
+        assert resumed == original
+
+    def test_resume_without_final_save_uses_wal(self, tmp_path):
+        root = tmp_path / "spotlight-state"
+        catalog = small_catalog(regions=["sa-east-1"], families=["c3"])
+        sim = EC2Simulator(FleetConfig(catalog=catalog, seed=7, tick_interval=300.0))
+        spotlight = SpotLight(
+            sim, SpotLightConfig(), datastore=SnapshotDatastore(root)
+        )
+        sim.run_for(2 * 3600.0)
+        spotlight.datastore.close()  # "crash": no snapshot written
+
+        reloaded = SnapshotDatastore(root)
+        assert reloaded.price_count() == spotlight.database.price_count()

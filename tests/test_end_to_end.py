@@ -6,7 +6,6 @@ multi-region SpotLight deployment.
 
 import pytest
 
-from repro.core.market_id import MarketID
 from repro.core.records import ProbeKind, ProbeTrigger
 
 

@@ -1,0 +1,30 @@
+"""Smoke tests for the runnable examples (so they can't silently rot)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples.{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs_at_small_scale(capsys):
+    quickstart = _load_example("quickstart")
+    spotlight = quickstart.main(
+        days=0.25, regions=["sa-east-1"], families=["c3"], seed=3
+    )
+    out = capsys.readouterr().out
+    assert "monitoring" in out
+    assert "top 5 most stable spot markets" in out
+    assert spotlight.database.price_count() > 0
+    # The quickstart exercises the serving frontend, not raw internals.
+    assert spotlight.frontend.stats()["misses"] > 0

@@ -1,0 +1,213 @@
+"""Tests for the serving frontend: schema handling and the TTL cache."""
+
+import pytest
+
+from repro.core.database import ProbeDatabase
+from repro.core.frontend import QueryFrontend
+from repro.core.market_id import MarketID
+from repro.core.query import SpotLightQuery
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+)
+from repro.ec2.catalog import default_catalog
+
+M1 = MarketID("us-east-1a", "m3.large", "Linux/UNIX")
+M2 = MarketID("us-east-1b", "m3.large", "Linux/UNIX")
+
+REJ = "InsufficientInstanceCapacity"
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture()
+def engine() -> SpotLightQuery:
+    db = ProbeDatabase()
+    db.insert_price(PriceRecord(0.0, M1, 0.02))
+    db.insert_price(PriceRecord(1000.0, M1, 0.5))
+    db.insert_price(PriceRecord(2000.0, M1, 0.02))
+    db.insert_price(PriceRecord(3000.0, M1, 0.02))
+    db.insert_price(PriceRecord(0.0, M2, 0.01))
+    db.insert_price(PriceRecord(3000.0, M2, 0.01))
+    for t, outcome in [
+        (0.0, OUTCOME_FULFILLED), (500.0, REJ), (800.0, OUTCOME_FULFILLED),
+    ]:
+        db.insert_probe(
+            ProbeRecord(
+                time=t, market=M1, kind=ProbeKind.ON_DEMAND,
+                trigger=ProbeTrigger.RECOVERY, outcome=outcome,
+            )
+        )
+    return SpotLightQuery(db, default_catalog())
+
+
+@pytest.fixture()
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture()
+def frontend(engine, clock) -> QueryFrontend:
+    return QueryFrontend(engine, clock=clock, cache_ttl=300.0)
+
+
+class TestTypedApi:
+    def test_typed_methods_match_engine(self, frontend, engine):
+        assert frontend.on_demand_price(M1) == engine.on_demand_price(M1)
+        assert frontend.mean_price(M1) == engine.mean_price(M1)
+        assert frontend.top_stable_markets(n=2) == engine.top_stable_markets(n=2)
+        assert frontend.unavailability_periods(M1) == (
+            engine.unavailability_periods(M1)
+        )
+        assert frontend.is_unavailable_at(M1, 600.0)
+        assert frontend.least_unavailable_markets([M1, M2])[0][0] == M2
+
+    def test_repeated_call_is_a_cache_hit(self, frontend):
+        frontend.top_stable_markets(n=2)
+        assert frontend.stats()["misses"] == 1
+        frontend.top_stable_markets(n=2)
+        assert frontend.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_different_params_are_different_entries(self, frontend):
+        frontend.top_stable_markets(n=2)
+        frontend.top_stable_markets(n=3)
+        assert frontend.stats()["entries"] == 2
+        assert frontend.stats()["hits"] == 0
+
+    def test_ttl_expiry_recomputes(self, frontend, clock):
+        frontend.mean_price(M1)
+        clock.now = 299.0
+        frontend.mean_price(M1)
+        assert frontend.hits == 1
+        clock.now = 301.0
+        frontend.mean_price(M1)
+        assert frontend.hits == 1
+        assert frontend.misses == 2
+
+    def test_invalidate_clears_cache(self, frontend):
+        frontend.mean_price(M1)
+        frontend.invalidate()
+        frontend.mean_price(M1)
+        assert frontend.misses == 2
+
+    def test_cache_eviction_drops_oldest(self, engine, clock):
+        frontend = QueryFrontend(engine, clock=clock, cache_ttl=300.0, max_entries=2)
+        frontend.mean_price(M1)
+        frontend.mean_price(M2)
+        frontend.on_demand_price(M1)  # evicts the oldest (mean_price M1)
+        assert frontend.stats()["entries"] == 2
+        frontend.mean_price(M1)
+        assert frontend.hits == 0  # it was evicted, so this recomputed
+
+    def test_invalid_construction(self, engine):
+        with pytest.raises(ValueError):
+            QueryFrontend(engine, cache_ttl=-1.0)
+        with pytest.raises(ValueError):
+            QueryFrontend(engine, max_entries=0)
+
+
+class TestSchemaApi:
+    def test_top_stable_markets_schema(self, frontend):
+        response = frontend.handle(
+            {"query": "top-stable-markets", "params": {"n": 2, "bid_multiple": 1.0}}
+        )
+        assert response["ok"]
+        assert response["cached"] is False
+        result = response["result"]
+        assert len(result) == 2
+        assert result[0]["market"] == str(M2)  # flat + cheap ranks first
+        assert {"availability_zone", "instance_type", "product",
+                "mean_time_to_revocation", "availability_at_bid",
+                "mean_price"} <= set(result[0])
+
+    def test_second_request_served_from_cache(self, frontend):
+        request = {"query": "mean-price", "params": {"market": str(M1)}}
+        first = frontend.handle(request)
+        second = frontend.handle(request)
+        assert first["result"] == second["result"]
+        assert not first["cached"] and second["cached"]
+
+    def test_market_accepts_string_and_dict(self, frontend):
+        by_string = frontend.handle(
+            {"query": "on-demand-price", "params": {"market": str(M1)}}
+        )
+        by_dict = frontend.handle(
+            {"query": "on-demand-price",
+             "params": {"market": {
+                 "availability_zone": "us-east-1a",
+                 "instance_type": "m3.large",
+                 "product": "Linux/UNIX",
+             }}}
+        )
+        assert by_string["result"] == by_dict["result"]
+
+    def test_unavailability_periods_schema(self, frontend):
+        response = frontend.handle(
+            {"query": "unavailability-periods",
+             "params": {"market": str(M1), "kind": "on-demand"}}
+        )
+        assert response["ok"]
+        (period,) = response["result"]
+        assert period["start"] == 500.0
+        assert period["end"] == 800.0
+        assert period["duration"] == 300.0
+
+    def test_least_unavailable_markets_schema(self, frontend):
+        response = frontend.handle(
+            {"query": "least-unavailable-markets",
+             "params": {"candidates": [str(M1), str(M2)]}}
+        )
+        assert response["ok"]
+        assert response["result"][0]["market"] == str(M2)
+        assert response["result"][0]["unavailable_seconds"] == 0.0
+
+    def test_unknown_query_is_an_error(self, frontend):
+        response = frontend.handle({"query": "nope"})
+        assert not response["ok"]
+        assert response["error"]["code"] == "unknown-query"
+        assert "top-stable-markets" in response["error"]["message"]
+
+    def test_malformed_market_is_bad_request(self, frontend):
+        response = frontend.handle(
+            {"query": "mean-price", "params": {"market": "us-east-1a"}}
+        )
+        assert not response["ok"]
+        assert response["error"]["code"] == "bad-request"
+
+    def test_missing_required_param_is_bad_request(self, frontend):
+        response = frontend.handle({"query": "availability-at-bid",
+                                    "params": {"market": str(M1)}})
+        assert not response["ok"]
+        assert response["error"]["code"] == "bad-request"
+
+    def test_non_dict_request_rejected(self, frontend):
+        assert not frontend.handle(["top-stable-markets"])["ok"]
+        assert not frontend.handle({"query": "mean-price", "params": 3})["ok"]
+
+    def test_unknown_kind_is_bad_request(self, frontend):
+        response = frontend.handle(
+            {"query": "rejection-rate", "params": {"kind": "weird"}}
+        )
+        assert not response["ok"]
+        assert response["error"]["code"] == "bad-request"
+
+    def test_engine_failure_is_internal_error_not_bad_request(self, frontend):
+        # The request is well-formed; the engine's catalog simply has no
+        # such instance type — that is a server-side failure.
+        response = frontend.handle(
+            {"query": "on-demand-price",
+             "params": {"market": "us-east-1a/zz9.plural/Linux/UNIX"}}
+        )
+        assert not response["ok"]
+        assert response["error"]["code"] == "internal-error"

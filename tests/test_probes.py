@@ -9,6 +9,7 @@ from repro.core.config import SpotLightConfig
 from repro.core.database import ProbeDatabase
 from repro.core.market_id import MarketID
 from repro.core.probes import ProbeExecutor
+from repro.providers.simulator import SimulatorProvider
 from repro.core.records import OUTCOME_FULFILLED, ProbeKind, ProbeTrigger
 from repro.ec2.catalog import small_catalog
 from repro.ec2.platform import EC2Simulator, FleetConfig
@@ -24,7 +25,7 @@ def setup():
     db = ProbeDatabase()
     budget = BudgetController(budget=1e9, window=30 * 86400.0)
     config = SpotLightConfig()
-    executor = ProbeExecutor(sim, db, budget, config, RngStream(1, "t"))
+    executor = ProbeExecutor(SimulatorProvider(sim), db, budget, config, RngStream(1, "t"))
     return sim, db, budget, executor
 
 

@@ -1,0 +1,166 @@
+"""Tests for the provider layer: the protocol adapters and trace replay."""
+
+import pytest
+
+from repro import (
+    EC2Simulator,
+    FleetConfig,
+    MarketID,
+    ProbeUnsupportedError,
+    SimulatorProvider,
+    SpotLight,
+    SpotLightConfig,
+    TraceReplayProvider,
+)
+from repro.ec2.catalog import small_catalog
+
+M1 = MarketID("us-east-1a", "m3.large", "Linux/UNIX")
+M2 = MarketID("us-east-1b", "m3.large", "Linux/UNIX")
+
+EVENTS = {
+    M1: [(0.0, 0.02), (1000.0, 0.5), (2000.0, 0.02), (3000.0, 0.02)],
+    M2: [(0.0, 0.01), (3000.0, 0.01)],
+}
+
+
+@pytest.fixture()
+def replay() -> TraceReplayProvider:
+    return TraceReplayProvider(EVENTS)
+
+
+class TestSimulatorProvider:
+    def test_wraps_and_delegates(self):
+        catalog = small_catalog(regions=["us-east-1"], families=["m3"])
+        sim = EC2Simulator(FleetConfig(catalog=catalog, seed=3))
+        provider = SimulatorProvider(sim)
+        assert provider.supports_probes
+        assert provider.catalog is sim.catalog
+        assert provider.now == sim.now
+        assert set(provider.limits) == set(sim.limits)
+        ids = list(provider.market_ids())
+        assert len(ids) == len(sim.markets)
+        assert all(isinstance(m, MarketID) for m in ids)
+
+    def test_price_feed_speaks_market_ids(self):
+        catalog = small_catalog(regions=["us-east-1"], families=["m3"])
+        sim = EC2Simulator(FleetConfig(catalog=catalog, seed=3, tick_interval=300.0))
+        provider = SimulatorProvider(sim)
+        seen: list[tuple[MarketID, float, float]] = []
+        provider.subscribe_prices(lambda m, t, p: seen.append((m, t, p)))
+        sim.run_for(600.0)
+        assert seen
+        assert all(isinstance(m, MarketID) for m, _, _ in seen)
+
+    def test_spotlight_accepts_explicit_provider(self):
+        catalog = small_catalog(regions=["us-east-1"], families=["m3"])
+        sim = EC2Simulator(FleetConfig(catalog=catalog, seed=3, tick_interval=300.0))
+        spotlight = SpotLight(SimulatorProvider(sim))
+        assert not spotlight.passive
+        assert spotlight.simulator is sim
+        sim.run_for(600.0)
+        market = next(iter(spotlight.markets))
+        assert spotlight.database.prices(market)
+
+
+class TestTraceReplay:
+    def test_observers_see_events_in_time_order(self, replay):
+        seen: list[tuple[MarketID, float, float]] = []
+        replay.subscribe_prices(lambda m, t, p: seen.append((m, t, p)))
+        replay.replay_all()
+        assert len(seen) == sum(len(v) for v in EVENTS.values())
+        times = [t for _, t, _ in seen]
+        assert times == sorted(times)
+        assert replay.now == replay.end_time == 3000.0
+
+    def test_partial_replay_and_current_price(self, replay):
+        replay.run_until(1500.0)
+        assert replay.current_spot_price(*M1.api_args) == 0.5
+        replay.run_until(2500.0)
+        assert replay.current_spot_price(*M1.api_args) == 0.02
+
+    def test_current_price_before_any_event(self):
+        provider = TraceReplayProvider({M1: [(10.0, 0.5)]})
+        with pytest.raises(KeyError):
+            provider.current_spot_price(*M1.api_args)
+
+    def test_probe_surface_is_unsupported(self, replay):
+        assert not replay.supports_probes
+        with pytest.raises(ProbeUnsupportedError):
+            replay.run_instances(*M1.api_args)
+        with pytest.raises(ProbeUnsupportedError):
+            replay.request_spot_instances(*M1.api_args, bid_price=1.0)
+
+    def test_region_limits_cover_trace_regions(self, replay):
+        assert set(replay.limits) == {"us-east-1"}
+        assert replay.limits["us-east-1"].available_api_tokens > 0
+
+    def test_unordered_events_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReplayProvider({M1: [(10.0, 0.5), (5.0, 0.2)]})
+
+    def test_unknown_market_rejected(self):
+        bogus = MarketID("us-east-1a", "nope.large", "Linux/UNIX")
+        with pytest.raises(KeyError):
+            TraceReplayProvider({bogus: [(0.0, 0.5)]})
+
+
+class TestSpotLightOnReplay:
+    def test_end_to_end_passive_service(self, replay):
+        spotlight = SpotLight(replay)
+        spotlight.start()
+        replay.replay_all()
+
+        assert spotlight.passive
+        # Prices recorded, but no probes were (or could be) issued.
+        assert spotlight.database.price_count() == sum(
+            len(v) for v in EVENTS.values()
+        )
+        assert len(spotlight.database) == 0
+        # The flagship query runs over replayed data: M2 is flat and
+        # cheap, M1 spikes at t=1000 — M2 ranks first.
+        ranking = spotlight.frontend.top_stable_markets(n=2, bid_multiple=1.0)
+        assert ranking[0].market == M2
+
+    def test_manual_probes_raise_on_passive_service(self, replay):
+        spotlight = SpotLight(replay)
+        with pytest.raises(ProbeUnsupportedError):
+            spotlight.probe_on_demand(M1)
+        with pytest.raises(ProbeUnsupportedError):
+            spotlight.probe_spot(M1)
+        with pytest.raises(ProbeUnsupportedError):
+            spotlight.bid_spread(M1)
+        with pytest.raises(ProbeUnsupportedError):
+            spotlight.watch_revocation(M1)
+
+    def test_scope_filter_applies_to_replay(self, replay):
+        spotlight = SpotLight(replay, SpotLightConfig(regions=["sa-east-1"]))
+        spotlight.start()
+        replay.replay_all()
+        assert spotlight.markets == {}
+        assert spotlight.database.price_count() == 0
+
+    def test_replay_round_trips_a_simulator_recording(self, tmp_path):
+        # Record prices in a short simulated run ...
+        catalog = small_catalog(regions=["us-east-1"], families=["m3"])
+        sim = EC2Simulator(FleetConfig(catalog=catalog, seed=3, tick_interval=300.0))
+        recorder = SpotLight(sim, SpotLightConfig(sampling_probability=0.0))
+        sim.run_for(4 * 3600.0)
+        path = tmp_path / "prices.csv"
+        recorder.database.export_prices_csv(path)
+
+        # ... then replay the recording with no simulator at all.
+        provider = TraceReplayProvider.from_prices_csv(path, catalog=catalog)
+        spotlight = SpotLight(provider)
+        spotlight.start()
+        provider.replay_all()
+
+        assert spotlight.database.price_count() == recorder.database.price_count()
+        market = next(iter(recorder.markets))
+        orig_times, orig_prices = recorder.database.price_arrays(market)
+        replay_times, replay_prices = spotlight.database.price_arrays(market)
+        assert orig_times.tolist() == replay_times.tolist()
+        assert orig_prices.tolist() == replay_prices.tolist()
+        # The flagship query answers identically over the replayed data.
+        original = recorder.query.top_stable_markets(n=5)
+        replayed = spotlight.query.top_stable_markets(n=5)
+        assert original == replayed

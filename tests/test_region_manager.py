@@ -1,5 +1,7 @@
 """Unit tests for region-level admission control."""
 
+import pytest
+
 from repro.common.clock import SimClock
 from repro.core.region_manager import RegionManager
 from repro.ec2.limits import RegionLimits
@@ -38,6 +40,55 @@ def test_priority_deferred_only_at_hard_limit():
     manager, limits, clock = make(max_on_demand_instances=1)
     limits.acquire_on_demand_slot()
     assert not manager.can_issue_probe(priority=True)
+
+
+def test_public_token_accessor_matches_bucket():
+    manager, limits, clock = make(api_rate_per_second=1.0, api_burst=10.0)
+    assert limits.available_api_tokens == 10.0
+    limits.charge_api_call()
+    assert limits.available_api_tokens == 9.0
+    clock.advance_by(2.0)
+    assert limits.available_api_tokens == pytest.approx(10.0)  # refilled, capped
+
+
+def test_admission_and_deferral_accounting_by_priority():
+    # 6 tokens, rate effectively frozen: fan-out defers below the
+    # 5-token reserve while priority probes keep being admitted.
+    manager, limits, clock = make(api_rate_per_second=0.001, api_burst=6.0)
+    assert manager.can_issue_probe(priority=False)  # 6 >= reserve
+    limits.charge_api_call()
+    limits.charge_api_call()  # 4 tokens left
+    assert manager.can_issue_probe(priority=True)  # priority needs just 1
+    assert not manager.can_issue_probe(priority=False)
+    assert manager.probes_admitted == 2
+    assert manager.probes_deferred == 1
+    assert manager.deferred_reasons == {"api-rate": 1}
+
+
+def test_deferred_reason_buckets_are_separate():
+    manager, limits, clock = make(
+        api_rate_per_second=0.001, api_burst=6.0, max_on_demand_instances=3
+    )
+    # Slot pressure first: tokens plentiful, slots nearly gone.
+    limits.acquire_on_demand_slot()
+    limits.acquire_on_demand_slot()
+    assert not manager.can_issue_probe(priority=False)
+    # Then API pressure: drain below the token reserve.
+    limits.release_on_demand_slot()
+    limits.charge_api_call()
+    limits.charge_api_call()
+    assert not manager.can_issue_probe(priority=False)
+    assert manager.deferred_reasons == {"slots": 1, "api-rate": 1}
+    assert manager.probes_deferred == 2
+
+
+def test_priority_probe_requires_a_free_slot():
+    manager, limits, clock = make(max_on_demand_instances=2)
+    limits.acquire_on_demand_slot()
+    assert manager.can_issue_probe(priority=True)  # one slot left
+    limits.acquire_on_demand_slot()
+    assert not manager.can_issue_probe(priority=True)
+    assert manager.deferred_reasons == {"slots": 1}
 
 
 def test_stats_reflect_counters():

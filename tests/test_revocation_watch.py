@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import EC2Simulator, FleetConfig, SpotLight, SpotLightConfig
+from repro import EC2Simulator, FleetConfig, SpotLight
 from repro.core.market_id import MarketID
 from repro.ec2.catalog import small_catalog
 
