@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Serve SpotLight over HTTP and query it with the client SDK.
+
+Runs a short monitoring deployment, puts the resulting frontend on the
+wire with :class:`~repro.server.BackgroundServer`, and asks the same
+questions as ``examples/quickstart.py`` — but through
+:class:`~repro.client.SpotLightClient`, the way SpotOn, SpotCheck, or a
+derivative cloud would consume a deployed SpotLight:
+
+    python examples/serving.py
+"""
+
+from repro import (
+    BackgroundServer,
+    EC2Simulator,
+    FleetConfig,
+    SpotLight,
+    SpotLightClient,
+    SpotLightConfig,
+)
+from repro.ec2.catalog import small_catalog
+
+
+def main(
+    days: float = 1.0,
+    regions: list[str] | None = None,
+    families: list[str] | None = None,
+    seed: int = 42,
+) -> dict:
+    catalog = small_catalog(
+        regions=regions or ["us-east-1", "sa-east-1"],
+        families=families or ["c3", "m3"],
+    )
+    simulator = EC2Simulator(FleetConfig(catalog=catalog, seed=seed))
+    spotlight = SpotLight(simulator, SpotLightConfig(spot_probe_interval=4 * 3600))
+    spotlight.start()
+    print(f"monitoring {len(spotlight.markets)} markets "
+          f"for {days} simulated day(s)...")
+    simulator.run_for(days * 86400)
+
+    # Put the frontend on the wire (an ephemeral port on localhost)
+    # and talk to it exactly as a remote application would.
+    with BackgroundServer(spotlight.frontend) as server:
+        host, port = server.address
+        print(f"\nSpotLight serving on http://{host}:{port}")
+        with SpotLightClient(host, port) as client:
+            health = client.healthz()
+            print(f"healthz: {health['status']}")
+
+            print("\ntop 5 most stable spot markets (bid = 1x on-demand):")
+            for entry in client.top_stable_markets(n=5, bid_multiple=1.0):
+                print(
+                    f"  {entry['market']:<44} "
+                    f"mttr {entry['mean_time_to_revocation'] / 3600:8.1f} h  "
+                    f"avail {entry['availability_at_bid']:.1%}"
+                )
+
+            market = client.top_stable_markets(n=1)[0]["market"]
+            print(f"\nmean price of {market}: "
+                  f"${client.mean_price(market):.4f}/h "
+                  f"(on-demand ${client.on_demand_price(market):.4f}/h)")
+            print(f"platform rejection rate: {client.rejection_rate():.1%}")
+
+            stats = client.stats()
+        query_stats = stats["endpoints"]["/query"]
+        print(
+            f"\nserver stats: {query_stats['requests']} queries over "
+            f"{stats['connections_accepted']} connection(s), "
+            f"p99 {query_stats['latency']['p99_seconds'] * 1e3:.1f} ms, "
+            f"{stats['frontend']['misses']} cache misses"
+        )
+    print("server shut down cleanly")
+    return stats
+
+
+if __name__ == "__main__":
+    main()

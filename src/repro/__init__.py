@@ -14,6 +14,9 @@ Layout:
   (the simulator, or replay of recorded price CSVs);
 * :mod:`repro.core` — SpotLight itself (probing policies, pluggable
   datastores, budget, the query engine and serving frontend);
+* :mod:`repro.server` / :mod:`repro.client` — the network tier: an
+  asyncio HTTP serving subsystem over the query frontend, and the
+  blocking client SDK that talks to it;
 * :mod:`repro.analysis` — the Chapter 5 analyses (one per figure);
 * :mod:`repro.apps` — the Chapter 6 case studies (SpotCheck, SpotOn);
 * :mod:`repro.traces` — synthetic spot-price trace generation.
@@ -32,6 +35,7 @@ Quickstart::
         print(period.market, period.duration / 3600, "hours")
 """
 
+from repro.client import SpotLightClient
 from repro.core import (
     BudgetController,
     Datastore,
@@ -57,14 +61,18 @@ from repro.providers import (
     SimulatorProvider,
     TraceReplayProvider,
 )
+from repro.server import BackgroundServer, SpotLightServer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SpotLight",
     "SpotLightConfig",
     "SpotLightQuery",
     "QueryFrontend",
+    "SpotLightServer",
+    "BackgroundServer",
+    "SpotLightClient",
     "ProbeDatabase",
     "Datastore",
     "InMemoryDatastore",

@@ -13,7 +13,11 @@ the layered-service workflows:
 * ``replay`` — run a (passive) SpotLight over a recorded price CSV —
   no simulator — and print the top-N stable markets;
 * ``query`` — reload a datastore snapshot in a fresh process and serve
-  one frontend request against it, printing the JSON response.
+  one frontend request against it, printing the JSON response (with
+  ``--stats``, the frontend's cache counters ride along);
+* ``serve`` — put a datastore snapshot on the wire: an asyncio HTTP
+  server answering ``POST /query`` (plus ``/healthz`` and ``/stats``)
+  until SIGINT/SIGTERM, shutting down gracefully.
 
 Examples::
 
@@ -24,12 +28,16 @@ Examples::
     python -m repro replay --prices prices.csv --top 10
     python -m repro query --snapshot ./spotlight-state \\
         --name top-stable-markets --params '{"n": 10}'
+    python -m repro serve --snapshot ./spotlight-state --port 8080
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import contextlib
 import json
+import signal
 import sys
 
 from repro import (
@@ -168,28 +176,75 @@ def cmd_replay(args) -> int:
     return 0
 
 
-def cmd_query(args) -> int:
+def _open_snapshot_frontend(path: str) -> QueryFrontend:
     # Prices are resolved against the full default catalog.  Snapshots
     # recorded by this CLI always price identically (study/replay use
     # subsets of the same 2015 price table); snapshots built in-library
     # against a *custom* catalog should be queried in-library instead.
+    datastore = SnapshotDatastore(path, append_log=False, must_exist=True)
+    return QueryFrontend(SpotLightQuery(datastore, default_catalog()))
+
+
+def cmd_query(args) -> int:
     try:
-        datastore = SnapshotDatastore(
-            args.snapshot, append_log=False, must_exist=True
-        )
+        frontend = _open_snapshot_frontend(args.snapshot)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    engine = SpotLightQuery(datastore, default_catalog())
-    frontend = QueryFrontend(engine)
     try:
         params = json.loads(args.params)
     except json.JSONDecodeError as exc:
         print(f"--params is not valid JSON: {exc}", file=sys.stderr)
         return 2
     response = frontend.handle({"query": args.name, "params": params})
+    if args.repeat > 1:
+        for _ in range(args.repeat - 1):
+            response = frontend.handle({"query": args.name, "params": params})
+    if args.stats:
+        response = {**response, "frontend_stats": frontend.stats()}
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0 if response["ok"] else 1
+
+
+def cmd_serve(args) -> int:
+    from repro.server import serve
+
+    try:
+        frontend = _open_snapshot_frontend(args.snapshot)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _run() -> None:
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, shutdown.set)
+
+        def announce(server) -> None:
+            host, port = server.address
+            print(f"serving on http://{host}:{port}", flush=True)
+
+        server = await serve(
+            frontend,
+            host=args.host,
+            port=args.port,
+            rate_per_second=args.rate,
+            burst=args.burst,
+            shutdown=shutdown,
+            on_start=announce,
+        )
+        stats = server.stats()
+        queries = stats["endpoints"]["/query"]["requests"]
+        print(
+            f"shutdown complete: {queries} queries served, "
+            f"{stats['coalesced']} coalesced, {stats['throttled']} throttled",
+            flush=True,
+        )
+
+    asyncio.run(_run())
+    return 0
 
 
 def cmd_trace(args) -> int:
@@ -272,7 +327,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="query name (frontend schema)")
     query.add_argument("--params", default="{}",
                        help="query parameters as a JSON object")
+    query.add_argument("--repeat", type=int, default=1,
+                       help="serve the request N times (exercises the cache)")
+    query.add_argument("--stats", action="store_true",
+                       help="include the frontend's cache counters in the "
+                            "printed response")
     query.set_defaults(func=cmd_query)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="serve a saved snapshot over HTTP (asyncio)"
+    )
+    serve_cmd.add_argument("--snapshot", required=True,
+                           help="datastore snapshot directory to load")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8080,
+                           help="listen port (0 picks a free one)")
+    serve_cmd.add_argument("--rate", type=float, default=500.0,
+                           help="per-client admitted queries per second")
+    serve_cmd.add_argument("--burst", type=float, default=1000.0,
+                           help="per-client admission burst size")
+    serve_cmd.set_defaults(func=cmd_serve)
 
     trace = sub.add_parser("trace", help="generate a synthetic price trace")
     trace.add_argument("--profile", default="c3.2xlarge-us-east-1d")

@@ -1,0 +1,298 @@
+"""The blocking client SDK for a served SpotLight.
+
+:class:`SpotLightClient` speaks the wire protocol of
+:class:`~repro.server.SpotLightServer` over a persistent
+``http.client`` connection (keep-alive; a stale socket is transparently
+reopened once).  It mirrors the :class:`~repro.core.frontend.QueryFrontend`
+typed surface — each helper builds the corresponding schema request,
+POSTs it to ``/query``, and returns the ``result`` payload — so moving
+an application from in-process serving to the network tier is a
+one-line change::
+
+    with SpotLightClient("127.0.0.1", 8080) as client:
+        for entry in client.top_stable_markets(n=10):
+            print(entry["market"], entry["mean_time_to_revocation"])
+
+Error model: schema and engine failures raise :class:`QueryError`
+(carrying the server's error code), admission-control rejections raise
+:class:`ThrottledError` (carrying the server's ``Retry-After`` hint),
+and transport failures surface as :class:`TransportError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any
+
+from repro.core.market_id import MarketID
+from repro.core.records import ProbeKind
+
+DEFAULT_TIMEOUT = 30.0
+
+
+class ClientError(Exception):
+    """Base class for everything this SDK raises."""
+
+
+class TransportError(ClientError):
+    """The server could not be reached or the connection broke."""
+
+
+class QueryError(ClientError):
+    """The server answered, but with an error response."""
+
+    def __init__(self, code: str, message: str, status: int) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.status = status
+
+
+class ThrottledError(QueryError):
+    """Admission control rejected the request (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__("throttled", message, 429)
+        self.retry_after = retry_after
+
+
+def _market_param(market: MarketID | str) -> str:
+    return str(market)
+
+
+def _kind_param(kind: ProbeKind | str) -> str:
+    return kind.value if isinstance(kind, ProbeKind) else str(kind)
+
+
+class SpotLightClient:
+    """A blocking SpotLight client with connection reuse."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- transport ----------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "SpotLightClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, dict[str, str], dict]:
+        """One round trip; retries exactly once on a stale keep-alive
+        socket (the server may have timed our idle connection out)."""
+        last_error: Exception | None = None
+        for attempt in range(2):
+            conn = self._connection()
+            try:
+                conn.request(
+                    method, path, body=body,
+                    headers={"Content-Type": "application/json"} if body else {},
+                )
+                response = conn.getresponse()
+                payload = response.read()
+                headers = {k.lower(): v for k, v in response.getheaders()}
+                try:
+                    decoded = json.loads(payload) if payload else {}
+                except json.JSONDecodeError as exc:
+                    raise TransportError(
+                        f"non-JSON response from {self.host}:{self.port}: {exc}"
+                    ) from None
+                return response.status, headers, decoded
+            except (
+                http.client.HTTPException, ConnectionError, socket.timeout,
+                OSError,
+            ) as exc:
+                last_error = exc
+                self.close()
+                if attempt == 0 and not isinstance(exc, socket.timeout):
+                    continue
+                break
+        raise TransportError(
+            f"request to {self.host}:{self.port} failed: {last_error}"
+        ) from last_error
+
+    # -- protocol -----------------------------------------------------------
+    def query_response(
+        self, name: str, params: dict[str, Any] | None = None
+    ) -> dict:
+        """POST one schema request and return the full response dict
+        (including ``cached`` and ``served_at``); raises on errors."""
+        body = json.dumps({"query": name, "params": params or {}}).encode()
+        status, headers, response = self._request("POST", "/query", body)
+        if status == 429:
+            error = response.get("error", {})
+            retry_after = float(
+                headers.get("retry-after", error.get("retry_after", 1.0))
+            )
+            raise ThrottledError(
+                error.get("message", "throttled"), retry_after
+            )
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise QueryError(
+                error.get("code", "unknown"),
+                error.get("message", f"HTTP {status}"),
+                status,
+            )
+        return response
+
+    def query(self, name: str, params: dict[str, Any] | None = None) -> Any:
+        """POST one schema request and return its ``result`` payload."""
+        return self.query_response(name, params)["result"]
+
+    def retrying_query(
+        self,
+        name: str,
+        params: dict[str, Any] | None = None,
+        max_attempts: int = 5,
+    ) -> Any:
+        """Like :meth:`query`, but sleeps out 429s using the server's
+        retry-after hint (bounded by ``max_attempts``)."""
+        for attempt in range(max_attempts):
+            try:
+                return self.query(name, params)
+            except ThrottledError as exc:
+                if attempt == max_attempts - 1:
+                    raise
+                time.sleep(max(exc.retry_after, 0.005))
+        raise AssertionError("unreachable")
+
+    def healthz(self) -> dict:
+        status, _, response = self._request("GET", "/healthz")
+        if status != 200:
+            raise TransportError(f"healthz answered HTTP {status}")
+        return response
+
+    def stats(self) -> dict:
+        status, _, response = self._request("GET", "/stats")
+        if status != 200:
+            raise TransportError(f"stats answered HTTP {status}")
+        return response
+
+    # -- typed helpers (mirror QueryFrontend) --------------------------------
+    def top_stable_markets(
+        self,
+        n: int = 10,
+        bid_multiple: float = 1.0,
+        start: float = 0.0,
+        end: float | None = None,
+        region: str | None = None,
+    ) -> list[dict]:
+        return self.query(
+            "top-stable-markets",
+            {"n": n, "bid_multiple": bid_multiple, "start": start, "end": end,
+             "region": region},
+        )
+
+    def availability(
+        self,
+        market: MarketID | str,
+        kind: ProbeKind | str = ProbeKind.ON_DEMAND,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> float:
+        return self.query(
+            "availability",
+            {"market": _market_param(market), "kind": _kind_param(kind),
+             "start": start, "end": end},
+        )
+
+    def availability_at_bid(
+        self,
+        market: MarketID | str,
+        bid_price: float,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> float:
+        return self.query(
+            "availability-at-bid",
+            {"market": _market_param(market), "bid_price": bid_price,
+             "start": start, "end": end},
+        )
+
+    def mean_time_to_revocation(
+        self,
+        market: MarketID | str,
+        bid_price: float,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> float:
+        return self.query(
+            "mean-time-to-revocation",
+            {"market": _market_param(market), "bid_price": bid_price,
+             "start": start, "end": end},
+        )
+
+    def mean_price(
+        self,
+        market: MarketID | str,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> float:
+        return self.query(
+            "mean-price",
+            {"market": _market_param(market), "start": start, "end": end},
+        )
+
+    def on_demand_price(self, market: MarketID | str) -> float:
+        return self.query("on-demand-price", {"market": _market_param(market)})
+
+    def unavailability_periods(
+        self,
+        market: MarketID | str | None = None,
+        kind: ProbeKind | str = ProbeKind.ON_DEMAND,
+        horizon: float | None = None,
+    ) -> list[dict]:
+        return self.query(
+            "unavailability-periods",
+            {"market": None if market is None else _market_param(market),
+             "kind": _kind_param(kind), "horizon": horizon},
+        )
+
+    def least_unavailable_markets(
+        self,
+        candidates: list[MarketID | str],
+        kind: ProbeKind | str = ProbeKind.ON_DEMAND,
+        horizon: float | None = None,
+    ) -> list[dict]:
+        return self.query(
+            "least-unavailable-markets",
+            {"candidates": [_market_param(m) for m in candidates],
+             "kind": _kind_param(kind), "horizon": horizon},
+        )
+
+    def rejection_rate(
+        self,
+        market: MarketID | str | None = None,
+        kind: ProbeKind | str | None = None,
+    ) -> float:
+        return self.query(
+            "rejection-rate",
+            {"market": None if market is None else _market_param(market),
+             "kind": None if kind is None else _kind_param(kind)},
+        )

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 from pathlib import Path
 from typing import IO, Protocol, runtime_checkable
 
@@ -74,6 +75,16 @@ class InMemoryDatastore(ProbeDatabase):
         return None
 
 
+def _fsync_path(path: Path) -> None:
+    """Force a file's contents — or a directory's entries, i.e. its
+    renames — to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class _CsvAppender:
     """An append-mode CSV file whose writer is built once (the WAL sits
     on the per-sample insert path, so per-row writer construction would
@@ -86,9 +97,14 @@ class _CsvAppender:
             self.writer.writerow(header)
 
     def flush(self) -> None:
+        """Flush and fsync: rows a caller explicitly flushed must
+        survive a crash, not just reach the page cache."""
         self.handle.flush()
+        os.fsync(self.handle.fileno())
 
     def close(self) -> None:
+        self.handle.flush()
+        os.fsync(self.handle.fileno())
         self.handle.close()
 
 
@@ -161,7 +177,14 @@ class SnapshotDatastore(ProbeDatabase):
 
     def save(self) -> None:
         """Write a full snapshot; the manifest replace is the atomic
-        commit point, after which the old generation is swept."""
+        commit point, after which the old generation is swept.
+
+        Every new-generation file is fsync'd (and the directory entry
+        for its rename) *before* the manifest rename commits, and the
+        manifest itself before its rename — so a crash immediately
+        after "commit" can never leave a manifest pointing at torn or
+        unwritten snapshot data.
+        """
         self._close_wals()
         new_gen = self._generation + 1
         for kind, export in (
@@ -170,6 +193,7 @@ class SnapshotDatastore(ProbeDatabase):
         ):
             tmp = self._snapshot_path(kind, new_gen).with_suffix(".csv.tmp")
             export(tmp)
+            _fsync_path(tmp)
             tmp.replace(self._snapshot_path(kind, new_gen))
         manifest = {
             "format_version": SNAPSHOT_FORMAT_VERSION,
@@ -180,7 +204,10 @@ class SnapshotDatastore(ProbeDatabase):
         }
         manifest_tmp = self.root / (_MANIFEST + ".tmp")
         manifest_tmp.write_text(json.dumps(manifest, indent=2))
+        _fsync_path(manifest_tmp)
+        _fsync_path(self.root)  # snapshot renames are durable pre-commit
         manifest_tmp.replace(self.root / _MANIFEST)  # commit point
+        _fsync_path(self.root)  # ... and so is the commit itself
         self._generation = new_gen
         self._sweep_stale_files()
 

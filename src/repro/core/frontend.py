@@ -192,6 +192,7 @@ class QueryFrontend:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.expirations = 0
         self._handlers: dict[str, Callable[[dict], object]] = {
             "top-stable-markets": self._q_top_stable_markets,
             "availability": self._q_availability,
@@ -205,11 +206,21 @@ class QueryFrontend:
         }
 
     # -- cache machinery ----------------------------------------------------
+    @staticmethod
+    def request_key(query: object, params: object) -> str:
+        """Canonical identity of a ``(query, params)`` pair.
+
+        The result cache keys on it, and a transport in front of the
+        frontend can use the same canonicalization to recognise
+        identical in-flight requests (single-flight coalescing).
+        """
+        return json.dumps({"query": query, "params": params}, sort_keys=True)
+
     def _cached(
         self, query: str, params: dict[str, object], compute: Callable[[], Any]
     ) -> tuple[Any, bool]:
         """Serve from cache or compute; returns ``(value, was_cached)``."""
-        key = json.dumps({"query": query, "params": params}, sort_keys=True)
+        key = self.request_key(query, params)
         now = self._clock()
         entry = self._cache.get(key)
         if entry is not None and now < entry.expires:
@@ -223,14 +234,17 @@ class QueryFrontend:
         return value, False
 
     def _evict(self, now: float) -> None:
+        """Make room for one insert.  ``expirations`` counts entries
+        whose TTL had lapsed; ``evictions`` counts live entries dropped
+        purely for capacity — each removal is tallied exactly once."""
         expired = [k for k, e in self._cache.items() if e.expires <= now]
         for key in expired:
             del self._cache[key]
+        self.expirations += len(expired)
         while len(self._cache) >= self.max_entries:
             # Dicts iterate in insertion order: drop the oldest entry.
             del self._cache[next(iter(self._cache))]
             self.evictions += 1
-        self.evictions += len(expired)
 
     def invalidate(self) -> None:
         """Drop every cached result (e.g. after a bulk data import)."""
@@ -242,6 +256,7 @@ class QueryFrontend:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "expirations": self.expirations,
         }
 
     # -- typed API (what the apps consume) ---------------------------------

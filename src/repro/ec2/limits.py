@@ -11,6 +11,7 @@ concurrency management is exercised for real.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.common.clock import SimClock
 from repro.common.errors import (
@@ -25,19 +26,31 @@ DEFAULT_API_BURST = 100.0
 
 
 class TokenBucket:
-    """Classic token bucket; time comes from the simulated clock."""
+    """Classic token bucket.
 
-    def __init__(self, clock: SimClock, rate: float, burst: float) -> None:
+    Time comes from a :class:`SimClock` (the simulator's case) or from
+    any zero-argument callable returning seconds (``time.monotonic`` for
+    a wall-clock consumer such as the serving tier's admission control).
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | Callable[[], float],
+        rate: float,
+        burst: float,
+    ) -> None:
         if rate <= 0 or burst <= 0:
             raise ValueError(f"rate and burst must be positive: {rate}, {burst}")
-        self._clock = clock
+        self._now: Callable[[], float] = (
+            clock if callable(clock) else lambda: clock.now
+        )
         self.rate = rate
         self.burst = burst
         self._tokens = burst
-        self._last_refill = clock.now
+        self._last_refill = self._now()
 
     def _refill(self) -> None:
-        now = self._clock.now
+        now = self._now()
         elapsed = now - self._last_refill
         if elapsed > 0:
             self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
@@ -54,6 +67,13 @@ class TokenBucket:
             self._tokens -= tokens
             return True
         return False
+
+    def seconds_until_available(self, tokens: float = 1.0) -> float:
+        """How long until ``tokens`` could be consumed (a retry-after
+        hint for throttled callers; 0.0 when they fit right now)."""
+        self._refill()
+        deficit = min(tokens, self.burst) - self._tokens
+        return max(0.0, deficit / self.rate)
 
 
 @dataclass

@@ -1,0 +1,639 @@
+"""The network serving tier: SpotLight on the wire.
+
+:class:`SpotLightServer` puts a :class:`~repro.core.frontend.QueryFrontend`
+behind a stdlib-only ``asyncio`` HTTP/1.1 endpoint:
+
+* ``POST /query`` — the frontend's dict request/response schema as
+  JSON (``{"query": <name>, "params": {...}}``);
+* ``GET /healthz`` — liveness (never rate-limited);
+* ``GET /stats`` — serving counters, per-endpoint latency histograms,
+  and the frontend's cache statistics.
+
+It is shaped for real traffic, not demos:
+
+* **keep-alive** connection handling with per-request read timeouts,
+  a request body size cap, and graceful shutdown (the listener stops,
+  in-flight requests drain, idle connections are closed);
+* **single-flight coalescing** — identical in-flight ``/query``
+  requests (canonicalized by :meth:`QueryFrontend.request_key`) share
+  one engine computation.  The frontend's TTL cache only dedupes
+  *completed* results; under a thundering herd of identical cold
+  queries the coalescing map is what keeps the engine from computing
+  the same answer K times;
+* **token-bucket admission control** per client host (the same bucket
+  idiom the simulated EC2 substrate uses for API rate limits),
+  answering ``429`` with a ``Retry-After`` hint when a client
+  overruns its budget;
+* engine work runs on a worker thread (the event loop never blocks on
+  a cold query), serialized by a lock because the frontend's cache is
+  not thread-safe — coalescing and the TTL cache keep that serialization
+  cheap.
+
+:class:`BackgroundServer` runs the same server on a daemon thread with
+its own event loop, for blocking callers (tests, benchmarks, examples).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Awaitable, Callable
+
+from repro.core.frontend import QueryFrontend
+from repro.ec2.limits import TokenBucket
+
+#: Admission-control defaults: generous enough that a well-behaved
+#: client never sees them, small enough that one host cannot starve
+#: the rest of the fleet.
+DEFAULT_RATE_PER_SECOND = 500.0
+DEFAULT_BURST = 1000.0
+
+DEFAULT_MAX_REQUEST_BYTES = 1 << 20
+DEFAULT_REQUEST_TIMEOUT = 30.0
+DEFAULT_SHUTDOWN_GRACE = 5.0
+
+#: Header-section guards (the body has ``max_request_bytes``; without
+#: these a peer could stream headers forever).
+MAX_HEADER_LINES = 100
+
+#: Idle per-client admission buckets are swept once the map passes this
+#: size, so a parade of one-shot client IPs cannot grow memory forever.
+MAX_CLIENT_BUCKETS = 4096
+
+#: Latency histogram bucket upper bounds, in seconds (the last bucket
+#: is open-ended).  Spans 100 µs cache hits to multi-second cold scans.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+_JSON_HEADERS = (("Content-Type", "application/json"),)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with quantile estimation."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_seconds = 0.0
+        self.bucket_counts = [0] * (len(LATENCY_BUCKETS) + 1)
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.bucket_counts[bisect.bisect_left(LATENCY_BUCKETS, seconds)] += 1
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-quantile sample (the
+        last finite bound for the open-ended overflow bucket)."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            seen += bucket_count
+            if seen >= rank:
+                return LATENCY_BUCKETS[min(index, len(LATENCY_BUCKETS) - 1)]
+        return LATENCY_BUCKETS[-1]
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "total_seconds": round(self.total_seconds, 6),
+            "mean_seconds": (
+                round(self.total_seconds / self.count, 6) if self.count else 0.0
+            ),
+            "p50_seconds": self.quantile(0.50),
+            "p99_seconds": self.quantile(0.99),
+            "buckets": {
+                **{
+                    f"le_{bound:g}": self.bucket_counts[i]
+                    for i, bound in enumerate(LATENCY_BUCKETS)
+                },
+                "inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class _EndpointStats:
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.latency = LatencyHistogram()
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "latency": self.latency.snapshot(),
+        }
+
+
+class _HttpError(Exception):
+    """An HTTP-level failure (malformed framing, oversized body, ...)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _IdleTimeout(Exception):
+    """A keep-alive connection idled past the request timeout."""
+
+
+class SpotLightServer:
+    """An asyncio HTTP/1.1 JSON endpoint over a query frontend."""
+
+    def __init__(
+        self,
+        frontend: QueryFrontend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        rate_per_second: float = DEFAULT_RATE_PER_SECOND,
+        burst: float = DEFAULT_BURST,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        shutdown_grace: float = DEFAULT_SHUTDOWN_GRACE,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.frontend = frontend
+        self.host = host
+        self.port = port
+        self.rate_per_second = rate_per_second
+        self.burst = burst
+        self.max_request_bytes = max_request_bytes
+        self.request_timeout = request_timeout
+        self.shutdown_grace = shutdown_grace
+        self._clock = clock
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        # The frontend mutates its cache with no locking; one worker
+        # lock serializes engine calls across connections.
+        self._frontend_lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=4, thread_name_prefix="spotlight-query"
+        )
+        self._closing = False
+        self._started_at = 0.0
+        self.connections_accepted = 0
+        self.coalesced = 0
+        self.throttled = 0
+        self._endpoints: dict[str, _EndpointStats] = {
+            "/query": _EndpointStats(),
+            "/healthz": _EndpointStats(),
+            "/stats": _EndpointStats(),
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (resolves ``port=0``)."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = self._clock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight requests
+        for up to ``shutdown_grace`` seconds, then close stragglers."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = {task for task in self._connections if not task.done()}
+        if pending:
+            _, pending = await asyncio.wait(pending, timeout=self.shutdown_grace)
+        for task in pending:  # idle keep-alive readers, hung peers
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    # -- connection handling ------------------------------------------------
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_accepted += 1
+        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        client_host = peer[0] if isinstance(peer, tuple) else "unknown"
+        try:
+            while not self._closing:
+                try:
+                    request = await self._read_request(reader)
+                except _IdleTimeout:
+                    break  # quiet peer between requests: just close
+                except asyncio.TimeoutError:
+                    # Stalled mid-request: tell the peer before closing.
+                    await self._write_response(
+                        writer, 408,
+                        json.dumps(
+                            _error_body("timeout", "request read timed out")
+                        ).encode(),
+                        keep_alive=False,
+                    )
+                    break
+                except _HttpError as exc:
+                    await self._write_response(
+                        writer, exc.status,
+                        json.dumps(
+                            _error_body("http-error", exc.message)
+                        ).encode(),
+                        keep_alive=False,
+                    )
+                    # Lingering close: swallow what the peer already
+                    # sent so closing on unread input doesn't RST the
+                    # error response out from under them.
+                    with contextlib.suppress(Exception):
+                        await asyncio.wait_for(
+                            reader.read(self.max_request_bytes), 0.25
+                        )
+                    break
+                if request is None:  # clean EOF between requests
+                    break
+                method, path, body, keep_alive = request
+                keep_alive = keep_alive and not self._closing
+                status, payload = await self._dispatch(
+                    method, path, body, client_host
+                )
+                extra = ()
+                if status == 429:
+                    retry_after = payload.get("error", {}).get("retry_after", 1.0)
+                    extra = (("Retry-After", f"{retry_after:.3f}"),)
+                await self._write_response(
+                    writer, status,
+                    json.dumps(payload).encode(),
+                    keep_alive=keep_alive, extra_headers=extra,
+                    include_body=method != "HEAD",
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes, bool] | None:
+        """Read one framed request; None on clean EOF before a request."""
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), self.request_timeout
+            )
+        except asyncio.TimeoutError:
+            raise _IdleTimeout() from None
+        except ValueError:  # StreamReader line-length limit overrun
+            raise _HttpError(431, "request line too long") from None
+        if not request_line:
+            return None
+        try:
+            method, target, version = request_line.decode("latin-1").split()
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: dict[str, str] = {}
+        header_lines = 0
+        while True:
+            # Count lines, not dict entries: repeats of one header name
+            # collapse in the dict but still arrive on the wire.
+            header_lines += 1
+            if header_lines > MAX_HEADER_LINES:
+                raise _HttpError(431, "too many header fields")
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), self.request_timeout
+                )
+            except ValueError:
+                raise _HttpError(431, "header line too long") from None
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise _HttpError(400, "truncated headers")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpError(400, f"malformed header line: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if content_length < 0:
+            raise _HttpError(400, "bad Content-Length")
+        if content_length > self.max_request_bytes:
+            raise _HttpError(
+                413,
+                f"request body of {content_length} bytes exceeds the "
+                f"{self.max_request_bytes} byte limit",
+            )
+        body = b""
+        if content_length:
+            body = await asyncio.wait_for(
+                reader.readexactly(content_length), self.request_timeout
+            )
+        keep_alive = (
+            headers.get("connection", "").lower() != "close"
+            and version.upper() != "HTTP/1.0"
+        )
+        return method.upper(), target.split("?", 1)[0], body, keep_alive
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        keep_alive: bool,
+        extra_headers: tuple[tuple[str, str], ...] = (),
+        include_body: bool = True,
+    ) -> None:
+        # A HEAD response advertises the GET body's length but must not
+        # send the body itself, or the keep-alive stream desyncs.
+        headers = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (*_JSON_HEADERS, *extra_headers):
+            headers.append(f"{name}: {value}")
+        writer.write(
+            "\r\n".join(headers).encode("latin-1") + b"\r\n\r\n"
+            + (body if include_body else b"")
+        )
+        await writer.drain()
+
+    # -- routing ------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, client_host: str
+    ) -> tuple[int, dict]:
+        endpoint = self._endpoints.get(path)
+        if endpoint is None:
+            return 404, _error_body("not-found", f"no such endpoint: {path}")
+        started = self._clock()
+        endpoint.requests += 1
+        try:
+            if path == "/query":
+                if method != "POST":
+                    status, payload = 405, _error_body(
+                        "method-not-allowed", "use POST for /query"
+                    )
+                else:
+                    status, payload = await self._handle_query(body, client_host)
+            elif method not in ("GET", "HEAD"):
+                status, payload = 405, _error_body(
+                    "method-not-allowed", f"use GET for {path}"
+                )
+            elif path == "/healthz":
+                status, payload = 200, {
+                    "ok": True,
+                    "status": "shutting-down" if self._closing else "serving",
+                    "uptime_seconds": round(self._clock() - self._started_at, 3),
+                }
+            else:  # /stats
+                status, payload = 200, self.stats()
+        except Exception as exc:  # last-ditch: never drop the connection
+            status, payload = 500, _error_body(
+                "internal-error", f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            endpoint.latency.observe(self._clock() - started)
+        if status >= 400:
+            endpoint.errors += 1
+        return status, payload
+
+    # -- /query: admission + single flight ----------------------------------
+    def _admit(self, client_host: str) -> float | None:
+        """None if the request may proceed, else a retry-after hint."""
+        bucket = self._buckets.get(client_host)
+        if bucket is None:
+            if len(self._buckets) >= MAX_CLIENT_BUCKETS:
+                self._sweep_idle_buckets()
+            bucket = TokenBucket(self._clock, self.rate_per_second, self.burst)
+            self._buckets[client_host] = bucket
+        if bucket.try_consume():
+            return None
+        return bucket.seconds_until_available()
+
+    def _sweep_idle_buckets(self) -> None:
+        """Drop buckets that have refilled to full burst (their client
+        has been idle long enough to carry no admission state), then —
+        if every client is somehow active — oldest-first so the map
+        stays bounded even under synthetic client-address floods."""
+        idle = [
+            host for host, bucket in self._buckets.items()
+            if bucket.available >= bucket.burst
+        ]
+        for host in idle:
+            del self._buckets[host]
+        while len(self._buckets) >= MAX_CLIENT_BUCKETS:
+            del self._buckets[next(iter(self._buckets))]
+
+    async def _handle_query(
+        self, body: bytes, client_host: str
+    ) -> tuple[int, dict]:
+        retry_after = self._admit(client_host)
+        if retry_after is not None:
+            self.throttled += 1
+            return 429, {
+                "ok": False,
+                "error": {
+                    "code": "throttled",
+                    "message": (
+                        f"client {client_host} exceeded "
+                        f"{self.rate_per_second:g} queries/s"
+                    ),
+                    "retry_after": round(retry_after, 3),
+                },
+            }
+        try:
+            request = json.loads(body)
+        except json.JSONDecodeError as exc:
+            return 400, _error_body("bad-request", f"body is not JSON: {exc}")
+        if not isinstance(request, dict):
+            return 400, _error_body("bad-request", "request must be an object")
+        response = await self._coalesced_handle(request)
+        return _status_of(response), response
+
+    async def _coalesced_handle(self, request: dict) -> dict:
+        """Run ``frontend.handle`` off-loop, sharing one computation
+        between identical in-flight requests."""
+        loop = asyncio.get_running_loop()
+        key = QueryFrontend.request_key(
+            request.get("query"), request.get("params", {})
+        )
+        leader_future = self._inflight.get(key)
+        if leader_future is not None:
+            self.coalesced += 1
+            return await asyncio.shield(leader_future)
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            response = await loop.run_in_executor(
+                self._executor, self._locked_handle, request
+            )
+            future.set_result(response)
+        except BaseException as exc:
+            future.set_exception(exc)
+            # Followers re-raise from the shared future; retrieving the
+            # exception here keeps it from ever counting as unobserved.
+            future.exception()
+            raise
+        finally:
+            del self._inflight[key]
+        return response
+
+    def _locked_handle(self, request: dict) -> dict:
+        with self._frontend_lock:
+            return self.frontend.handle(request)
+
+    # -- stats ---------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        return {
+            "ok": True,
+            "uptime_seconds": round(self._clock() - self._started_at, 3),
+            "connections_accepted": self.connections_accepted,
+            "open_connections": len(self._connections),
+            "coalesced": self.coalesced,
+            "throttled": self.throttled,
+            "clients": len(self._buckets),
+            "endpoints": {
+                path: endpoint.snapshot()
+                for path, endpoint in self._endpoints.items()
+            },
+            "frontend": self.frontend.stats(),
+        }
+
+
+def _status_of(response: dict) -> int:
+    """Map a frontend response to an HTTP status."""
+    if response.get("ok"):
+        return 200
+    code = response.get("error", {}).get("code")
+    return 500 if code == "internal-error" else 400
+
+
+def _error_body(code: str, message: str) -> dict:
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+class BackgroundServer:
+    """A :class:`SpotLightServer` on a daemon thread, for blocking
+    callers::
+
+        with BackgroundServer(frontend) as server:
+            client = SpotLightClient(*server.address)
+            ...
+
+    The thread owns a private event loop; ``stop()`` performs the same
+    graceful shutdown as the foreground server and joins the thread.
+    """
+
+    def __init__(self, frontend: QueryFrontend, **server_kwargs: object) -> None:
+        self.server = SpotLightServer(frontend, **server_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="spotlight-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("server did not start within 30s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # bind failure, bad args
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def stop(self) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None or not thread.is_alive():
+            return
+        done = asyncio.run_coroutine_threadsafe(self.server.stop(), loop)
+        done.result(timeout=self.server.shutdown_grace + 30.0)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30.0)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+async def serve(
+    frontend: QueryFrontend,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    shutdown: "asyncio.Event | None" = None,
+    on_start: Callable[[SpotLightServer], object] | None = None,
+    **server_kwargs: object,
+) -> SpotLightServer:
+    """Start a server, optionally run until ``shutdown`` is set, and
+    shut down gracefully.  Returns the (stopped) server for its stats."""
+    server = SpotLightServer(frontend, host=host, port=port, **server_kwargs)
+    await server.start()
+    if on_start is not None:
+        result = on_start(server)
+        if isinstance(result, Awaitable):
+            await result
+    if shutdown is not None:
+        await shutdown.wait()
+        await server.stop()
+    return server

@@ -118,6 +118,87 @@ def test_query_command_reports_schema_errors(tmp_path, capsys):
     assert code == 2
 
 
+def test_query_stats_exposes_cache_counters(tmp_path, capsys):
+    """--stats makes cache behavior observable without the server."""
+    from repro.core.datastore import SnapshotDatastore
+
+    snapshot = tmp_path / "state"
+    SnapshotDatastore(snapshot).save()  # a valid (empty) snapshot
+    code = main([
+        "query", "--snapshot", str(snapshot),
+        "--name", "top-stable-markets", "--params", '{"n": 3}',
+        "--repeat", "3", "--stats",
+    ])
+    assert code == 0
+    response = json.loads(capsys.readouterr().out)
+    assert response["ok"]
+    stats = response["frontend_stats"]
+    assert stats["misses"] == 1
+    assert stats["hits"] == 2  # the two repeats were cache hits
+    assert stats["entries"] == 1
+    assert "expirations" in stats and "evictions" in stats
+
+
+def test_serve_command_end_to_end(tmp_path):
+    """`repro serve` on a snapshot answers /healthz and /query over
+    HTTP, matches the in-process `repro query` answer, and shuts down
+    cleanly on SIGINT."""
+    import re
+    import signal
+
+    from repro.client import SpotLightClient
+
+    snapshot = tmp_path / "state"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    subprocess.run(
+        [sys.executable, "-m", "repro", "study", "--days", "0.25",
+         "--seed", "3", "--regions", "sa-east-1", "--families", "c3",
+         "--snapshot", str(snapshot)],
+        check=True, capture_output=True, env=env, timeout=300,
+    )
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--snapshot", str(snapshot), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        line = server.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no address announced: {line!r}"
+        host, port = match.group(1), int(match.group(2))
+
+        with SpotLightClient(host, port, timeout=30.0) as client:
+            assert client.healthz()["status"] == "serving"
+            served = client.query("top-stable-markets", {"n": 5})
+            stats = client.stats()
+            assert stats["endpoints"]["/query"]["requests"] == 1
+
+        # The wire answer matches the in-process `repro query` answer.
+        direct = subprocess.run(
+            [sys.executable, "-m", "repro", "query", "--snapshot",
+             str(snapshot), "--name", "top-stable-markets",
+             "--params", '{"n": 5, "bid_multiple": 1.0, "start": 0.0, '
+                         '"end": null, "region": null}'],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert direct.returncode == 0, direct.stderr
+        assert json.loads(direct.stdout)["result"] == served
+
+        server.send_signal(signal.SIGINT)
+        code = server.wait(timeout=30)
+        assert code == 0, server.stderr.read()
+        tail = server.stdout.read()
+        assert "shutdown complete" in tail
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+
+
 def test_query_refuses_a_missing_snapshot(tmp_path, capsys):
     code = main(["query", "--snapshot", str(tmp_path / "typo")])
     assert code == 2

@@ -131,6 +131,54 @@ class TestSnapshotDatastore:
         # Without a snapshot either, nothing survives.
         assert len(SnapshotDatastore(root)) == 0
 
+    def test_save_fsyncs_data_before_the_manifest_commit(self, tmp_path, monkeypatch):
+        """Durability: every new-generation file (both snapshots and
+        the manifest) must be fsync'd before the manifest rename that
+        commits the save — otherwise a crash right after "commit" could
+        leave a manifest pointing at torn snapshot data."""
+        import repro.core.datastore as ds
+
+        events: list[str] = []
+        real_fsync, real_replace = ds.os.fsync, ds.Path.replace
+
+        def spy_fsync(fd):
+            events.append("fsync")
+            return real_fsync(fd)
+
+        def spy_replace(self, target):
+            if str(target).endswith("manifest.json"):
+                events.append("manifest-commit")
+            return real_replace(self, target)
+
+        monkeypatch.setattr(ds.os, "fsync", spy_fsync)
+        monkeypatch.setattr(ds.Path, "replace", spy_replace)
+
+        store = SnapshotDatastore(tmp_path / "state")
+        _fill(store)
+        events.clear()
+        store.save()
+        store.close()
+
+        commit = events.index("manifest-commit")
+        # Probes snapshot, prices snapshot, manifest tmp, directory:
+        # all made durable before the commit rename.
+        assert events[:commit].count("fsync") >= 4
+
+    def test_flush_fsyncs_the_wal(self, tmp_path, monkeypatch):
+        import repro.core.datastore as ds
+
+        synced: list[int] = []
+        real_fsync = ds.os.fsync
+        monkeypatch.setattr(
+            ds.os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        store = SnapshotDatastore(tmp_path / "state")
+        _fill(store)
+        synced.clear()
+        store.flush()
+        assert len(synced) == 2  # probe WAL + price WAL
+        store.close()
+
     def test_must_exist_refuses_an_empty_directory(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             SnapshotDatastore(tmp_path / "typo", must_exist=True)

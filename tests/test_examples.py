@@ -28,3 +28,15 @@ def test_quickstart_runs_at_small_scale(capsys):
     assert spotlight.database.price_count() > 0
     # The quickstart exercises the serving frontend, not raw internals.
     assert spotlight.frontend.stats()["misses"] > 0
+
+
+def test_serving_example_round_trips_over_http(capsys):
+    serving = _load_example("serving")
+    stats = serving.main(days=0.25, regions=["sa-east-1"], families=["c3"], seed=3)
+    out = capsys.readouterr().out
+    assert "SpotLight serving on http://" in out
+    assert "top 5 most stable spot markets" in out
+    assert "server shut down cleanly" in out
+    # Everything printed went over the wire, through the client SDK.
+    assert stats["endpoints"]["/query"]["requests"] >= 5
+    assert stats["connections_accepted"] >= 1

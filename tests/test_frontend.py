@@ -77,6 +77,7 @@ class TestTypedApi:
         frontend.top_stable_markets(n=2)
         assert frontend.stats() == {
             "entries": 1, "hits": 1, "misses": 1, "evictions": 0,
+            "expirations": 0,
         }
 
     def test_different_params_are_different_entries(self, frontend):
@@ -109,6 +110,31 @@ class TestTypedApi:
         assert frontend.stats()["entries"] == 2
         frontend.mean_price(M1)
         assert frontend.hits == 0  # it was evicted, so this recomputed
+
+    def test_eviction_accounting_at_the_capacity_boundary(self, engine, clock):
+        """``evictions`` counts capacity drops only; TTL lapses land in
+        ``expirations`` — each removed entry is tallied exactly once."""
+        frontend = QueryFrontend(engine, clock=clock, cache_ttl=300.0, max_entries=2)
+        frontend.mean_price(M1)
+        frontend.mean_price(M2)         # exactly at capacity
+        frontend.on_demand_price(M1)    # one live entry dropped for room
+        stats = frontend.stats()
+        assert stats["evictions"] == 1
+        assert stats["expirations"] == 0
+        assert stats["entries"] == 2
+
+        clock.now = 1000.0              # everything cached has expired
+        frontend.on_demand_price(M2)    # room comes from expiry alone
+        stats = frontend.stats()
+        assert stats["evictions"] == 1  # unchanged: no live entry dropped
+        assert stats["expirations"] == 2
+        assert stats["entries"] == 1
+
+    def test_request_key_is_canonical(self):
+        key_a = QueryFrontend.request_key("q", {"b": 1, "a": 2})
+        key_b = QueryFrontend.request_key("q", {"a": 2, "b": 1})
+        assert key_a == key_b
+        assert QueryFrontend.request_key("q", {"a": 1}) != key_a
 
     def test_invalid_construction(self, engine):
         with pytest.raises(ValueError):

@@ -1,0 +1,481 @@
+"""Tests for the network serving tier: wire correctness, single-flight
+coalescing, admission control, HTTP framing, and graceful shutdown."""
+
+from __future__ import annotations
+
+import collections
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.client import QueryError, SpotLightClient, ThrottledError, TransportError
+from repro.core.database import ProbeDatabase
+from repro.core.frontend import QueryFrontend
+from repro.core.market_id import MarketID
+from repro.core.query import SpotLightQuery
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+)
+from repro.ec2.catalog import default_catalog
+from repro.server import BackgroundServer
+
+REJ = "InsufficientInstanceCapacity"
+
+MARKETS = [
+    MarketID("us-east-1a", "m3.large", "Linux/UNIX"),
+    MarketID("us-east-1b", "m3.large", "Linux/UNIX"),
+    MarketID("us-east-1a", "m3.xlarge", "Linux/UNIX"),
+    MarketID("us-east-1b", "m3.xlarge", "Linux/UNIX"),
+    MarketID("us-east-1a", "c3.large", "Linux/UNIX"),
+    MarketID("us-east-1b", "c3.large", "Linux/UNIX"),
+]
+
+
+def build_database() -> ProbeDatabase:
+    db = ProbeDatabase()
+    for index, market in enumerate(MARKETS):
+        base = 0.01 * (index + 1)
+        for step in range(40):
+            t = 250.0 * step
+            price = base * (8.0 if (step + index) % 11 == 0 else 1.0)
+            db.insert_price(PriceRecord(t, market, price))
+        for t, outcome in [
+            (0.0, OUTCOME_FULFILLED),
+            (500.0 + 100 * index, REJ),
+            (900.0 + 100 * index, OUTCOME_FULFILLED),
+        ]:
+            db.insert_probe(
+                ProbeRecord(
+                    time=t, market=market, kind=ProbeKind.ON_DEMAND,
+                    trigger=ProbeTrigger.RECOVERY, outcome=outcome,
+                )
+            )
+    return db
+
+
+#: A mixed workload covering every query family the frontend serves.
+def workload_requests() -> list[dict]:
+    requests = [
+        {"query": "top-stable-markets", "params": {"n": 3, "bid_multiple": 1.0}},
+        {"query": "top-stable-markets", "params": {"n": 5, "bid_multiple": 1.5}},
+        {"query": "unavailability-periods", "params": {"kind": "on-demand"}},
+        {"query": "rejection-rate", "params": {}},
+        {"query": "least-unavailable-markets",
+         "params": {"candidates": [str(m) for m in MARKETS[:4]]}},
+    ]
+    for market in MARKETS:
+        requests.append(
+            {"query": "mean-price", "params": {"market": str(market)}}
+        )
+        requests.append(
+            {"query": "availability",
+             "params": {"market": str(market), "kind": "on-demand"}}
+        )
+        requests.append(
+            {"query": "availability-at-bid",
+             "params": {"market": str(market), "bid_price": 0.25}}
+        )
+    return requests
+
+
+@pytest.fixture(scope="module")
+def database() -> ProbeDatabase:
+    return build_database()
+
+
+@pytest.fixture()
+def frontend(database) -> QueryFrontend:
+    return QueryFrontend(SpotLightQuery(database, default_catalog()))
+
+
+@pytest.fixture()
+def served(frontend):
+    with BackgroundServer(frontend) as background:
+        with SpotLightClient(*background.address) as client:
+            yield background, client
+
+
+class TestWireCorrectness:
+    def test_query_answers_match_in_process_frontend(self, served, database):
+        _, client = served
+        reference = QueryFrontend(SpotLightQuery(database, default_catalog()))
+        for request in workload_requests():
+            over_wire = client.query(request["query"], request["params"])
+            direct = reference.handle(request)["result"]
+            assert json.dumps(over_wire, sort_keys=True) == json.dumps(
+                direct, sort_keys=True
+            ), request
+
+    def test_typed_helpers_mirror_frontend(self, served, frontend):
+        _, client = served
+        market = MARKETS[0]
+        assert client.on_demand_price(market) == frontend.on_demand_price(market)
+        assert client.mean_price(market) == frontend.mean_price(market)
+        assert client.availability(market) == frontend.availability(market)
+        assert client.rejection_rate() == frontend.rejection_rate()
+        wire_top = client.top_stable_markets(n=3)
+        direct_top = frontend.top_stable_markets(n=3)
+        assert [e["market"] for e in wire_top] == [
+            str(e.market) for e in direct_top
+        ]
+        wire_periods = client.unavailability_periods(market)
+        direct_periods = frontend.unavailability_periods(market)
+        assert [p["start"] for p in wire_periods] == [
+            p.start for p in direct_periods
+        ]
+        ranked = client.least_unavailable_markets([str(m) for m in MARKETS[:3]])
+        direct_ranked = frontend.least_unavailable_markets(MARKETS[:3])
+        assert ranked[0]["market"] == str(direct_ranked[0][0])
+
+    def test_cached_flag_travels_over_the_wire(self, served):
+        _, client = served
+        request = ("mean-price", {"market": str(MARKETS[0])})
+        first = client.query_response(*request)
+        second = client.query_response(*request)
+        assert first["ok"] and second["ok"]
+        assert not first["cached"] and second["cached"]
+
+    def test_healthz_and_stats(self, served):
+        _, client = served
+        health = client.healthz()
+        assert health["ok"] and health["status"] == "serving"
+        client.query("rejection-rate", {})
+        stats = client.stats()
+        assert stats["endpoints"]["/query"]["requests"] >= 1
+        assert stats["endpoints"]["/query"]["latency"]["count"] >= 1
+        assert stats["endpoints"]["/query"]["latency"]["p99_seconds"] > 0
+        assert stats["frontend"]["misses"] >= 1
+        assert stats["connections_accepted"] >= 1
+
+    def test_keep_alive_reuses_one_connection(self, served):
+        background, client = served
+        before = client.stats()["connections_accepted"]
+        for _ in range(5):
+            client.query("rejection-rate", {})
+        after = client.stats()["connections_accepted"]
+        assert after == before  # all rode the same keep-alive connection
+
+
+class TestErrors:
+    def test_unknown_query_is_http_400(self, served):
+        _, client = served
+        with pytest.raises(QueryError) as excinfo:
+            client.query("nope", {})
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "unknown-query"
+
+    def test_bad_params_is_http_400(self, served):
+        _, client = served
+        with pytest.raises(QueryError) as excinfo:
+            client.query("mean-price", {"market": "not-a-market"})
+        assert excinfo.value.code == "bad-request"
+
+    def test_engine_failure_is_http_500(self, served):
+        _, client = served
+        with pytest.raises(QueryError) as excinfo:
+            client.query(
+                "on-demand-price",
+                {"market": "us-east-1a/zz9.plural/Linux/UNIX"},
+            )
+        assert excinfo.value.status == 500
+        assert excinfo.value.code == "internal-error"
+
+    def test_unknown_path_is_http_404(self, served):
+        background, _ = served
+        host, port = background.address
+        conn_client = SpotLightClient(host, port)
+        status, _, body = conn_client._request("GET", "/nope")
+        assert status == 404
+        assert body["error"]["code"] == "not-found"
+        conn_client.close()
+
+    def test_get_on_query_is_http_405(self, served):
+        background, _ = served
+        client = SpotLightClient(*background.address)
+        status, _, body = client._request("GET", "/query")
+        assert status == 405
+        client.close()
+
+    def test_malformed_request_line_is_http_400(self, served):
+        background, _ = served
+        with socket.create_connection(background.address, timeout=5.0) as raw:
+            raw.sendall(b"WHAT\r\n\r\n")
+            response = raw.recv(4096)
+        assert b"400 Bad Request" in response
+
+    def test_non_json_body_is_http_400(self, served):
+        background, _ = served
+        with socket.create_connection(background.address, timeout=5.0) as raw:
+            body = b"{not json"
+            raw.sendall(
+                b"POST /query HTTP/1.1\r\nContent-Length: "
+                + str(len(body)).encode() + b"\r\n\r\n" + body
+            )
+            response = raw.recv(4096)
+        assert b"400 Bad Request" in response
+
+    def test_oversized_body_is_http_413(self, frontend):
+        with BackgroundServer(frontend, max_request_bytes=512) as background:
+            with SpotLightClient(*background.address) as client:
+                with pytest.raises(QueryError) as excinfo:
+                    client.query("mean-price", {"market": "x" * 2048})
+                assert excinfo.value.status == 413
+
+    def test_oversized_header_line_is_http_431(self, served):
+        background, _ = served
+        with socket.create_connection(background.address, timeout=5.0) as raw:
+            raw.sendall(
+                b"GET /healthz HTTP/1.1\r\nX-Big: " + b"a" * (1 << 17) + b"\r\n"
+            )
+            response = raw.recv(4096)
+        assert b"431" in response.split(b"\r\n", 1)[0]
+
+    def test_header_flood_is_http_431(self, served):
+        from repro.server import MAX_HEADER_LINES
+
+        background, _ = served
+        # Exactly the cap, with no terminating blank line: the server
+        # consumes every line, then rejects before reading further.
+        flood = b"".join(
+            b"X-%d: y\r\n" % index for index in range(MAX_HEADER_LINES)
+        )
+        with socket.create_connection(background.address, timeout=5.0) as raw:
+            raw.sendall(b"GET /healthz HTTP/1.1\r\n" + flood)
+            response = raw.recv(4096)
+        assert b"431" in response.split(b"\r\n", 1)[0]
+
+    def test_head_sends_headers_without_a_body(self, served):
+        background, _ = served
+        with socket.create_connection(background.address, timeout=5.0) as raw:
+            raw.sendall(b"HEAD /healthz HTTP/1.1\r\n\r\n")
+            time.sleep(0.2)
+            first = raw.recv(65536)
+            assert first.startswith(b"HTTP/1.1 200")
+            assert first.endswith(b"\r\n\r\n")  # headers only, no body
+            # ... and the keep-alive stream stays usable afterwards.
+            raw.sendall(b"GET /healthz HTTP/1.1\r\n\r\n")
+            second = raw.recv(65536)
+        assert b'"serving"' in second
+
+
+class _SlowCountingEngine:
+    """Delegates to a real engine, counting calls and slowing them down
+    so concurrent identical queries genuinely overlap."""
+
+    def __init__(self, engine: SpotLightQuery, delay: float) -> None:
+        self._engine = engine
+        self._delay = delay
+        self.calls: collections.Counter = collections.Counter()
+
+    def __getattr__(self, name: str):
+        attr = getattr(self._engine, name)
+        if not callable(attr):
+            return attr
+
+        def slow(*args, **kwargs):
+            self.calls[name] += 1
+            time.sleep(self._delay)
+            return attr(*args, **kwargs)
+
+        return slow
+
+
+class TestSingleFlight:
+    def test_identical_cold_queries_share_one_computation(self, database):
+        engine = _SlowCountingEngine(
+            SpotLightQuery(database, default_catalog()), delay=0.5
+        )
+        frontend = QueryFrontend(engine)
+        workers = 6
+        barrier = threading.Barrier(workers)
+        results: list[object] = []
+
+        with BackgroundServer(frontend) as background:
+
+            def hit() -> None:
+                with SpotLightClient(*background.address) as client:
+                    barrier.wait()
+                    results.append(
+                        client.query("mean-price", {"market": str(MARKETS[0])})
+                    )
+
+            threads = [threading.Thread(target=hit) for _ in range(workers)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            stats = background.server.stats()
+
+        assert len(results) == workers
+        assert len(set(map(str, results))) == 1
+        assert engine.calls["mean_price"] == 1  # the whole point
+        assert stats["coalesced"] == workers - 1
+        # The frontend saw exactly one request: the coalesced followers
+        # never reached it, so they are neither hits nor misses.
+        assert stats["frontend"]["misses"] == 1
+
+    def test_distinct_queries_are_not_coalesced(self, database):
+        engine = _SlowCountingEngine(
+            SpotLightQuery(database, default_catalog()), delay=0.05
+        )
+        frontend = QueryFrontend(engine)
+        with BackgroundServer(frontend) as background:
+            def hit(market: MarketID) -> None:
+                with SpotLightClient(*background.address) as client:
+                    client.query("mean-price", {"market": str(market)})
+
+            threads = [
+                threading.Thread(target=hit, args=(market,))
+                for market in MARKETS[:3]
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert background.server.stats()["coalesced"] == 0
+        assert engine.calls["mean_price"] == 3
+
+
+class TestAdmissionControl:
+    def test_overrunning_client_gets_429_with_retry_hint(self, frontend):
+        with BackgroundServer(
+            frontend, rate_per_second=5.0, burst=3.0
+        ) as background:
+            with SpotLightClient(*background.address) as client:
+                with pytest.raises(ThrottledError) as excinfo:
+                    for _ in range(20):
+                        client.query("rejection-rate", {})
+                assert excinfo.value.retry_after > 0
+                # Liveness endpoints are never rate-limited.
+                assert client.healthz()["ok"]
+                assert background.server.stats()["throttled"] >= 1
+
+    def test_client_bucket_map_stays_bounded(self, frontend):
+        from repro.server import MAX_CLIENT_BUCKETS, SpotLightServer
+
+        server = SpotLightServer(frontend)
+        for index in range(MAX_CLIENT_BUCKETS + 500):
+            assert server._admit(f"10.0.{index // 256}.{index % 256}") is None
+        # Fresh buckets are instantly full (idle), so the sweep at the
+        # cap clears them; the map never exceeds the bound.
+        assert len(server._buckets) <= MAX_CLIENT_BUCKETS
+
+    def test_retrying_query_rides_out_backpressure(self, frontend):
+        with BackgroundServer(
+            frontend, rate_per_second=50.0, burst=2.0
+        ) as background:
+            with SpotLightClient(*background.address) as client:
+                for _ in range(30):
+                    client.retrying_query("rejection-rate", {})
+                stats = background.server.stats()
+                assert stats["throttled"] >= 1  # backpressure engaged
+        # ... and every request eventually succeeded (no exception).
+
+
+class TestConcurrentServingCorrectness:
+    def test_hammered_server_matches_direct_frontend(self, database):
+        """N threads through the SDK get byte-identical answers to the
+        direct frontend, under cache eviction AND 429 backpressure."""
+        requests = workload_requests()
+        reference = QueryFrontend(SpotLightQuery(database, default_catalog()))
+        expected = {
+            QueryFrontend.request_key(r["query"], r["params"]): json.dumps(
+                reference.handle(r)["result"], sort_keys=True
+            )
+            for r in requests
+        }
+
+        # Small cache (constant eviction) + tight-ish bucket (some 429s).
+        frontend = QueryFrontend(
+            SpotLightQuery(database, default_catalog()), max_entries=4
+        )
+        workers, rounds = 6, 4
+        failures: list[str] = []
+
+        with BackgroundServer(
+            frontend, rate_per_second=400.0, burst=20.0
+        ) as background:
+
+            def hammer(worker_index: int) -> None:
+                import random
+
+                order = requests * rounds
+                random.Random(worker_index).shuffle(order)
+                with SpotLightClient(*background.address) as client:
+                    for request in order:
+                        result = client.retrying_query(
+                            request["query"], request["params"],
+                            max_attempts=50,
+                        )
+                        key = QueryFrontend.request_key(
+                            request["query"], request["params"]
+                        )
+                        got = json.dumps(result, sort_keys=True)
+                        if got != expected[key]:
+                            failures.append(f"{request}: {got}")
+
+            threads = [
+                threading.Thread(target=hammer, args=(i,))
+                for i in range(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            stats = background.server.stats()
+
+        assert not failures, failures[:3]
+        assert stats["frontend"]["evictions"] > 0  # eviction really happened
+        served = stats["endpoints"]["/query"]["requests"]
+        assert served >= workers * rounds * len(requests)
+
+
+class TestLifecycle:
+    def test_graceful_shutdown_finishes_inflight_request(self, database):
+        engine = _SlowCountingEngine(
+            SpotLightQuery(database, default_catalog()), delay=0.8
+        )
+        background = BackgroundServer(QueryFrontend(engine)).start()
+        outcome: dict[str, object] = {}
+
+        def slow_query() -> None:
+            with SpotLightClient(*background.address) as client:
+                outcome["result"] = client.query(
+                    "mean-price", {"market": str(MARKETS[0])}
+                )
+
+        thread = threading.Thread(target=slow_query)
+        thread.start()
+        time.sleep(0.3)  # request is now in flight
+        background.stop()  # drains before closing
+        thread.join(timeout=30.0)
+        assert "result" in outcome
+
+    def test_stopped_server_refuses_connections(self, frontend):
+        background = BackgroundServer(frontend).start()
+        address = background.address
+        with SpotLightClient(*address) as client:
+            assert client.healthz()["ok"]
+        background.stop()
+        with SpotLightClient(*address) as client:
+            with pytest.raises(TransportError):
+                client.healthz()
+
+    def test_port_zero_binds_an_ephemeral_port(self, frontend):
+        with BackgroundServer(frontend, port=0) as background:
+            assert background.address[1] > 0
+
+    def test_two_servers_can_coexist(self, frontend, database):
+        other = QueryFrontend(SpotLightQuery(database, default_catalog()))
+        with BackgroundServer(frontend) as first, BackgroundServer(other) as second:
+            assert first.address[1] != second.address[1]
+            with SpotLightClient(*first.address) as c1, \
+                    SpotLightClient(*second.address) as c2:
+                assert c1.healthz()["ok"] and c2.healthz()["ok"]
