@@ -62,8 +62,9 @@ from repro.providers import (
     TraceReplayProvider,
 )
 from repro.server import BackgroundServer, SpotLightServer
+from repro.server_pool import WorkerPool
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SpotLight",
@@ -72,6 +73,7 @@ __all__ = [
     "QueryFrontend",
     "SpotLightServer",
     "BackgroundServer",
+    "WorkerPool",
     "SpotLightClient",
     "ProbeDatabase",
     "Datastore",

@@ -79,17 +79,14 @@ def rejected_probes_by_region(
 ) -> dict[str, dict[tuple[float, float], float]]:
     """Figure 5.5: per spike-size interval, each region's share of the
     rejected spike-triggered probes (shares sum to 1 per bucket)."""
-    multiples: list[float] = []
-    record_regions: list[str] = []
-    for record in context.database.probes(
-        kind=ProbeKind.ON_DEMAND, rejected=True
-    ):
-        if record.trigger is not ProbeTrigger.PRICE_SPIKE:
-            continue
-        multiples.append(record.spike_multiple)
-        record_regions.append(record.market.region)
-    multiple_column = np.asarray(multiples)
-    region_column = np.asarray(record_regions)
+    columns = context.database.probe_columns()
+    mask = (
+        columns.kind_mask(ProbeKind.ON_DEMAND)
+        & columns.rejected
+        & columns.trigger_mask(ProbeTrigger.PRICE_SPIKE)
+    )
+    multiple_column = columns.spike_multiples[mask]
+    region_column = columns.record_regions()[mask]
     # One membership mask per bucket; a record lands in the first (and,
     # the buckets being disjoint, only) interval containing it.
     bucket_masks = {
@@ -97,7 +94,7 @@ def rejected_probes_by_region(
         for bucket in buckets
     }
     regions = sorted(
-        {r for mask in bucket_masks.values() for r in region_column[mask]}
+        {str(r) for mask in bucket_masks.values() for r in region_column[mask]}
     )
     result: dict[str, dict[tuple[float, float], float]] = {
         region: {} for region in regions

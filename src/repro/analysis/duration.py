@@ -18,9 +18,13 @@ def unavailability_durations(
     kind: ProbeKind = ProbeKind.ON_DEMAND,
     horizon: float | None = None,
 ) -> list[float]:
-    """All measured unavailability durations, in seconds."""
-    periods = context.database.unavailability_periods(kind=kind, horizon=horizon)
-    return [p.duration for p in periods]
+    """All measured unavailability durations, in seconds.
+
+    Served from the database's columnar period index (ordered like the
+    period list: by start time, ties by market) — no period objects are
+    materialized for the CDF.
+    """
+    return context.database.unavailability_durations(kind, horizon).tolist()
 
 
 def duration_cdf(

@@ -22,28 +22,26 @@ from repro.core.records import ProbeKind, ProbeTrigger
 UNBIASED_TRIGGERS = frozenset({ProbeTrigger.PERIODIC})
 
 
-def _unbiased_spot_probes(context: AnalysisContext):
-    for record in context.database.probes(kind=ProbeKind.SPOT):
-        if record.trigger in UNBIASED_TRIGGERS:
-            yield record
-
-
 def _unbiased_spot_columns(
     context: AnalysisContext,
 ) -> tuple[np.ndarray, np.ndarray, list[str]]:
     """The unbiased probes as columns: (price fraction, is-CNA, region).
 
-    One pass over the records; the per-level/per-bucket tallies below
-    are then vectorized comparisons instead of nested Python loops.
+    Read straight off the database's columnar probe view — boolean
+    masks over packed code columns — instead of materializing a
+    ``ProbeRecord`` object per sample on every figure call.  (Rows
+    arrive market-major rather than globally time-ordered; the tallies
+    below are order-free.)
     """
-    fractions: list[float] = []
-    cna: list[bool] = []
-    regions: list[str] = []
-    for record in _unbiased_spot_probes(context):
-        fractions.append(record.spike_multiple)  # spot / on-demand price
-        cna.append(record.outcome == errors.STATUS_CAPACITY_NOT_AVAILABLE)
-        regions.append(record.market.region)
-    return np.asarray(fractions), np.asarray(cna, dtype=bool), regions
+    columns = context.database.probe_columns()
+    mask = columns.kind_mask(ProbeKind.SPOT) & columns.trigger_mask(
+        *UNBIASED_TRIGGERS
+    )
+    fractions = columns.spike_multiples[mask]  # spot / on-demand price
+    cna_code = columns.outcome_code(errors.STATUS_CAPACITY_NOT_AVAILABLE)
+    cna = columns.outcome_codes[mask] == cna_code
+    regions = columns.record_regions()[mask].tolist()
+    return fractions, cna, regions
 
 #: Figure 5.10 cumulative price-level thresholds: the spot price as a
 #: fraction of the on-demand price (``<1/10X`` ... ``<1X``, then >1X).

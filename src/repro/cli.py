@@ -17,7 +17,9 @@ the layered-service workflows:
   ``--stats``, the frontend's cache counters ride along);
 * ``serve`` — put a datastore snapshot on the wire: an asyncio HTTP
   server answering ``POST /query`` (plus ``/healthz`` and ``/stats``)
-  until SIGINT/SIGTERM, shutting down gracefully.
+  until SIGINT/SIGTERM, shutting down gracefully.  ``--workers N``
+  pre-forks N ``SO_REUSEPORT`` worker processes over the snapshot so
+  throughput scales across cores.
 
 Examples::
 
@@ -29,6 +31,7 @@ Examples::
     python -m repro query --snapshot ./spotlight-state \\
         --name top-stable-markets --params '{"n": 10}'
     python -m repro serve --snapshot ./spotlight-state --port 8080
+    python -m repro serve --snapshot ./spotlight-state --port 8080 --workers 4
 """
 
 from __future__ import annotations
@@ -176,18 +179,22 @@ def cmd_replay(args) -> int:
     return 0
 
 
-def _open_snapshot_frontend(path: str) -> QueryFrontend:
+def _open_snapshot_frontend(path: str, vectorized: bool = True) -> QueryFrontend:
     # Prices are resolved against the full default catalog.  Snapshots
     # recorded by this CLI always price identically (study/replay use
     # subsets of the same 2015 price table); snapshots built in-library
     # against a *custom* catalog should be queried in-library instead.
     datastore = SnapshotDatastore(path, append_log=False, must_exist=True)
-    return QueryFrontend(SpotLightQuery(datastore, default_catalog()))
+    return QueryFrontend(
+        SpotLightQuery(datastore, default_catalog(), vectorized=vectorized)
+    )
 
 
 def cmd_query(args) -> int:
     try:
-        frontend = _open_snapshot_frontend(args.snapshot)
+        frontend = _open_snapshot_frontend(
+            args.snapshot, vectorized=args.engine == "vectorized"
+        )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -206,14 +213,94 @@ def cmd_query(args) -> int:
     return 0 if response["ok"] else 1
 
 
+def _serve_pool(args) -> int:
+    """``serve --workers N``: pre-forked SO_REUSEPORT worker processes
+    over the snapshot, one event loop per core."""
+    from repro.server_pool import WorkerPool
+
+    pool = WorkerPool(
+        args.snapshot,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        rate_per_second=args.rate,
+        burst=args.burst,
+    )
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    # Install both handlers explicitly and *before* the workers spawn:
+    # a non-interactive shell starts background jobs with SIGINT
+    # ignored (Python then skips its KeyboardInterrupt handler), and a
+    # signal racing the pool startup must still reach cleanup code —
+    # never leave orphaned workers holding the port.
+    previous = {
+        signum: signal.signal(signum, _interrupt)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        started = False
+        try:
+            pool.start()
+            started = True
+            host, port = pool.address
+            print(
+                f"serving on http://{host}:{port} with "
+                f"{args.workers} workers",
+                flush=True,
+            )
+            pool.wait()  # a worker died on its own: shut the rest down too
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            pool.terminate()
+            return 2
+        except KeyboardInterrupt:
+            if not started:
+                pool.terminate()
+                print("interrupted during startup; workers stopped",
+                      file=sys.stderr)
+                return 1
+            # Started and interrupted: fall through to the graceful stop.
+        try:
+            pool.stop()
+        except KeyboardInterrupt:
+            # A second signal mid-drain: stop waiting politely.
+            pool.terminate()
+            print("error: interrupted during drain; workers killed",
+                  file=sys.stderr)
+            return 1
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    totals = pool.aggregate()
+    print(
+        f"shutdown complete: {totals['queries']} queries served across "
+        f"{totals['workers']} workers, {totals['coalesced']} coalesced, "
+        f"{totals['throttled']} throttled",
+        flush=True,
+    )
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.server import serve
 
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        return _serve_pool(args)
     try:
         frontend = _open_snapshot_frontend(args.snapshot)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    frontend.prime()  # build the read index before the first request
 
     async def _run() -> None:
         shutdown = asyncio.Event()
@@ -332,6 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--stats", action="store_true",
                        help="include the frontend's cache counters in the "
                             "printed response")
+    query.add_argument("--engine", choices=["vectorized", "reference"],
+                       default="vectorized",
+                       help="query execution path (the scalar reference "
+                            "path exists for debugging and equivalence "
+                            "checks)")
     query.set_defaults(func=cmd_query)
 
     serve_cmd = sub.add_parser(
@@ -346,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="per-client admitted queries per second")
     serve_cmd.add_argument("--burst", type=float, default=1000.0,
                            help="per-client admission burst size")
+    serve_cmd.add_argument("--workers", type=int, default=1,
+                           help="worker processes; >1 pre-forks "
+                                "SO_REUSEPORT workers so throughput "
+                                "scales across cores")
     serve_cmd.set_defaults(func=cmd_serve)
 
     trace = sub.add_parser("trace", help="generate a synthetic price trace")

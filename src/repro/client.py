@@ -194,6 +194,43 @@ class SpotLightClient:
             raise TransportError(f"stats answered HTTP {status}")
         return response
 
+    def cluster_stats(self) -> dict:
+        """Fleet-wide counters for a multi-worker server.
+
+        A ``serve --workers N`` deployment answers ``/stats`` from
+        whichever worker the connection landed on; that worker's
+        response carries a ``cluster`` aggregate summed across the
+        whole pool.  Against a single-process server this falls back
+        to the server's own totals (with ``workers: 1``).
+        """
+        stats = self.stats()
+        cluster = stats.get("cluster")
+        if isinstance(cluster, dict):
+            return cluster
+        from repro.server import CLUSTER_COUNTER_FIELDS
+
+        endpoints = stats.get("endpoints", {})
+        frontend = stats.get("frontend", {})
+        values = {
+            "workers": 1,
+            "requests": sum(
+                e.get("requests", 0) for e in endpoints.values()
+            ),
+            "queries": endpoints.get("/query", {}).get("requests", 0),
+            "errors": sum(e.get("errors", 0) for e in endpoints.values()),
+            "coalesced": stats.get("coalesced", 0),
+            "throttled": stats.get("throttled", 0),
+            "cache_hits": frontend.get("hits", 0),
+            "cache_misses": frontend.get("misses", 0),
+            "connections": stats.get("connections_accepted", 0),
+        }
+        # values[field], not .get: keep this fallback loudly in sync
+        # with the schema the stats board publishes.
+        return {
+            "workers": 1,
+            **{field: values[field] for field in CLUSTER_COUNTER_FIELDS},
+        }
+
     # -- typed helpers (mirror QueryFrontend) --------------------------------
     def top_stable_markets(
         self,

@@ -19,12 +19,21 @@ Probe records are kept once, per market (the old layout also kept a
 second global list, doubling memory); the global, time-ordered view is
 derived lazily by merging the per-market lists and cached until the
 next insert.
+
+Alongside each market's record list, the database maintains **packed
+probe columns** (times, kind/trigger/outcome codes, rejection flags,
+spike multiples as ``array`` columns).  They feed the
+:class:`~repro.core.read_index.ReadIndex` — the lazily-built,
+incrementally-invalidated columnar views the vectorized query engine
+and the analysis readers scan — without a per-record Python pass at
+read time.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from array import array
 from heapq import merge
 from pathlib import Path
 from typing import Iterator
@@ -33,6 +42,7 @@ import numpy as np
 
 from repro.common.timeseries import TimeSeries
 from repro.core.market_id import MarketID
+from repro.core.read_index import KIND_CODES, TRIGGER_CODES, ReadIndex
 from repro.core.records import (
     PriceRecord,
     ProbeKind,
@@ -78,6 +88,36 @@ def _materialize_prices(
     ]
 
 
+class _ProbeColumnBlock:
+    """Packed per-market mirror of the probe-record list.
+
+    The record objects stay canonical (the ``probes()`` API and CSV
+    export hand them out); these columns exist so the read index can
+    build its numpy views with array passes instead of touching every
+    record object again.
+    """
+
+    __slots__ = (
+        "times", "spike_multiples", "kinds", "triggers", "rejected", "outcomes"
+    )
+
+    def __init__(self) -> None:
+        self.times = array("d")
+        self.spike_multiples = array("d")
+        self.kinds = array("b")
+        self.triggers = array("b")
+        self.rejected = array("b")
+        self.outcomes = array("i")
+
+    def append(self, record: ProbeRecord, outcome_code: int) -> None:
+        self.times.append(record.time)
+        self.spike_multiples.append(record.spike_multiple)
+        self.kinds.append(KIND_CODES[record.kind])
+        self.triggers.append(TRIGGER_CODES[record.trigger])
+        self.rejected.append(1 if record.rejected else 0)
+        self.outcomes.append(outcome_code)
+
+
 class ProbeDatabase:
     """Indexed in-memory store of probe and price records."""
 
@@ -86,6 +126,18 @@ class ProbeDatabase:
         self._probe_count = 0
         self._all_probes_cache: list[ProbeRecord] | None = None
         self._prices_by_market: dict[MarketID, TimeSeries] = {}
+        self._probe_blocks: dict[MarketID, _ProbeColumnBlock] = {}
+        self._outcome_codes: dict[str, int] = {}
+        self._outcome_names: list[str] = []
+        self._read_index: ReadIndex | None = None
+
+    @property
+    def read_index(self) -> ReadIndex:
+        """The columnar read-side index (built lazily, invalidated
+        incrementally as records arrive)."""
+        if self._read_index is None:
+            self._read_index = ReadIndex(self)
+        return self._read_index
 
     # -- ingestion -----------------------------------------------------------
     def insert_probe(self, record: ProbeRecord) -> None:
@@ -98,6 +150,17 @@ class ProbeDatabase:
         per_market.append(record)
         self._probe_count += 1
         self._all_probes_cache = None
+        code = self._outcome_codes.get(record.outcome)
+        if code is None:
+            code = len(self._outcome_names)
+            self._outcome_codes[record.outcome] = code
+            self._outcome_names.append(record.outcome)
+        block = self._probe_blocks.get(record.market)
+        if block is None:
+            block = self._probe_blocks[record.market] = _ProbeColumnBlock()
+        block.append(record, code)
+        if self._read_index is not None:
+            self._read_index.invalidate_probes(record.market, record.kind)
 
     def insert_price(self, record: PriceRecord) -> None:
         column = self._prices_by_market.setdefault(record.market, TimeSeries())
@@ -106,6 +169,8 @@ class ProbeDatabase:
                 f"price records must arrive in time order for {record.market}"
             )
         column.append(record.time, record.price)
+        if self._read_index is not None:
+            self._read_index.invalidate_prices(record.market)
 
     # -- raw queries -----------------------------------------------------------
     def __len__(self) -> int:
@@ -244,6 +309,22 @@ class ProbeDatabase:
                 )
         periods.sort(key=lambda p: (p.start, p.market))
         return periods
+
+    def probe_columns(self):
+        """Every probe record as flat columns (see
+        :meth:`~repro.core.read_index.ReadIndex.probe_columns`) — the
+        view the analysis readers tally over instead of materializing
+        record objects per call."""
+        return self.read_index.probe_columns()
+
+    def unavailability_durations(
+        self,
+        kind: ProbeKind = ProbeKind.ON_DEMAND,
+        horizon: float | None = None,
+    ) -> np.ndarray:
+        """All period durations as one array, ordered like
+        :meth:`unavailability_periods` (by start, ties by market)."""
+        return self.read_index.durations_stack(kind, horizon)
 
     def total_probe_cost(self) -> float:
         return sum(

@@ -250,6 +250,14 @@ class QueryFrontend:
         """Drop every cached result (e.g. after a bulk data import)."""
         self._cache.clear()
 
+    def prime(self) -> None:
+        """Warm the engine's read-side index (servers call this before
+        announcing readiness, so the first cold query after a snapshot
+        load does not also pay the index build)."""
+        prime = getattr(self.engine, "prime", None)
+        if prime is not None:
+            prime()
+
     def stats(self) -> dict[str, int]:
         return {
             "entries": len(self._cache),

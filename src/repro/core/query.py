@@ -6,11 +6,28 @@ contract selection.  The flagship example from Chapter 3: "the top ten
 server types with the longest mean-time-to-revocation for a bid price
 equal to the corresponding on-demand price over the past week".
 
-:class:`SpotLightQuery` is the **stateless** half of the serving path:
-pure reads over a datastore and a catalog, no caching, no session
-state — safe to construct per request or share across threads of a
-serving tier.  Applications normally consume it through the cached
-:class:`~repro.core.frontend.QueryFrontend`.
+:class:`SpotLightQuery` is the read-only half of the serving path:
+pure reads over a datastore and a catalog, no result caching, no
+session state.  It does keep internal *read-through* caches (the
+database's columnar read index and an on-demand-price table), so while
+it is cheap to construct per request, **sharing one instance across
+threads requires external serialization** — the serving tier runs all
+engine work behind one lock, and the multi-process tier gives every
+worker its own engine.  Applications normally consume it through the
+cached :class:`~repro.core.frontend.QueryFrontend`.
+
+Two execution paths answer every query:
+
+* the **vectorized** path (default) reads the database's columnar
+  :class:`~repro.core.read_index.ReadIndex`: per-market price windows
+  are zero-copy slices of cached snapshots, availability comes from
+  period columns, and the catalog-wide ranking is one stacked kernel
+  (:func:`~repro.core.read_index.stability_metrics`) instead of an
+  O(markets x samples) per-market loop;
+* the **scalar reference** path (``vectorized=False``) is the original
+  per-record implementation, kept as the readable specification.  The
+  golden tests in ``tests/test_query_vectorized.py`` pin the two paths
+  equal, so the kernel math is continuously verified against it.
 """
 
 from __future__ import annotations
@@ -21,6 +38,7 @@ import numpy as np
 
 from repro.core.database import ProbeDatabase
 from repro.core.market_id import MarketID
+from repro.core.read_index import stability_metrics
 from repro.core.records import ProbeKind, UnavailabilityPeriod
 from repro.ec2.catalog import Catalog
 
@@ -35,18 +53,56 @@ class MarketStability:
     mean_price: float
 
 
+def _stability_sort_key(entry: MarketStability):
+    return (
+        -entry.mean_time_to_revocation,
+        -entry.availability_at_bid,
+        entry.mean_price,
+    )
+
+
 class SpotLightQuery:
     """Read-only queries over the probe database."""
 
-    def __init__(self, database: ProbeDatabase, catalog: Catalog) -> None:
+    def __init__(
+        self,
+        database: ProbeDatabase,
+        catalog: Catalog,
+        vectorized: bool = True,
+    ) -> None:
         self._db = database
         self._catalog = catalog
+        self._vectorized = vectorized and hasattr(database, "read_index")
+        self._od_cache: dict[MarketID, float] = {}
+        # On-demand price vectors keyed by stack identity (stacks are
+        # immutable snapshots cached by the index, so identity is
+        # stable until a price insert); bounded, cleared wholesale when
+        # full.  Entries pin their stack, which keeps id() unambiguous.
+        self._od_vectors: dict[int, tuple[object, np.ndarray]] = {}
 
     # -- pricing helpers -----------------------------------------------------
     def on_demand_price(self, market: MarketID) -> float:
-        return self._catalog.on_demand_price(
-            market.instance_type, market.region, market.product
-        )
+        price = self._od_cache.get(market)
+        if price is None:
+            price = self._catalog.on_demand_price(
+                market.instance_type, market.region, market.product
+            )
+            self._od_cache[market] = price
+        return price
+
+    def prime(self) -> None:
+        """Pre-build the read-side index and the on-demand price cache
+        so the first query after a data load pays nothing extra (the
+        serving tier calls this before announcing readiness)."""
+        if not self._vectorized:
+            return
+        index = self._db.read_index
+        index.prime()
+        for market in index.price_stack().markets:
+            try:
+                self.on_demand_price(market)
+            except KeyError:
+                pass  # a recorded market outside this catalog
 
     # -- availability -----------------------------------------------------------
     def unavailability_periods(
@@ -55,7 +111,15 @@ class SpotLightQuery:
         kind: ProbeKind = ProbeKind.ON_DEMAND,
         horizon: float | None = None,
     ) -> list[UnavailabilityPeriod]:
-        return self._db.unavailability_periods(market, kind, horizon)
+        if not self._vectorized:
+            return self._db.unavailability_periods(market, kind, horizon)
+        index = self._db.read_index
+        markets = [market] if market is not None else self._db.markets
+        periods: list[UnavailabilityPeriod] = []
+        for mkt in markets:
+            periods.extend(index.period_columns(mkt, kind).to_periods(horizon))
+        periods.sort(key=lambda p: (p.start, p.market))
+        return periods
 
     def availability(
         self,
@@ -70,14 +134,40 @@ class SpotLightQuery:
         by any period counts as available (SpotLight probes exactly
         when unavailability is suspected).
         """
+        if self._vectorized:
+            return self._vec_availability(market, kind, start, end)
+        return self._ref_availability(market, kind, start, end)
+
+    def _vec_availability(
+        self, market: MarketID, kind: ProbeKind, start: float, end: float | None
+    ) -> float:
+        columns = self._db.read_index.period_columns(market, kind)
         if end is None:
-            end = max((p.end for p in self._db.unavailability_periods(market, kind)),
-                      default=start)
+            max_end = columns.max_end()
+            end = start if max_end is None else max(max_end, start)
+        span = end - start
+        if span <= 0:
+            return 1.0
+        unavailable = columns.unavailable_within(start, end)
+        return max(0.0, 1.0 - unavailable / span)
+
+    def _ref_availability(
+        self, market: MarketID, kind: ProbeKind, start: float, end: float | None
+    ) -> float:
+        # One period fetch either way: with no explicit end, the
+        # horizon-free periods are what a horizon-at-max-end fetch
+        # would return, so they serve both the default-end computation
+        # and the overlap loop.
+        if end is None:
+            periods = self._db.unavailability_periods(market, kind)
+            end = max((p.end for p in periods), default=start)
+        else:
+            periods = self._db.unavailability_periods(market, kind, horizon=end)
         span = end - start
         if span <= 0:
             return 1.0
         unavailable = 0.0
-        for period in self._db.unavailability_periods(market, kind, horizon=end):
+        for period in periods:
             lo = max(period.start, start)
             hi = min(period.end, end)
             if hi > lo:
@@ -88,6 +178,8 @@ class SpotLightQuery:
         self, market: MarketID, when: float, kind: ProbeKind = ProbeKind.ON_DEMAND
     ) -> bool:
         """Whether ``when`` falls inside a measured unavailability period."""
+        if self._vectorized:
+            return self._db.read_index.period_columns(market, kind).contains(when)
         for period in self._db.unavailability_periods(market, kind):
             if period.start <= when < period.end:
                 return True
@@ -96,9 +188,33 @@ class SpotLightQuery:
     def rejection_rate(
         self, market: MarketID | None = None, kind: ProbeKind | None = None
     ) -> float:
-        return self._db.rejection_rate(market, kind)
+        if not self._vectorized:
+            return self._db.rejection_rate(market, kind)
+        columns = self._db.read_index.probe_columns()
+        mask = np.ones(len(columns), dtype=bool)
+        if market is not None:
+            ordinal = columns.market_ordinal(market)
+            if ordinal is None:
+                return 0.0
+            mask &= columns.market_index == ordinal
+        if kind is not None:
+            mask &= columns.kind_mask(kind)
+        total = int(np.count_nonzero(mask))
+        if total == 0:
+            return 0.0
+        return int(np.count_nonzero(columns.rejected & mask)) / total
 
     # -- price-derived metrics ----------------------------------------------------
+    def _price_window(
+        self, market: MarketID, start: float, end: float | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The market's ``[start, end]`` price samples: a zero-copy view
+        of the index's cached snapshot (vectorized) or a fresh copy off
+        the packed columns (reference)."""
+        if self._vectorized:
+            return self._db.read_index.price_view(market, start, end)
+        return self._db.price_arrays(market, start, end)
+
     def availability_at_bid(
         self,
         market: MarketID,
@@ -109,7 +225,7 @@ class SpotLightQuery:
         """Fraction of time the spot price sat at or below ``bid_price``
         (the spot-availability estimate the paper describes users
         computing from price history)."""
-        times, prices = self._db.price_arrays(market, start, end)
+        times, prices = self._price_window(market, start, end)
         if len(times) < 2:
             return 1.0
         total = times[-1] - times[0]
@@ -129,7 +245,7 @@ class SpotLightQuery:
         """Average run length (seconds) the spot price stays at or
         below ``bid_price`` once it is below — the expected lifetime of
         a spot instance bid at that level."""
-        times, prices = self._db.price_arrays(market, start, end)
+        times, prices = self._price_window(market, start, end)
         if len(times) == 0:
             return 0.0
         below = prices <= bid_price
@@ -149,7 +265,7 @@ class SpotLightQuery:
         self, market: MarketID, start: float = 0.0, end: float | None = None
     ) -> float:
         """Time-weighted mean spot price over the window."""
-        times, prices = self._db.price_arrays(market, start, end)
+        times, prices = self._price_window(market, start, end)
         if len(times) == 0:
             return 0.0
         if len(times) == 1:
@@ -165,7 +281,7 @@ class SpotLightQuery:
     ) -> list[tuple[float, float]]:
         """(time, price / on-demand price) series for a market."""
         od = self.on_demand_price(market)
-        times, prices = self._db.price_arrays(market, start, end)
+        times, prices = self._price_window(market, start, end)
         return list(zip(times.tolist(), (prices / od).tolist()))
 
     # -- rankings ------------------------------------------------------------------------
@@ -180,6 +296,60 @@ class SpotLightQuery:
         """The ``n`` most stable markets: longest mean-time-to-revocation
         at a bid of ``bid_multiple x on-demand`` (the paper's flagship
         query), with availability and mean price as tie-breakers."""
+        if self._vectorized:
+            return self._vec_top_stable_markets(n, bid_multiple, start, end, region)
+        return self._ref_top_stable_markets(n, bid_multiple, start, end, region)
+
+    def _od_prices_for(self, stack) -> np.ndarray:
+        entry = self._od_vectors.get(id(stack))
+        if entry is not None and entry[0] is stack:
+            return entry[1]
+        prices = np.asarray([self.on_demand_price(m) for m in stack.markets])
+        if len(self._od_vectors) >= 8:
+            self._od_vectors.clear()
+        self._od_vectors[id(stack)] = (stack, prices)
+        return prices
+
+    def _vec_top_stable_markets(
+        self,
+        n: int,
+        bid_multiple: float,
+        start: float,
+        end: float | None,
+        region: str | None,
+    ) -> list[MarketStability]:
+        index = self._db.read_index
+        stack = index.price_stack()
+        if region is not None:
+            selected = [m for m in stack.markets if m.region == region]
+            if len(selected) != len(stack.markets):
+                stack = index.price_stack(selected)
+        if not stack.markets:
+            return []
+        bids = bid_multiple * self._od_prices_for(stack)
+        mttr, avail, mean_price = stability_metrics(stack, bids, start, end)
+        # Stable lexsort == the reference's stable tuple sort: primary
+        # -mttr, then -availability, then mean price, catalog order on
+        # full ties.  Only the top n entries are materialized.
+        order = np.lexsort((mean_price, -avail, -mttr))
+        return [
+            MarketStability(
+                market=stack.markets[i],
+                mean_time_to_revocation=float(mttr[i]),
+                availability_at_bid=float(avail[i]),
+                mean_price=float(mean_price[i]),
+            )
+            for i in order[:n].tolist()  # list-slice semantics, like [:n]
+        ]
+
+    def _ref_top_stable_markets(
+        self,
+        n: int,
+        bid_multiple: float,
+        start: float,
+        end: float | None,
+        region: str | None,
+    ) -> list[MarketStability]:
         entries: list[MarketStability] = []
         for market in self._db.markets:
             if region is not None and market.region != region:
@@ -199,13 +369,7 @@ class SpotLightQuery:
                     mean_price=self.mean_price(market, start, end),
                 )
             )
-        entries.sort(
-            key=lambda e: (
-                -e.mean_time_to_revocation,
-                -e.availability_at_bid,
-                e.mean_price,
-            )
-        )
+        entries.sort(key=_stability_sort_key)
         return entries[:n]
 
     def least_unavailable_markets(
@@ -218,8 +382,14 @@ class SpotLightQuery:
         (ascending) — what SpotCheck/SpotOn use to pick fail-over
         targets."""
         scored = []
-        for market in candidates:
-            periods = self._db.unavailability_periods(market, kind, horizon)
-            scored.append((market, sum(p.duration for p in periods)))
+        if self._vectorized:
+            index = self._db.read_index
+            for market in candidates:
+                columns = index.period_columns(market, kind)
+                scored.append((market, columns.total_duration(horizon)))
+        else:
+            for market in candidates:
+                periods = self._db.unavailability_periods(market, kind, horizon)
+                scored.append((market, sum(p.duration for p in periods)))
         scored.sort(key=lambda pair: pair[1])
         return scored

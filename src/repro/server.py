@@ -31,6 +31,9 @@ It is shaped for real traffic, not demos:
 
 :class:`BackgroundServer` runs the same server on a daemon thread with
 its own event loop, for blocking callers (tests, benchmarks, examples).
+One server is one event loop — one core; :mod:`repro.server_pool`
+pre-forks several of them onto a shared ``SO_REUSEPORT`` address when
+throughput should scale across cores.
 """
 
 from __future__ import annotations
@@ -81,6 +84,15 @@ _REASONS = {
 }
 
 _JSON_HEADERS = (("Content-Type", "application/json"),)
+
+#: The cluster counter schema — single source of truth shared by
+#: :meth:`SpotLightServer._board_counters`, the multi-worker stats
+#: board (``repro.server_pool.StatsBoard``), and the client SDK's
+#: single-process ``cluster_stats`` fallback.
+CLUSTER_COUNTER_FIELDS = (
+    "requests", "queries", "errors", "coalesced",
+    "throttled", "cache_hits", "cache_misses", "connections",
+)
 
 
 class LatencyHistogram:
@@ -169,10 +181,19 @@ class SpotLightServer:
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         shutdown_grace: float = DEFAULT_SHUTDOWN_GRACE,
         clock: Callable[[], float] = time.monotonic,
+        reuse_port: bool = False,
+        worker_id: int = 0,
+        stats_board: "object | None" = None,
     ) -> None:
         self.frontend = frontend
         self.host = host
         self.port = port
+        self.reuse_port = reuse_port
+        self.worker_id = worker_id
+        # A cross-process counter board (see repro.server_pool): each
+        # pre-forked worker publishes its row after every request, and
+        # /stats folds the rows into a cluster-wide aggregate.
+        self._stats_board = stats_board
         self.rate_per_second = rate_per_second
         self.burst = burst
         self.max_request_bytes = max_request_bytes
@@ -202,9 +223,15 @@ class SpotLightServer:
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
-        """Bind and start accepting connections (resolves ``port=0``)."""
+        """Bind and start accepting connections (resolves ``port=0``).
+
+        With ``reuse_port`` the listener joins an ``SO_REUSEPORT``
+        group: several worker processes bind the same address and the
+        kernel spreads incoming connections across them.
+        """
         self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port
+            self._on_connection, self.host, self.port,
+            reuse_port=self.reuse_port or None,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = self._clock()
@@ -431,7 +458,28 @@ class SpotLightServer:
             endpoint.latency.observe(self._clock() - started)
         if status >= 400:
             endpoint.errors += 1
+        if self._stats_board is not None:
+            self._stats_board.publish(self.worker_id, self._board_counters())
         return status, payload
+
+    def _board_counters(self) -> dict[str, float]:
+        """This worker's running totals, in stats-board schema.
+
+        Keyed off ``CLUSTER_COUNTER_FIELDS`` so schema drift fails
+        loudly (KeyError on the first request) instead of silently
+        publishing zeros for a forgotten field.
+        """
+        values = {
+            "requests": sum(e.requests for e in self._endpoints.values()),
+            "queries": self._endpoints["/query"].requests,
+            "errors": sum(e.errors for e in self._endpoints.values()),
+            "coalesced": self.coalesced,
+            "throttled": self.throttled,
+            "cache_hits": self.frontend.hits,
+            "cache_misses": self.frontend.misses,
+            "connections": self.connections_accepted,
+        }
+        return {field: values[field] for field in CLUSTER_COUNTER_FIELDS}
 
     # -- /query: admission + single flight ----------------------------------
     def _admit(self, client_host: str) -> float | None:
@@ -520,8 +568,9 @@ class SpotLightServer:
 
     # -- stats ---------------------------------------------------------------
     def stats(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "ok": True,
+            "worker": self.worker_id,
             "uptime_seconds": round(self._clock() - self._started_at, 3),
             "connections_accepted": self.connections_accepted,
             "open_connections": len(self._connections),
@@ -534,6 +583,11 @@ class SpotLightServer:
             },
             "frontend": self.frontend.stats(),
         }
+        if self._stats_board is not None:
+            # Publish first so the aggregate includes this request.
+            self._stats_board.publish(self.worker_id, self._board_counters())
+            payload["cluster"] = self._stats_board.aggregate()
+        return payload
 
 
 def _status_of(response: dict) -> int:

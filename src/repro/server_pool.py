@@ -1,0 +1,316 @@
+"""Multi-process serving: the wire tier scaled across cores.
+
+One :class:`~repro.server.SpotLightServer` is a single asyncio event
+loop — one Python process, one core.  :class:`WorkerPool` pre-forks
+``N`` worker processes that each load the same read-only datastore
+snapshot, build their own frontend + read index, and bind the same
+``(host, port)`` with ``SO_REUSEPORT``, so the kernel spreads incoming
+connections across the workers and throughput grows with cores instead
+of saturating one event loop.
+
+Pieces:
+
+* :class:`StatsBoard` — a tiny shared-memory counter board.  Each
+  worker owns one row and republishes its running totals after every
+  request; any worker answering ``GET /stats`` folds all rows into a
+  ``"cluster"`` aggregate, so one request sees fleet-wide traffic even
+  though it landed on a single worker.
+* :func:`_worker_main` — the (spawn-safe, module-level) worker entry
+  point: load snapshot, prime the read index, serve until
+  SIGINT/SIGTERM, drain gracefully, report.
+* :class:`WorkerPool` — the parent-side controller: reserves the port
+  (a bound, never-listening ``SO_REUSEPORT`` placeholder socket held
+  for the pool's lifetime, so ``port=0`` resolves race-free), spawns
+  the workers, waits for readiness, forwards shutdown, and checks that
+  every worker drained cleanly.
+
+Workers use the ``spawn`` start method: forking a parent that already
+runs threads or an event loop (pytest, benchmarks) is a deadlock
+lottery, and spawn keeps the workers' state exactly what
+``_worker_main`` builds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import multiprocessing
+import multiprocessing.connection
+import signal
+import socket
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.frontend import DEFAULT_CACHE_TTL, QueryFrontend
+from repro.server import CLUSTER_COUNTER_FIELDS, SpotLightServer
+
+#: One row per worker; SpotLightServer._board_counters produces the
+#: values, repro.server owns the schema.
+BOARD_FIELDS = CLUSTER_COUNTER_FIELDS
+
+DEFAULT_READY_TIMEOUT = 120.0
+DEFAULT_STOP_TIMEOUT = 60.0
+
+
+class StatsBoard:
+    """Shared-memory per-worker counter rows.
+
+    Lock-free by construction: each worker is the only writer of its
+    row (aligned 8-byte stores), readers sum whatever totals are
+    currently visible — stats are allowed to trail by a request.
+    """
+
+    def __init__(
+        self, ctx: multiprocessing.context.BaseContext, workers: int
+    ) -> None:
+        self.workers = workers
+        self._cells = ctx.Array("d", workers * len(BOARD_FIELDS), lock=False)
+
+    def publish(self, worker_id: int, counters: dict[str, float]) -> None:
+        base = worker_id * len(BOARD_FIELDS)
+        for offset, field in enumerate(BOARD_FIELDS):
+            # counters[field], not .get: a schema mismatch must fail
+            # loudly rather than silently publish zeros.
+            self._cells[base + offset] = float(counters[field])
+
+    def row(self, worker_id: int) -> dict[str, int]:
+        base = worker_id * len(BOARD_FIELDS)
+        return {
+            field: int(self._cells[base + offset])
+            for offset, field in enumerate(BOARD_FIELDS)
+        }
+
+    def aggregate(self) -> dict[str, int]:
+        totals = dict.fromkeys(BOARD_FIELDS, 0)
+        for worker_id in range(self.workers):
+            for field, value in self.row(worker_id).items():
+                totals[field] += value
+        totals["workers"] = self.workers
+        return totals
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything a spawned worker needs (must stay picklable)."""
+
+    worker_id: int
+    snapshot: str
+    host: str
+    port: int
+    rate_per_second: float
+    burst: float
+    cache_ttl: float
+    board: StatsBoard
+    ready: object  # multiprocessing Event
+
+
+def _snapshot_frontend(snapshot: str, cache_ttl: float) -> QueryFrontend:
+    """A frontend over a read-only snapshot (same resolution rule as
+    ``python -m repro query``: prices against the full default catalog)."""
+    from repro.core.datastore import SnapshotDatastore
+    from repro.core.query import SpotLightQuery
+    from repro.ec2.catalog import default_catalog
+
+    datastore = SnapshotDatastore(snapshot, append_log=False, must_exist=True)
+    return QueryFrontend(
+        SpotLightQuery(datastore, default_catalog()), cache_ttl=cache_ttl
+    )
+
+
+async def _worker_serve(spec: _WorkerSpec, frontend: QueryFrontend) -> None:
+    shutdown = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signum, shutdown.set)
+    server = SpotLightServer(
+        frontend,
+        host=spec.host,
+        port=spec.port,
+        rate_per_second=spec.rate_per_second,
+        burst=spec.burst,
+        reuse_port=True,
+        worker_id=spec.worker_id,
+        stats_board=spec.board,
+    )
+    await server.start()
+    spec.ready.set()
+    await shutdown.wait()
+    await server.stop()
+    queries = server.stats()["endpoints"]["/query"]["requests"]
+    print(
+        f"worker {spec.worker_id} drained: {queries} queries, "
+        f"{server.coalesced} coalesced, {server.throttled} throttled",
+        flush=True,
+    )
+
+
+def _worker_main(spec: _WorkerSpec) -> None:
+    """Entry point of one pre-forked worker process."""
+    # Hold off SIGINT/SIGTERM until the event loop's graceful handlers
+    # are in place (a signal racing the snapshot load should not leave
+    # a half-started worker with the default die-now disposition).
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    frontend = _snapshot_frontend(spec.snapshot, spec.cache_ttl)
+    frontend.prime()  # the first cold query must not pay the index build
+    asyncio.run(_worker_serve(spec, frontend))
+
+
+def _reserve_port(host: str, port: int) -> tuple[socket.socket, int]:
+    """Bind (but never listen on) an ``SO_REUSEPORT`` placeholder.
+
+    Resolves ``port=0`` to a concrete port no other process can take,
+    without ever receiving connections itself: the kernel only
+    balances across *listening* members of a reuseport group.
+    """
+    placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        placeholder.bind((host, port))
+    except BaseException:
+        placeholder.close()
+        raise
+    return placeholder, placeholder.getsockname()[1]
+
+
+class WorkerPool:
+    """``N`` pre-forked SO_REUSEPORT workers over one snapshot::
+
+        with WorkerPool("./state", workers=4) as pool:
+            client = SpotLightClient(*pool.address)
+            ...
+
+    ``start()`` returns once every worker is accepting connections;
+    ``stop()`` drains them gracefully and raises if any worker exited
+    uncleanly.
+    """
+
+    def __init__(
+        self,
+        snapshot: str,
+        workers: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        rate_per_second: float = 500.0,
+        burst: float = 1000.0,
+        cache_ttl: float = DEFAULT_CACHE_TTL,
+        ready_timeout: float = DEFAULT_READY_TIMEOUT,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker: {workers}")
+        self.snapshot = str(snapshot)
+        self.workers = workers
+        self.host = host
+        self.ready_timeout = ready_timeout
+        ctx = multiprocessing.get_context("spawn")
+        self.board = StatsBoard(ctx, workers)
+        self._placeholder, self.port = _reserve_port(host, port)
+        self._ready = [ctx.Event() for _ in range(workers)]
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    _WorkerSpec(
+                        worker_id=worker_id,
+                        snapshot=self.snapshot,
+                        host=host,
+                        port=self.port,
+                        rate_per_second=rate_per_second,
+                        burst=burst,
+                        cache_ttl=cache_ttl,
+                        board=self.board,
+                        ready=self._ready[worker_id],
+                    ),
+                ),
+                name=f"spotlight-worker-{worker_id}",
+                daemon=True,
+            )
+            for worker_id in range(workers)
+        ]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def sentinels(self) -> Sequence[int]:
+        """Process sentinels (for ``multiprocessing.connection.wait``)."""
+        return [proc.sentinel for proc in self._procs]
+
+    def start(self) -> "WorkerPool":
+        for proc in self._procs:
+            proc.start()
+        for worker_id, event in enumerate(self._ready):
+            remaining = self.ready_timeout
+            while not event.wait(timeout=min(0.25, remaining)):
+                proc = self._procs[worker_id]
+                if not proc.is_alive():
+                    code = proc.exitcode
+                    self.terminate()
+                    raise RuntimeError(
+                        f"worker {worker_id} exited with code {code} before "
+                        f"becoming ready (snapshot {self.snapshot!r})"
+                    )
+                remaining -= 0.25
+                if remaining <= 0:
+                    self.terminate()
+                    raise RuntimeError(
+                        f"worker {worker_id} not ready within "
+                        f"{self.ready_timeout:.0f}s"
+                    )
+        return self
+
+    def wait(self) -> None:
+        """Block until any worker exits (normally only on shutdown)."""
+        multiprocessing.connection.wait(self.sentinels)
+
+    def stop(self, timeout: float = DEFAULT_STOP_TIMEOUT) -> None:
+        """Graceful shutdown: SIGTERM every worker, join, verify clean
+        exits.  Raises ``RuntimeError`` if a worker had to be killed or
+        exited nonzero."""
+        try:
+            # A startup interrupt can leave part of the pool unspawned;
+            # only ever-started workers can be signalled or joined.
+            started = [proc for proc in self._procs if proc.pid is not None]
+            for proc in started:
+                if proc.is_alive():
+                    proc.terminate()  # SIGTERM -> worker drains
+            killed = []
+            for proc in started:
+                proc.join(timeout=timeout)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=5.0)
+                    killed.append(proc.name)
+            unclean = [
+                f"{proc.name} (exit {proc.exitcode})"
+                for proc in started
+                if proc.exitcode != 0
+            ]
+            if killed or unclean:
+                raise RuntimeError(
+                    f"workers did not drain cleanly: "
+                    f"killed={killed} unclean={unclean}"
+                )
+        finally:
+            self._placeholder.close()
+
+    def terminate(self) -> None:
+        """Hard stop (startup-failure cleanup; no drain guarantees)."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.kill()
+        for proc in self._procs:
+            if proc.pid is not None:
+                proc.join(timeout=5.0)
+        self._placeholder.close()
+
+    def aggregate(self) -> dict[str, int]:
+        return self.board.aggregate()
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,326 @@
+"""Golden equivalence tests for the vectorized read path.
+
+Mirrors the PR-1 contract for the simulation core: the columnar
+read-side index must answer exactly what the scalar reference path
+answers.
+
+* **Single-market queries** (availability, periods, point lookups,
+  price metrics, rejection rates) must be **byte-equal**: the
+  vectorized path runs the same formulas over the same floats, just
+  read from cached columnar snapshots.
+* **The stacked ranking kernel** must produce the identical market
+  ordering, with metric values equal to float round-off (its segment
+  reductions sum in a different — segment-local — order than the
+  per-market reference reductions, which can move the last ulp).
+* **Incremental invalidation**: appending records refreshes the index;
+  a stale view is never served.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.database import ProbeDatabase
+from repro.core.market_id import MarketID
+from repro.core.query import SpotLightQuery
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+)
+from repro.ec2.catalog import default_catalog
+
+REJECTED = "InsufficientInstanceCapacity"
+
+ZONES = ["us-east-1a", "us-east-1b", "sa-east-1a", "ap-southeast-2a"]
+TYPES = ["m3.medium", "m3.large", "c3.large"]
+
+#: The stacked kernel reduces per segment (np.add.reduceat) while the
+#: reference reduces per market (pairwise np.sum / BLAS dot); both are
+#: correct to the ulp, so ranking *metrics* are compared at round-off
+#: tolerance while ranking *order* must match exactly.
+KERNEL_REL_TOL = 1e-9
+KERNEL_ABS_TOL = 1e-12
+
+
+def kernel_close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=KERNEL_REL_TOL, abs_tol=KERNEL_ABS_TOL)
+
+
+def build_database(seed: int) -> tuple[ProbeDatabase, list[MarketID]]:
+    """A randomized probe/price log covering the edge shapes: price-only
+    markets, probe-only markets, single-sample series, flat series that
+    tie exactly, open trailing rejection runs, and both probe kinds."""
+    rng = np.random.default_rng(seed)
+    catalog = default_catalog()
+    db = ProbeDatabase()
+    markets = [
+        MarketID(zone, itype, "Linux/UNIX") for zone in ZONES for itype in TYPES
+    ]
+    for i, market in enumerate(markets):
+        od = catalog.on_demand_price(
+            market.instance_type, market.region, market.product
+        )
+        # Price series; markets i % 5 == 0 record no prices at all, and
+        # the last two markets share one flat series (an exact tie).
+        if i % 5:
+            if i >= len(markets) - 2:
+                samples = [(600.0 * s, od * 0.31) for s in range(10)]
+            else:
+                count = int(rng.integers(1, 45))
+                t = 0.0
+                samples = []
+                for _ in range(count):
+                    t += float(rng.exponential(700.0))
+                    samples.append((t, od * float(rng.uniform(0.08, 2.6))))
+            for t, price in samples:
+                db.insert_price(PriceRecord(t, market, price))
+        # Probe sequences; markets i % 4 == 0 record none.
+        if i % 4:
+            t = 0.0
+            for _ in range(int(rng.integers(1, 30))):
+                t += float(rng.exponential(900.0))
+                kind = (
+                    ProbeKind.ON_DEMAND
+                    if rng.random() < 0.7
+                    else ProbeKind.SPOT
+                )
+                outcome = (
+                    REJECTED if rng.random() < 0.45 else OUTCOME_FULFILLED
+                )
+                db.insert_probe(
+                    ProbeRecord(
+                        time=t, market=market, kind=kind,
+                        trigger=ProbeTrigger.RECOVERY, outcome=outcome,
+                    )
+                )
+    return db, markets
+
+
+@pytest.fixture(params=[0, 1, 2])
+def engines(request):
+    db, markets = build_database(request.param)
+    catalog = default_catalog()
+    return (
+        SpotLightQuery(db, catalog, vectorized=True),
+        SpotLightQuery(db, catalog, vectorized=False),
+        db,
+        markets,
+    )
+
+
+WINDOWS = [(0.0, None), (0.0, 6000.0), (1500.0, 20000.0), (3000.0, None)]
+
+
+def test_single_market_queries_byte_equal(engines):
+    vectorized, reference, _, markets = engines
+    for market in markets:
+        for kind in ProbeKind:
+            for start, end in WINDOWS:
+                assert vectorized.availability(market, kind, start, end) == (
+                    reference.availability(market, kind, start, end)
+                )
+            for horizon in (None, 50000.0):
+                assert vectorized.unavailability_periods(
+                    market, kind, horizon
+                ) == reference.unavailability_periods(market, kind, horizon)
+            for when in (400.0, 2500.0, 9000.0, 1e6):
+                assert vectorized.is_unavailable_at(market, when, kind) == (
+                    reference.is_unavailable_at(market, when, kind)
+                )
+            assert vectorized.rejection_rate(market, kind) == (
+                reference.rejection_rate(market, kind)
+            )
+        for bid in (0.02, 0.15, 0.9):
+            assert vectorized.availability_at_bid(market, bid) == (
+                reference.availability_at_bid(market, bid)
+            )
+            assert vectorized.mean_time_to_revocation(market, bid) == (
+                reference.mean_time_to_revocation(market, bid)
+            )
+        for start, end in WINDOWS:
+            assert vectorized.mean_price(market, start, end) == (
+                reference.mean_price(market, start, end)
+            )
+        assert vectorized.spike_multiples(market) == (
+            reference.spike_multiples(market)
+        )
+    assert vectorized.rejection_rate() == reference.rejection_rate()
+
+
+def test_global_period_list_and_rankings_match(engines):
+    vectorized, reference, _, markets = engines
+    for kind in ProbeKind:
+        assert vectorized.unavailability_periods(kind=kind) == (
+            reference.unavailability_periods(kind=kind)
+        )
+    assert vectorized.least_unavailable_markets(markets) == (
+        reference.least_unavailable_markets(markets)
+    )
+    assert vectorized.least_unavailable_markets(markets, horizon=40000.0) == (
+        reference.least_unavailable_markets(markets, horizon=40000.0)
+    )
+
+
+def test_duration_stack_matches_period_objects(engines):
+    _, _, db, _ = engines
+    for kind in ProbeKind:
+        for horizon in (None, 60000.0):
+            expected = [
+                p.duration
+                for p in db.unavailability_periods(kind=kind, horizon=horizon)
+            ]
+            got = db.unavailability_durations(kind, horizon).tolist()
+            assert got == expected
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n": 1000},
+        {"n": 1000, "bid_multiple": 0.4},
+        {"n": 1000, "bid_multiple": 1.5, "start": 2000.0, "end": 15000.0},
+        {"n": 1000, "region": "sa-east-1"},
+    ],
+)
+def test_ranking_kernel_matches_reference(engines, kwargs):
+    vectorized, reference, _, _ = engines
+    fast = vectorized.top_stable_markets(**kwargs)
+    slow = reference.top_stable_markets(**kwargs)
+    assert [e.market for e in fast] == [e.market for e in slow]
+    for a, b in zip(fast, slow):
+        assert kernel_close(a.mean_time_to_revocation, b.mean_time_to_revocation)
+        assert kernel_close(a.availability_at_bid, b.availability_at_bid)
+        assert kernel_close(a.mean_price, b.mean_price)
+
+
+def test_monitored_run_equivalence(monitored_run):
+    """Realism check: a seeded simulator study answers identically on
+    both paths (the synthetic logs above cannot stand in for the
+    simulator's time/price distributions)."""
+    simulator, spotlight = monitored_run
+    db = spotlight.database
+    vectorized = SpotLightQuery(db, simulator.catalog, vectorized=True)
+    reference = SpotLightQuery(db, simulator.catalog, vectorized=False)
+    fast = vectorized.top_stable_markets(n=10_000)
+    slow = reference.top_stable_markets(n=10_000)
+    assert [e.market for e in fast] == [e.market for e in slow]
+    for a, b in zip(fast, slow):
+        assert kernel_close(a.mean_time_to_revocation, b.mean_time_to_revocation)
+        assert kernel_close(a.availability_at_bid, b.availability_at_bid)
+        assert kernel_close(a.mean_price, b.mean_price)
+    for market in list(db.markets)[::7]:
+        assert vectorized.availability(market) == reference.availability(market)
+        assert vectorized.unavailability_periods(market) == (
+            reference.unavailability_periods(market)
+        )
+
+
+def test_availability_fetches_periods_once(engines, monkeypatch):
+    """The reference path used to derive the default end from one fetch
+    and then loop over a second; both paths now fetch at most once."""
+    vectorized, reference, db, markets = engines
+    calls = []
+    original = type(db).unavailability_periods
+
+    def counting(self, *args, **kwargs):
+        calls.append((args, kwargs))
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(type(db), "unavailability_periods", counting)
+    market = markets[1]
+    reference.availability(market)
+    assert len(calls) == 1
+    calls.clear()
+    reference.availability(market, end=5000.0)
+    assert len(calls) == 1
+    calls.clear()
+    vectorized.availability(market)  # index path: no object fetch at all
+    assert calls == []
+
+
+class TestIncrementalInvalidation:
+    def test_appends_refresh_views_and_results(self):
+        db, markets = build_database(3)
+        catalog = default_catalog()
+        vectorized = SpotLightQuery(db, catalog, vectorized=True)
+        market = markets[1]
+
+        stack_before = db.read_index.price_stack()
+        assert db.read_index.price_stack() is stack_before  # cached
+        periods_before = db.read_index.period_columns(
+            market, ProbeKind.ON_DEMAND
+        )
+        vectorized.top_stable_markets(n=5)
+        vectorized.availability(market)
+
+        horizon = 10_000_000.0
+        db.insert_price(PriceRecord(horizon, market, 123.0))
+        db.insert_probe(
+            ProbeRecord(
+                time=horizon, market=market, kind=ProbeKind.ON_DEMAND,
+                trigger=ProbeTrigger.RECOVERY, outcome=REJECTED,
+            )
+        )
+
+        stack_after = db.read_index.price_stack()
+        assert stack_after is not stack_before
+        assert len(stack_after.times) == len(stack_before.times) + 1
+        periods_after = db.read_index.period_columns(
+            market, ProbeKind.ON_DEMAND
+        )
+        assert periods_after is not periods_before
+        assert periods_after.open_start == horizon
+
+        # Results after the append equal a freshly built reference
+        # engine: nothing stale is served.
+        reference = SpotLightQuery(db, catalog, vectorized=False)
+        assert vectorized.availability(market) == reference.availability(market)
+        assert vectorized.unavailability_periods(market) == (
+            reference.unavailability_periods(market)
+        )
+        fast = vectorized.top_stable_markets(n=1000)
+        slow = reference.top_stable_markets(n=1000)
+        assert [e.market for e in fast] == [e.market for e in slow]
+
+    def test_unrelated_market_entries_stay_cached(self):
+        db, markets = build_database(4)
+        index = db.read_index
+        untouched = markets[2]
+        cached = index.period_columns(untouched, ProbeKind.ON_DEMAND)
+        prices_cached = index.market_price_arrays(untouched)
+        db.insert_probe(
+            ProbeRecord(
+                time=10_000_000.0, market=markets[1],
+                kind=ProbeKind.ON_DEMAND, trigger=ProbeTrigger.RECOVERY,
+                outcome=OUTCOME_FULFILLED,
+            )
+        )
+        db.insert_price(PriceRecord(10_000_000.0, markets[1], 1.0))
+        # Per-market entries of other markets survive the append ...
+        assert index.period_columns(untouched, ProbeKind.ON_DEMAND) is cached
+        assert index.market_price_arrays(untouched) is prices_cached
+        # ... while the touched market's entries were dropped.
+        assert index.period_columns(
+            markets[1], ProbeKind.ON_DEMAND
+        ).last_time == 10_000_000.0
+
+    def test_probe_columns_track_appends(self):
+        db, markets = build_database(5)
+        columns = db.probe_columns()
+        assert db.probe_columns() is columns  # cached until a write
+        db.insert_probe(
+            ProbeRecord(
+                time=10_000_000.0, market=markets[0], kind=ProbeKind.SPOT,
+                trigger=ProbeTrigger.PERIODIC, outcome="capacity-not-available",
+            )
+        )
+        refreshed = db.probe_columns()
+        assert refreshed is not columns
+        assert len(refreshed) == len(columns) + 1
+        assert refreshed.outcome_code("capacity-not-available") >= 0

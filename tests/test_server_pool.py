@@ -1,0 +1,137 @@
+"""Integration tests for the multi-process SO_REUSEPORT worker pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import SpotLightClient
+from repro.core.datastore import SnapshotDatastore
+from repro.core.frontend import QueryFrontend
+from repro.core.market_id import MarketID
+from repro.core.query import SpotLightQuery
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+)
+from repro.ec2.catalog import default_catalog
+from repro.server_pool import BOARD_FIELDS, WorkerPool
+
+MARKETS = [
+    MarketID(zone, itype, "Linux/UNIX")
+    for zone in ("us-east-1a", "us-east-1b")
+    for itype in ("m3.medium", "c3.large")
+]
+
+
+def _record_snapshot(path) -> None:
+    store = SnapshotDatastore(path)
+    for i, market in enumerate(MARKETS):
+        base = 0.02 * (1 + i)
+        for step in range(40):
+            spike = 8.0 if (step + i) % 11 == 0 else 1.0
+            store.insert_price(PriceRecord(300.0 * step, market, base * spike))
+        for t, outcome in [
+            (0.0, OUTCOME_FULFILLED),
+            (600.0 + 100.0 * i, "InsufficientInstanceCapacity"),
+            (1500.0 + 100.0 * i, OUTCOME_FULFILLED),
+        ]:
+            store.insert_probe(
+                ProbeRecord(
+                    time=t, market=market, kind=ProbeKind.ON_DEMAND,
+                    trigger=ProbeTrigger.RECOVERY, outcome=outcome,
+                )
+            )
+    store.save()
+    store.close()
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    path = tmp_path_factory.mktemp("pool") / "state"
+    _record_snapshot(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def pool(snapshot):
+    with WorkerPool(
+        snapshot, workers=2, rate_per_second=1e6, burst=1e6
+    ) as running:
+        yield running
+
+
+def test_pool_answers_like_a_direct_frontend(pool, snapshot):
+    reference = QueryFrontend(
+        SpotLightQuery(
+            SnapshotDatastore(snapshot, append_log=False, must_exist=True),
+            default_catalog(),
+        )
+    )
+    with SpotLightClient(*pool.address) as client:
+        assert client.healthz()["status"] == "serving"
+        assert client.top_stable_markets(n=3) == [
+            {
+                "market": str(entry.market),
+                "availability_zone": entry.market.availability_zone,
+                "instance_type": entry.market.instance_type,
+                "product": entry.market.product,
+                "mean_time_to_revocation": pytest.approx(
+                    entry.mean_time_to_revocation
+                ),
+                "availability_at_bid": pytest.approx(entry.availability_at_bid),
+                "mean_price": pytest.approx(entry.mean_price),
+            }
+            for entry in reference.top_stable_markets(n=3)
+        ]
+        for market in MARKETS:
+            assert client.availability(market) == pytest.approx(
+                reference.availability(market)
+            )
+
+
+def test_stats_carry_worker_id_and_cluster_aggregate(pool):
+    # Fresh connections so SO_REUSEPORT can spread them; each client
+    # still observes the *cluster* totals regardless of which worker
+    # its connection landed on.
+    queries = 0
+    workers_seen = set()
+    for round_number in range(6):
+        with SpotLightClient(*pool.address) as client:
+            client.rejection_rate()
+            queries += 1
+            stats = client.stats()
+            workers_seen.add(stats["worker"])
+            cluster = client.cluster_stats()
+    assert workers_seen <= {0, 1}
+    assert cluster["workers"] == 2
+    assert set(BOARD_FIELDS) <= set(cluster)
+    assert cluster["queries"] >= queries
+    # The aggregate is the sum of the per-worker rows.
+    board = pool.board
+    assert cluster["queries"] <= (
+        board.row(0)["queries"] + board.row(1)["queries"] + queries
+    )
+
+
+def test_board_rows_sum_to_aggregate(pool):
+    board = pool.board
+    aggregate = board.aggregate()
+    for field in BOARD_FIELDS:
+        assert aggregate[field] == board.row(0)[field] + board.row(1)[field]
+
+
+def test_pool_rejects_missing_snapshot(tmp_path):
+    pool = WorkerPool(tmp_path / "nowhere", workers=2)
+    with pytest.raises(RuntimeError, match="exited with code"):
+        pool.start()
+
+
+def test_pool_drains_cleanly(snapshot):
+    with WorkerPool(snapshot, workers=2) as running:
+        with SpotLightClient(*running.address) as client:
+            client.top_stable_markets(n=2)
+    # __exit__ ran stop(): it raises unless every worker exited 0.
+    assert all(proc.exitcode == 0 for proc in running._procs)
