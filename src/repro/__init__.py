@@ -17,6 +17,9 @@ Layout:
 * :mod:`repro.server` / :mod:`repro.client` — the network tier: an
   asyncio HTTP serving subsystem over the query frontend, and the
   blocking client SDK that talks to it;
+* :mod:`repro.chaos` — deterministic fault injection (seeded chaos
+  plans, in-process fault points, WAL tail corruption) for proving the
+  stack survives worker crashes, slow clients, and torn writes;
 * :mod:`repro.analysis` — the Chapter 5 analyses (one per figure);
 * :mod:`repro.apps` — the Chapter 6 case studies (SpotCheck, SpotOn);
 * :mod:`repro.traces` — synthetic spot-price trace generation.
@@ -35,6 +38,7 @@ Quickstart::
         print(period.market, period.duration / 3600, "hours")
 """
 
+from repro.chaos import ChaosHarness, ChaosPlan, FaultError, FaultInjector
 from repro.client import SpotLightClient
 from repro.core import (
     BudgetController,
@@ -64,7 +68,7 @@ from repro.providers import (
 from repro.server import BackgroundServer, SpotLightServer
 from repro.server_pool import WorkerPool
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "SpotLight",
@@ -75,6 +79,10 @@ __all__ = [
     "BackgroundServer",
     "WorkerPool",
     "SpotLightClient",
+    "ChaosHarness",
+    "ChaosPlan",
+    "FaultError",
+    "FaultInjector",
     "ProbeDatabase",
     "Datastore",
     "InMemoryDatastore",

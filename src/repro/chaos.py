@@ -1,0 +1,472 @@
+"""Deterministic fault injection: failure as a first-class surface.
+
+The serving stack survives the clean world by construction; this module
+exists to prove it survives the dirty one.  Everything here is
+**seeded** — the same plan with the same seed kills the same workers,
+dribbles the same bytes, and fires the same fsync errors — so a chaos
+run that fails is a chaos run someone can replay.
+
+Three layers:
+
+* :class:`FaultInjector` — in-process fault *points*.  Code that wants
+  to be attackable calls ``injector.fire("datastore.save.commit")`` at
+  its vulnerable moments; an armed rule raises there with a seeded
+  probability and a bounded count.  The default injector has no rules
+  and costs one dict lookup per point.
+* :class:`ChaosPlan` — a declarative, JSON-loadable schedule of fault
+  events (kill a pool worker, slow-loris the listener, reset sockets
+  mid-request, truncate or garble a WAL tail) validated up front.
+* :class:`ChaosHarness` — a thread that executes a plan against a
+  running :class:`~repro.server_pool.WorkerPool` and/or a served
+  address, recording what each event did so tests (and the CLI's
+  ``serve --chaos-plan``) can assert on the outcome.
+
+File-level helpers (:func:`truncate_tail`, :func:`garble_tail`) shear
+or corrupt the last bytes of a file — the on-disk shape of a crash mid
+``write()`` — and are what the datastore recovery tests drive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "ChaosHarness",
+    "ChaosPlan",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "garble_tail",
+    "truncate_tail",
+]
+
+
+class FaultError(OSError):
+    """The error an armed fault point raises (an ``OSError`` so code
+    under test exercises its real IO-failure handling)."""
+
+
+# -- in-process fault points -------------------------------------------------
+@dataclass
+class _FaultRule:
+    probability: float
+    times: int | None  # None = unlimited
+    error: Exception | None
+    fired: int = 0
+
+
+class FaultInjector:
+    """Seeded, armable fault points.
+
+    ::
+
+        faults = FaultInjector(seed=7)
+        faults.arm("datastore.save.commit", times=1)
+        store = SnapshotDatastore(root, fault_injector=faults)
+        with pytest.raises(FaultError):
+            store.save()  # "crashes" at the commit point
+
+    A rule armed at ``"datastore.save"`` also matches the dotted points
+    beneath it (``"datastore.save.commit"`` ...), so one rule can cover
+    a whole subsystem.  ``fire()`` on an un-armed injector is a cheap
+    no-op, which is why production objects can carry one unconditionally.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rules: dict[str, _FaultRule] = {}
+        self.checked: dict[str, int] = {}
+        self.fired: dict[str, int] = {}
+
+    def arm(
+        self,
+        point: str,
+        probability: float = 1.0,
+        times: int | None = None,
+        error: Exception | None = None,
+    ) -> "FaultInjector":
+        """Arm ``point`` (and its dotted children) to raise ``error``
+        — a :class:`FaultError` by default — with ``probability`` per
+        crossing, at most ``times`` times (``None`` = forever)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        if times is not None and times < 1:
+            raise ValueError(f"times must be >= 1: {times}")
+        self._rules[point] = _FaultRule(probability, times, error)
+        return self
+
+    def disarm(self, point: str) -> None:
+        self._rules.pop(point, None)
+
+    def _rule_for(self, point: str) -> _FaultRule | None:
+        rule = self._rules.get(point)
+        if rule is not None:
+            return rule
+        # Prefix rules: most-specific dotted ancestor wins.
+        while "." in point:
+            point = point.rsplit(".", 1)[0]
+            rule = self._rules.get(point)
+            if rule is not None:
+                return rule
+        return None
+
+    def fire(self, point: str) -> None:
+        """Cross a fault point; raises if an armed rule triggers."""
+        if not self._rules:
+            return
+        self.checked[point] = self.checked.get(point, 0) + 1
+        rule = self._rule_for(point)
+        if rule is None:
+            return
+        if rule.times is not None and rule.fired >= rule.times:
+            return
+        if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+            return
+        rule.fired += 1
+        self.fired[point] = self.fired.get(point, 0) + 1
+        if rule.error is not None:
+            raise rule.error
+        raise FaultError(f"injected fault at {point}")
+
+
+#: The shared do-nothing injector production objects default to.
+NO_FAULTS = FaultInjector()
+
+
+# -- file-tail chaos ---------------------------------------------------------
+def truncate_tail(path: str | Path, nbytes: int) -> int:
+    """Shear the last ``nbytes`` off a file (a torn final write).
+    Returns the new size."""
+    path = Path(path)
+    size = path.stat().st_size
+    new_size = max(0, size - nbytes)
+    with path.open("rb+") as handle:
+        handle.truncate(new_size)
+    return new_size
+
+
+def garble_tail(path: str | Path, nbytes: int, seed: int = 0) -> None:
+    """Overwrite the last ``nbytes`` of a file with seeded garbage that
+    contains no newline (a corrupted-in-place final record, not a new
+    row boundary)."""
+    path = Path(path)
+    size = path.stat().st_size
+    nbytes = min(nbytes, size)
+    rng = random.Random(seed)
+    junk = bytes(rng.choice(b"#$%&*+-=@^~") for _ in range(nbytes))
+    with path.open("rb+") as handle:
+        handle.seek(size - nbytes)
+        handle.write(junk)
+
+
+# -- chaos plans -------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: ``action`` fires ``at`` seconds into the
+    run, with action-specific ``params``."""
+
+    at: float
+    action: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"at": self.at, "action": self.action, **self.params}
+
+
+#: action -> allowed parameter names (validation happens at load time,
+#: not three minutes into a chaos run).
+PLAN_ACTIONS: dict[str, frozenset[str]] = {
+    "kill-worker": frozenset({"worker", "signal"}),
+    "slow-loris": frozenset({"connections", "interval", "hold"}),
+    "reset-sockets": frozenset({"connections"}),
+    "truncate-wal": frozenset({"root", "kind", "bytes"}),
+    "garble-wal": frozenset({"root", "kind", "bytes"}),
+}
+
+
+class ChaosPlan:
+    """A validated, seed-stamped schedule of :class:`FaultEvent`.
+
+    JSON shape (the ``serve --chaos-plan`` file format)::
+
+        {
+          "seed": 7,
+          "events": [
+            {"at": 2.0, "action": "kill-worker"},
+            {"at": 4.0, "action": "slow-loris", "connections": 4, "hold": 8.0},
+            {"at": 6.0, "action": "reset-sockets", "connections": 8}
+          ]
+        }
+    """
+
+    def __init__(self, events: list[FaultEvent], seed: int = 0) -> None:
+        for event in events:
+            if event.action not in PLAN_ACTIONS:
+                raise ValueError(
+                    f"unknown chaos action {event.action!r} "
+                    f"(know: {sorted(PLAN_ACTIONS)})"
+                )
+            unknown = set(event.params) - PLAN_ACTIONS[event.action]
+            if unknown:
+                raise ValueError(
+                    f"{event.action!r} does not take {sorted(unknown)}"
+                )
+            if event.at < 0:
+                raise ValueError(f"event time must be >= 0: {event.at}")
+        self.events = sorted(events, key=lambda e: e.at)
+        self.seed = seed
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ChaosPlan":
+        if not isinstance(data, dict):
+            raise ValueError(f"chaos plan must be an object, got {type(data)}")
+        raw_events = data.get("events", [])
+        if not isinstance(raw_events, list):
+            raise ValueError("chaos plan 'events' must be a list")
+        events = []
+        for raw in raw_events:
+            if not isinstance(raw, dict) or "action" not in raw:
+                raise ValueError(f"malformed chaos event: {raw!r}")
+            params = {
+                k: v for k, v in raw.items() if k not in ("at", "action")
+            }
+            events.append(
+                FaultEvent(float(raw.get("at", 0.0)), str(raw["action"]), params)
+            )
+        return cls(events, seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ChaosPlan":
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: chaos plan is not valid JSON: {exc}")
+        return cls.from_dict(data)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+
+# -- the harness -------------------------------------------------------------
+def _drip_connection(
+    host: str, port: int, interval: float, hold: float, record: dict
+) -> None:
+    """One slow-loris connection: open, then dribble header bytes —
+    never completing a request — until the server sheds us or ``hold``
+    expires.  ``record['shed']`` says who gave up."""
+    payload = b"POST /query HTTP/1.1\r\nHost: chaos\r\nX-Drip: "
+    deadline = time.monotonic() + hold
+    try:
+        conn = socket.create_connection((host, port), timeout=hold)
+    except OSError:
+        record["shed"] = "connect-failed"
+        return
+    try:
+        conn.settimeout(max(interval, 0.05))
+        index = 0
+        while time.monotonic() < deadline:
+            try:
+                conn.sendall(payload[index % len(payload):][:1])
+            except OSError:
+                record["shed"] = "server"  # reset under our feet
+                return
+            index += 1
+            # A response (408) or EOF before we ever finished a request
+            # means the server shed us — mission accomplished (for it).
+            try:
+                got = conn.recv(256)
+            except socket.timeout:
+                continue
+            except OSError:
+                record["shed"] = "server"
+                return
+            record["shed"] = "server"
+            record["response"] = got[:64].decode("latin-1", "replace")
+            return
+        record["shed"] = "timeout"  # server held us the whole window
+    finally:
+        conn.close()
+
+
+def _reset_connection(host: str, port: int) -> None:
+    """Connect, send half a request, then abortively close (RST)."""
+    try:
+        conn = socket.create_connection((host, port), timeout=5.0)
+    except OSError:
+        return
+    try:
+        conn.sendall(b"POST /query HTTP/1.1\r\nContent-Length: 999\r\n\r\n{")
+        conn.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    finally:
+        conn.close()
+
+
+class ChaosHarness:
+    """Execute a :class:`ChaosPlan` against a live deployment.
+
+    ``pool`` (a :class:`~repro.server_pool.WorkerPool`) is the target of
+    ``kill-worker`` events; ``address`` (defaulting to the pool's) is
+    the target of the socket attacks.  ``start()`` launches a daemon
+    thread that sleeps to each event's ``at`` offset and fires it;
+    ``join()`` waits the plan out and returns the per-event results.
+    """
+
+    def __init__(
+        self,
+        plan: ChaosPlan,
+        pool: "object | None" = None,
+        address: tuple[str, int] | None = None,
+        log: Callable[[str], None] | None = None,
+    ) -> None:
+        if pool is None and address is None:
+            raise ValueError("chaos harness needs a pool and/or an address")
+        self.plan = plan
+        self.pool = pool
+        if address is None:
+            address = pool.address  # type: ignore[union-attr]
+        self.address = address
+        self.results: list[dict[str, Any]] = []
+        self._rng = random.Random(plan.seed)
+        self._log = log or (lambda line: print(f"chaos: {line}", flush=True))
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- actions ------------------------------------------------------------
+    def _kill_worker(self, params: dict) -> dict:
+        if self.pool is None:
+            return {"error": "no pool to kill workers in"}
+        pids = self.pool.worker_pids()
+        if not pids:
+            return {"error": "no live workers"}
+        worker = params.get("worker")
+        if worker is None:
+            worker = self._rng.choice(sorted(pids))
+        pid = pids.get(worker)
+        if pid is None:
+            return {"error": f"worker {worker} not alive"}
+        signum = int(params.get("signal", signal.SIGKILL))
+        os.kill(pid, signum)
+        self._log(f"killed worker {worker} (pid {pid}, signal {signum})")
+        return {"worker": worker, "pid": pid, "signal": signum}
+
+    def _slow_loris(self, params: dict) -> dict:
+        host, port = self.address
+        connections = int(params.get("connections", 4))
+        interval = float(params.get("interval", 0.2))
+        hold = float(params.get("hold", 10.0))
+        records = [{"shed": "pending"} for _ in range(connections)]
+        threads = [
+            threading.Thread(
+                target=_drip_connection,
+                args=(host, port, interval, hold, record),
+                daemon=True,
+            )
+            for record in records
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=hold + 5.0)
+        shed = sum(1 for r in records if r["shed"] == "server")
+        self._log(
+            f"slow-loris: {shed}/{connections} connections shed by the server"
+        )
+        return {"connections": connections, "shed_by_server": shed,
+                "records": records}
+
+    def _reset_sockets(self, params: dict) -> dict:
+        host, port = self.address
+        connections = int(params.get("connections", 8))
+        for _ in range(connections):
+            _reset_connection(host, port)
+        self._log(f"reset {connections} mid-request connections")
+        return {"connections": connections}
+
+    def _wal_attack(self, params: dict, garble: bool) -> dict:
+        root = params.get("root")
+        if root is None:
+            return {"error": "truncate/garble-wal needs a 'root' directory"}
+        kind = params.get("kind", "probes")
+        nbytes = int(params.get("bytes", 16))
+        candidates = sorted(Path(root).glob(f"{kind}.wal.*.csv"))
+        if not candidates:
+            return {"error": f"no {kind} WAL under {root}"}
+        target = candidates[-1]
+        if garble:
+            garble_tail(target, nbytes, seed=self._rng.randrange(2**31))
+            verb = "garbled"
+        else:
+            truncate_tail(target, nbytes)
+            verb = "truncated"
+        self._log(f"{verb} {nbytes} bytes of {target.name}")
+        return {"path": str(target), "bytes": nbytes}
+
+    def _fire(self, event: FaultEvent) -> dict[str, Any]:
+        if event.action == "kill-worker":
+            outcome = self._kill_worker(event.params)
+        elif event.action == "slow-loris":
+            outcome = self._slow_loris(event.params)
+        elif event.action == "reset-sockets":
+            outcome = self._reset_sockets(event.params)
+        elif event.action == "truncate-wal":
+            outcome = self._wal_attack(event.params, garble=False)
+        else:  # garble-wal (plan validation bounds the action set)
+            outcome = self._wal_attack(event.params, garble=True)
+        return {"at": event.at, "action": event.action, **outcome}
+
+    # -- scheduling ---------------------------------------------------------
+    def _run(self) -> None:
+        started = time.monotonic()
+        for event in self.plan.events:
+            delay = event.at - (time.monotonic() - started)
+            if delay > 0 and self._stop.wait(delay):
+                return
+            if self._stop.is_set():
+                return
+            try:
+                self.results.append(self._fire(event))
+            except Exception as exc:  # a failed attack must not kill the run
+                self.results.append(
+                    {"at": event.at, "action": event.action,
+                     "error": f"{type(exc).__name__}: {exc}"}
+                )
+
+    def start(self) -> "ChaosHarness":
+        self._thread = threading.Thread(
+            target=self._run, name="chaos-harness", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def join(self, timeout: float | None = None) -> list[dict[str, Any]]:
+        if self._thread is not None:
+            self._thread.join(timeout)
+        return self.results
+
+    def stop(self) -> None:
+        """Abandon any not-yet-fired events and join."""
+        self._stop.set()
+        self.join(timeout=5.0)
+
+    def run(self) -> list[dict[str, Any]]:
+        """Execute the whole plan synchronously."""
+        self._run()
+        return self.results

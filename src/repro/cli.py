@@ -19,7 +19,11 @@ the layered-service workflows:
   server answering ``POST /query`` (plus ``/healthz`` and ``/stats``)
   until SIGINT/SIGTERM, shutting down gracefully.  ``--workers N``
   pre-forks N ``SO_REUSEPORT`` worker processes over the snapshot so
-  throughput scales across cores.
+  throughput scales across cores; a parent-side supervisor re-spawns
+  workers that die (``--max-respawns``/``--respawn-backoff`` tune the
+  budget, ``--no-supervise`` disables it).  ``--chaos-plan plan.json``
+  runs a seeded fault schedule (worker kills, slow-loris, socket
+  resets — see RELIABILITY.md) against the pool while it serves.
 
 Examples::
 
@@ -32,6 +36,8 @@ Examples::
         --name top-stable-markets --params '{"n": 10}'
     python -m repro serve --snapshot ./spotlight-state --port 8080
     python -m repro serve --snapshot ./spotlight-state --port 8080 --workers 4
+    python -m repro serve --snapshot ./spotlight-state --workers 2 \\
+        --chaos-plan chaos.json
 """
 
 from __future__ import annotations
@@ -215,8 +221,19 @@ def cmd_query(args) -> int:
 
 def _serve_pool(args) -> int:
     """``serve --workers N``: pre-forked SO_REUSEPORT worker processes
-    over the snapshot, one event loop per core."""
+    over the snapshot, one event loop per core, supervised by default
+    (dead workers re-spawn with capped exponential backoff)."""
     from repro.server_pool import WorkerPool
+
+    chaos_plan = None
+    if getattr(args, "chaos_plan", None):
+        from repro.chaos import ChaosPlan
+
+        try:
+            chaos_plan = ChaosPlan.load(args.chaos_plan)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     pool = WorkerPool(
         args.snapshot,
@@ -225,7 +242,11 @@ def _serve_pool(args) -> int:
         port=args.port,
         rate_per_second=args.rate,
         burst=args.burst,
+        supervise=not args.no_supervise,
+        max_respawns=args.max_respawns,
+        respawn_backoff=args.respawn_backoff,
     )
+    harness = None
 
     def _interrupt(signum, frame):
         raise KeyboardInterrupt
@@ -250,7 +271,14 @@ def _serve_pool(args) -> int:
                 f"{args.workers} workers",
                 flush=True,
             )
-            pool.wait()  # a worker died on its own: shut the rest down too
+            if chaos_plan is not None:
+                from repro.chaos import ChaosHarness
+
+                harness = ChaosHarness(chaos_plan, pool=pool).start()
+            # Supervised: blocks until a worker slot exhausts its
+            # respawn budget.  Unsupervised: any worker death ends the
+            # run so the rest shut down too.
+            pool.wait()
         except RuntimeError as exc:
             print(f"error: {exc}", file=sys.stderr)
             pool.terminate()
@@ -263,6 +291,8 @@ def _serve_pool(args) -> int:
                 return 1
             # Started and interrupted: fall through to the graceful stop.
         try:
+            if harness is not None:
+                harness.stop()
             pool.stop()
         except KeyboardInterrupt:
             # A second signal mid-drain: stop waiting politely.
@@ -283,6 +313,12 @@ def _serve_pool(args) -> int:
         f"{totals['throttled']} throttled",
         flush=True,
     )
+    if pool.respawns:
+        print(f"supervisor respawned {pool.respawns} worker(s)", flush=True)
+    if pool.failed:
+        print("error: a worker exhausted its respawn budget",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -293,7 +329,9 @@ def cmd_serve(args) -> int:
         print(f"error: --workers must be >= 1, got {args.workers}",
               file=sys.stderr)
         return 2
-    if args.workers > 1:
+    # A chaos plan always runs against a supervised pool (kill-worker
+    # needs worker processes to kill), even at --workers 1.
+    if args.workers > 1 or args.chaos_plan:
         return _serve_pool(args)
     try:
         frontend = _open_snapshot_frontend(args.snapshot)
@@ -442,6 +480,19 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker processes; >1 pre-forks "
                                 "SO_REUSEPORT workers so throughput "
                                 "scales across cores")
+    serve_cmd.add_argument("--chaos-plan",
+                           help="JSON fault schedule to run against the "
+                                "pool while serving (see RELIABILITY.md); "
+                                "implies the pool path even at --workers 1")
+    serve_cmd.add_argument("--no-supervise", action="store_true",
+                           help="disable the supervisor (a dead worker "
+                                "ends the run instead of respawning)")
+    serve_cmd.add_argument("--max-respawns", type=int, default=8,
+                           help="respawn budget per worker slot before "
+                                "the pool is declared failed")
+    serve_cmd.add_argument("--respawn-backoff", type=float, default=0.25,
+                           help="base respawn delay, doubled per "
+                                "consecutive death (capped at 5s)")
     serve_cmd.set_defaults(func=cmd_serve)
 
     trace = sub.add_parser("trace", help="generate a synthetic price trace")

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 from typing import Any
@@ -39,6 +40,11 @@ class ClientError(Exception):
 
 class TransportError(ClientError):
     """The server could not be reached or the connection broke."""
+
+
+class DeadlineError(ClientError):
+    """:meth:`SpotLightClient.retrying_query` ran out of its overall
+    per-call time budget before any attempt succeeded."""
 
 
 class QueryError(ClientError):
@@ -170,16 +176,67 @@ class SpotLightClient:
         name: str,
         params: dict[str, Any] | None = None,
         max_attempts: int = 5,
+        *,
+        deadline: float | None = None,
+        retry_transport: bool = True,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        rng: random.Random | None = None,
     ) -> Any:
-        """Like :meth:`query`, but sleeps out 429s using the server's
-        retry-after hint (bounded by ``max_attempts``)."""
+        """Like :meth:`query`, but rides out transient failures.
+
+        429s sleep out the server's retry-after hint.  Transport
+        failures — connection refused/reset while a pool worker is
+        being respawned — retry with full-jitter exponential backoff:
+        ``uniform(0, min(backoff_cap, backoff * 2**attempt))``, seeded
+        via ``rng`` for reproducible chaos tests.  ``deadline`` bounds
+        the *total* wall-clock budget across every attempt and sleep;
+        blowing it raises :class:`DeadlineError` chaining the last
+        underlying failure, so a caller with an SLA never waits out the
+        full retry schedule.
+        """
+        jitter = rng if rng is not None else random
+        started = time.monotonic()
+
+        def _remaining() -> float | None:
+            if deadline is None:
+                return None
+            return deadline - (time.monotonic() - started)
+
+        last_error: ClientError | None = None
         for attempt in range(max_attempts):
+            left = _remaining()
+            if left is not None and left <= 0:
+                raise DeadlineError(
+                    f"deadline of {deadline:.2f}s exhausted after "
+                    f"{attempt} attempt(s): {last_error}"
+                ) from last_error
             try:
                 return self.query(name, params)
             except ThrottledError as exc:
+                last_error = exc
                 if attempt == max_attempts - 1:
                     raise
-                time.sleep(max(exc.retry_after, 0.005))
+                delay = max(exc.retry_after, 0.005)
+            except TransportError as exc:
+                if not retry_transport:
+                    raise
+                last_error = exc
+                if attempt == max_attempts - 1:
+                    raise
+                delay = max(
+                    0.001,
+                    jitter.uniform(
+                        0.0, min(backoff_cap, backoff * (2.0 ** attempt))
+                    ),
+                )
+            left = _remaining()
+            if left is not None and delay >= left:
+                raise DeadlineError(
+                    f"deadline of {deadline:.2f}s exhausted after "
+                    f"{attempt + 1} attempt(s): {last_error}"
+                ) from last_error
+            time.sleep(delay)
         raise AssertionError("unreachable")
 
     def healthz(self) -> dict:
@@ -220,6 +277,7 @@ class SpotLightClient:
             "errors": sum(e.get("errors", 0) for e in endpoints.values()),
             "coalesced": stats.get("coalesced", 0),
             "throttled": stats.get("throttled", 0),
+            "slow_shed": stats.get("slow_shed", 0),
             "cache_hits": frontend.get("hits", 0),
             "cache_misses": frontend.get("misses", 0),
             "connections": stats.get("connections_accepted", 0),

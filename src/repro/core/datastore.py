@@ -11,15 +11,34 @@ so a service can pick where its observations live:
   exact float round-trip) and every insert is also appended to a
   write-ahead log, so a service that stops without a final snapshot
   still resumes from snapshot + log replay.  ``save()`` compacts: it
-  rewrites the snapshot and drops the logs.
+  rewrites the snapshot and retires the logs.
 
 Snapshots are **generation-stamped**: data files are named
 ``probes.<gen>.csv`` / ``probes.wal.<gen>.csv`` and the manifest —
 whose atomic replace is the single commit point of ``save()`` — names
 the live generation.  A crash anywhere inside ``save()`` therefore
 leaves either the old generation (snapshot + its WAL) or the new one
-(whose snapshot already contains the WAL'd rows, and whose stale WAL is
-ignored and swept on the next load) — never a double replay.
+(whose snapshot already contains the WAL'd rows, and whose superseded
+WAL is retired and never replayed on the clean path) — never a double
+replay.
+
+Crash-safety on top of that layout (see RELIABILITY.md):
+
+* every WAL row carries a **CRC32 checksum column**; a load stops at
+  the first torn or garbled row and recovers every complete record
+  before it (the torn tail is trimmed so later appends stay parseable);
+* the manifest records **SHA-256 checksums** of the snapshot files it
+  commits, plus the identity of the *previous* generation — whose
+  snapshot **and WAL are retained until the next save** — so a load
+  that finds the live snapshot missing or corrupt falls back one
+  generation and replays both generations' WALs, losing nothing that
+  was ever committed;
+* the superseded manifest is kept as ``manifest.prev.json`` so even a
+  garbled ``manifest.json`` recovers;
+* IO fault points (``datastore.wal.append``, ``datastore.wal.fsync``,
+  ``datastore.save.snapshot``, ``datastore.save.commit``) let
+  :class:`repro.chaos.FaultInjector` rehearse all of the above
+  deterministically.
 
 Both backends expose the complete :class:`ProbeDatabase` read/query
 surface — they *are* probe databases — so the query engine, analysis
@@ -29,8 +48,10 @@ readers, and exports work against either unchanged.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 import os
+import zlib
 from pathlib import Path
 from typing import IO, Protocol, runtime_checkable
 
@@ -42,9 +63,23 @@ from repro.core.database import (
 )
 from repro.core.records import PROBE_CSV_FIELDS, PriceRecord, ProbeRecord
 
-SNAPSHOT_FORMAT_VERSION = 1
+#: Version 2 added snapshot checksums, the ``previous`` generation
+#: block, and the WAL ``crc`` column; version-1 layouts (no checksums,
+#: no retained previous generation) still load.
+SNAPSHOT_FORMAT_VERSION = 2
+_SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 _MANIFEST = "manifest.json"
+_MANIFEST_PREV = "manifest.prev.json"
+
+#: Separator joining a WAL row's cells for its CRC (a byte that cannot
+#: appear inside a CSV cell's text).
+_CRC_SEP = "\x1f"
+
+
+class CorruptSnapshotError(RuntimeError):
+    """Neither the live snapshot generation nor its fallback could be
+    verified — the directory needs operator attention."""
 
 
 @runtime_checkable
@@ -85,16 +120,45 @@ def _fsync_path(path: Path) -> None:
         os.close(fd)
 
 
+def _row_crc(cells: list[str]) -> int:
+    return zlib.crc32(_CRC_SEP.join(cells).encode("utf-8"))
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
 class _CsvAppender:
     """An append-mode CSV file whose writer is built once (the WAL sits
     on the per-sample insert path, so per-row writer construction would
-    be pure overhead)."""
+    be pure overhead).
+
+    New files get a trailing ``crc`` column (CRC32 of the row's cells)
+    so a reload can tell a complete record from a torn tail; appending
+    to a pre-checksum WAL keeps that file's legacy row shape, because a
+    mixed-width file would read as torn at the transition.
+    """
 
     def __init__(self, path: Path, header: list[str]) -> None:
+        self.with_crc = True
+        if path.exists() and path.stat().st_size > 0:
+            with path.open(newline="") as probe:
+                existing = next(csv.reader(probe), None)
+            self.with_crc = existing is not None and existing[-1:] == ["crc"]
         self.handle: IO[str] = path.open("a", newline="")
         self.writer = csv.writer(self.handle)
         if self.handle.tell() == 0:
-            self.writer.writerow(header)
+            self.writer.writerow([*header, "crc"])
+
+    def append(self, cells: list[object]) -> None:
+        text = [c if isinstance(c, str) else str(c) for c in cells]
+        if self.with_crc:
+            text.append(str(_row_crc(text)))
+        self.writer.writerow(text)
 
     def flush(self) -> None:
         """Flush and fsync: rows a caller explicitly flushed must
@@ -108,6 +172,48 @@ class _CsvAppender:
         self.handle.close()
 
 
+def _read_wal(path: Path) -> tuple[list[list[str]], list[dict], int]:
+    """Read a WAL's complete records: ``(raw_rows, dict_rows, dropped)``.
+
+    Stops at the first row that is short, over-long, or fails its CRC —
+    everything from there on is a torn or garbled tail (CSV framing
+    cannot be trusted past it) and is counted in ``dropped``.
+    """
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header:
+            return [], [], 0
+        has_crc = header[-1:] == ["crc"]
+        fields = header[:-1] if has_crc else header
+        expected = len(header)
+        raw_rows: list[list[str]] = []
+        dict_rows: list[dict] = []
+        dropped = 0
+        try:
+            for row in reader:
+                if len(row) != expected:
+                    dropped = 1 + sum(1 for _ in reader)
+                    break
+                if has_crc:
+                    try:
+                        ok = int(row[-1]) == _row_crc(row[:-1])
+                    except ValueError:
+                        ok = False
+                    if not ok:
+                        dropped = 1 + sum(1 for _ in reader)
+                        break
+                raw_rows.append(row)
+                dict_rows.append(
+                    dict(zip(fields, row[:-1] if has_crc else row))
+                )
+        except csv.Error:
+            # The tail is so mangled the CSV layer itself gave up;
+            # everything verified so far still stands.
+            dropped = max(dropped, 1)
+        return raw_rows, dict_rows, dropped
+
+
 class SnapshotDatastore(ProbeDatabase):
     """A probe database bound to an on-disk snapshot directory.
 
@@ -116,6 +222,10 @@ class SnapshotDatastore(ProbeDatabase):
     answers queries over exactly the observations the first recorded.
     With ``must_exist`` the constructor refuses an empty directory
     instead of silently serving an empty store (catches typo'd paths).
+
+    ``recovery_report`` describes what the load had to repair: per-WAL
+    torn-tail drops and whether a snapshot-generation fallback was
+    taken.  An empty report is the clean-world case.
     """
 
     def __init__(
@@ -123,6 +233,7 @@ class SnapshotDatastore(ProbeDatabase):
         root: str | Path,
         append_log: bool = True,
         must_exist: bool = False,
+        fault_injector: "object | None" = None,
     ) -> None:
         super().__init__()
         self.root = Path(root)
@@ -132,10 +243,17 @@ class SnapshotDatastore(ProbeDatabase):
             )
         self.root.mkdir(parents=True, exist_ok=True)
         self._append_log = append_log
+        self._faults = fault_injector
         self._generation = 0
+        self._previous_generation = 0
         self._probe_wal: _CsvAppender | None = None
         self._price_wal: _CsvAppender | None = None
+        self.recovery_report: dict[str, object] = {}
         self._load()
+
+    def _fire(self, point: str) -> None:
+        if self._faults is not None:
+            self._faults.fire(point)
 
     # -- file layout --------------------------------------------------------
     def _snapshot_path(self, kind: str, generation: int) -> Path:
@@ -144,27 +262,40 @@ class SnapshotDatastore(ProbeDatabase):
     def _wal_path(self, kind: str, generation: int) -> Path:
         return self.root / f"{kind}.wal.{generation}.csv"
 
+    def _generations_on_disk(self) -> set[int]:
+        """Every generation number any data file on disk claims (a
+        failed ``save()`` can leave files of a generation no manifest
+        names; the next save must not collide with them)."""
+        generations: set[int] = set()
+        for pattern in ("probes.*.csv", "prices.*.csv"):
+            for path in self.root.glob(pattern):
+                stem = path.name[:-len(".csv")]
+                tail = stem.rsplit(".", 1)[-1]
+                if tail.isdigit():
+                    generations.add(int(tail))
+        return generations
+
     # -- ingestion (write-through to the WAL) -------------------------------
     def insert_probe(self, record: ProbeRecord) -> None:
         super().insert_probe(record)
         if self._append_log:
+            self._fire("datastore.wal.append")
             if self._probe_wal is None:
                 self._probe_wal = _CsvAppender(
                     self._wal_path("probes", self._generation), PROBE_CSV_FIELDS
                 )
             row = record.to_row()
-            self._probe_wal.writer.writerow(
-                [row[field] for field in PROBE_CSV_FIELDS]
-            )
+            self._probe_wal.append([row[field] for field in PROBE_CSV_FIELDS])
 
     def insert_price(self, record: PriceRecord) -> None:
         super().insert_price(record)
         if self._append_log:
+            self._fire("datastore.wal.append")
             if self._price_wal is None:
                 self._price_wal = _CsvAppender(
                     self._wal_path("prices", self._generation), PRICE_CSV_FIELDS
                 )
-            self._price_wal.writer.writerow(
+            self._price_wal.append(
                 price_csv_row(record.time, record.market, record.price)
             )
 
@@ -173,42 +304,76 @@ class SnapshotDatastore(ProbeDatabase):
         """Push buffered WAL rows to disk without snapshotting."""
         for wal in (self._probe_wal, self._price_wal):
             if wal is not None:
+                self._fire("datastore.wal.fsync")
                 wal.flush()
 
     def save(self) -> None:
         """Write a full snapshot; the manifest replace is the atomic
-        commit point, after which the old generation is swept.
+        commit point.
 
         Every new-generation file is fsync'd (and the directory entry
         for its rename) *before* the manifest rename commits, and the
         manifest itself before its rename — so a crash immediately
         after "commit" can never leave a manifest pointing at torn or
-        unwritten snapshot data.
+        unwritten snapshot data.  The superseded generation (snapshot
+        + WAL + manifest, kept as ``manifest.prev.json``) is retained
+        until the *next* save as the fallback should the new snapshot
+        ever fail verification; everything older is swept.
         """
         self._close_wals()
-        new_gen = self._generation + 1
+        old_generation = self._generation
+        # Never reuse a generation number any file on disk claims — a
+        # crashed save can leave un-manifested files behind, and a
+        # fallback load can leave the live number "in the future".
+        new_generation = (
+            max({old_generation, *self._generations_on_disk()}) + 1
+        )
+        checksums: dict[str, str] = {}
         for kind, export in (
             ("probes", self.export_probes_csv),
             ("prices", self.export_prices_csv),
         ):
-            tmp = self._snapshot_path(kind, new_gen).with_suffix(".csv.tmp")
+            self._fire("datastore.save.snapshot")
+            tmp = self._snapshot_path(kind, new_generation).with_suffix(
+                ".csv.tmp"
+            )
             export(tmp)
+            checksums[kind] = _sha256_file(tmp)
             _fsync_path(tmp)
-            tmp.replace(self._snapshot_path(kind, new_gen))
+            tmp.replace(self._snapshot_path(kind, new_generation))
+        previous: dict[str, object] = {"generation": old_generation}
+        manifest_path = self.root / _MANIFEST
+        if manifest_path.exists():
+            try:
+                old_manifest = json.loads(manifest_path.read_text())
+                previous = {
+                    "generation": int(old_manifest.get("generation", 0)),
+                    "checksums": old_manifest.get("checksums"),
+                }
+            except (json.JSONDecodeError, ValueError):
+                pass  # a garbled old manifest cannot veto the new save
+            prev_tmp = self.root / (_MANIFEST_PREV + ".tmp")
+            prev_tmp.write_bytes(manifest_path.read_bytes())
+            _fsync_path(prev_tmp)
+            prev_tmp.replace(self.root / _MANIFEST_PREV)
         manifest = {
             "format_version": SNAPSHOT_FORMAT_VERSION,
-            "generation": new_gen,
+            "generation": new_generation,
             "probe_count": len(self),
             "price_count": self.price_count(),
             "markets": len(self.markets),
+            "checksums": checksums,
+            "previous": previous,
         }
         manifest_tmp = self.root / (_MANIFEST + ".tmp")
         manifest_tmp.write_text(json.dumps(manifest, indent=2))
         _fsync_path(manifest_tmp)
         _fsync_path(self.root)  # snapshot renames are durable pre-commit
+        self._fire("datastore.save.commit")
         manifest_tmp.replace(self.root / _MANIFEST)  # commit point
         _fsync_path(self.root)  # ... and so is the commit itself
-        self._generation = new_gen
+        self._previous_generation = int(previous["generation"])
+        self._generation = new_generation
         self._sweep_stale_files()
 
     def close(self) -> None:
@@ -219,52 +384,209 @@ class SnapshotDatastore(ProbeDatabase):
         for attr in ("_probe_wal", "_price_wal"):
             wal = getattr(self, attr)
             if wal is not None:
+                self._fire("datastore.wal.fsync")
                 wal.close()
                 setattr(self, attr, None)
 
     def _sweep_stale_files(self) -> None:
-        """Remove snapshots and WALs of any generation but the live one."""
-        keep = {
-            self._snapshot_path("probes", self._generation),
-            self._snapshot_path("prices", self._generation),
-            self._wal_path("probes", self._generation),
-            self._wal_path("prices", self._generation),
-        }
+        """Remove snapshots and WALs of any generation but the live one
+        and its retained fallback."""
+        keep: set[Path] = set()
+        for generation in {self._generation, self._previous_generation}:
+            for kind in ("probes", "prices"):
+                keep.add(self._snapshot_path(kind, generation))
+                keep.add(self._wal_path(kind, generation))
         for pattern in ("probes.*.csv", "prices.*.csv"):
             for path in self.root.glob(pattern):
                 if path not in keep:
                     path.unlink()
 
     # -- loading ------------------------------------------------------------
+    def _parse_manifest(self, path: Path) -> dict | None:
+        """The manifest as a dict, or None if unreadable/garbled.
+        An explicitly *unsupported* version still raises: that is a
+        future format, not corruption."""
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(manifest, dict):
+            return None
+        version = manifest.get("format_version")
+        if version not in _SUPPORTED_FORMAT_VERSIONS:
+            raise ValueError(
+                f"{self.root}: unsupported snapshot format {version!r}"
+            )
+        return manifest
+
+    def _verify_generation(self, manifest: dict) -> bool:
+        """True if every snapshot file the manifest names exists and
+        matches its recorded checksum (legacy manifests without
+        checksums verify by existence alone; generation 0 has no
+        snapshot files by construction)."""
+        generation = int(manifest.get("generation", 0))
+        if generation == 0:
+            return True
+        checksums = manifest.get("checksums") or {}
+        for kind in ("probes", "prices"):
+            path = self._snapshot_path(kind, generation)
+            if not path.exists():
+                return False
+            recorded = checksums.get(kind)
+            if recorded is not None and _sha256_file(path) != recorded:
+                return False
+        return True
+
     def _load(self) -> None:
         manifest_path = self.root / _MANIFEST
+        live_generation = 0
+        fallback_reason: str | None = None
+        manifest: dict | None = None
         if manifest_path.exists():
-            manifest = json.loads(manifest_path.read_text())
-            version = manifest.get("format_version")
-            if version != SNAPSHOT_FORMAT_VERSION:
-                raise ValueError(
-                    f"{self.root}: unsupported snapshot format {version!r}"
+            manifest = self._parse_manifest(manifest_path)
+            if manifest is None:
+                fallback_reason = "manifest unreadable"
+            else:
+                live_generation = int(manifest.get("generation", 0))
+        if manifest is not None and fallback_reason is None:
+            if self._verify_generation(manifest):
+                self._load_snapshot_generation(live_generation)
+                self._generation = live_generation
+                previous = manifest.get("previous") or {}
+                self._previous_generation = int(
+                    previous.get("generation", max(live_generation - 1, 0))
                 )
-            self._generation = int(manifest.get("generation", 0))
-            self._load_probes(self._snapshot_path("probes", self._generation))
-            self._load_prices(self._snapshot_path("prices", self._generation))
-        # Only the live generation's WAL extends the snapshot; a WAL
-        # left behind by a save() that crashed mid-sweep is stale (its
-        # rows are already in the snapshot) and must not replay.
-        self._sweep_stale_files()
-        self._load_probes(self._wal_path("probes", self._generation))
-        self._load_prices(self._wal_path("prices", self._generation))
+                # Only now is it safe to retire generations the clean
+                # load no longer needs.
+                self._sweep_stale_files()
+                self._replay_wal_generation(self._generation)
+                return
+            fallback_reason = "snapshot failed verification"
+        if manifest is None and fallback_reason is None:
+            # No manifest at all: a never-saved directory.  Replay
+            # whatever WAL generation 0 holds.
+            self._generation = 0
+            self._previous_generation = 0
+            self._replay_wal_generation(0)
+            return
+        self._fall_back(manifest, live_generation, fallback_reason)
+
+    def _fall_back(
+        self,
+        manifest: dict | None,
+        live_generation: int,
+        reason: str,
+    ) -> None:
+        """The live generation is unusable: recover from the retained
+        previous generation plus both generations' WALs.  Nothing is
+        swept or rewritten here — a damaged directory is evidence, and
+        the next successful ``save()`` supersedes all of it anyway."""
+        previous = (manifest or {}).get("previous")
+        if previous is None:
+            prev_manifest = self._parse_manifest(self.root / _MANIFEST_PREV) \
+                if (self.root / _MANIFEST_PREV).exists() else None
+            if prev_manifest is not None:
+                previous = {
+                    "generation": int(prev_manifest.get("generation", 0)),
+                    "checksums": prev_manifest.get("checksums"),
+                }
+        if previous is None:
+            raise CorruptSnapshotError(
+                f"{self.root}: {reason}, and no previous generation is "
+                f"recorded to fall back to"
+            )
+        prev_generation = int(previous.get("generation", 0))
+        if not self._verify_generation(
+            {"generation": prev_generation,
+             "checksums": previous.get("checksums")}
+        ):
+            raise CorruptSnapshotError(
+                f"{self.root}: {reason}, and fallback generation "
+                f"{prev_generation} failed verification too"
+            )
+        self._load_snapshot_generation(prev_generation)
+        replayed = [prev_generation]
+        # Every WAL generation after the fallback snapshot still holds
+        # committed rows the snapshot does not: replay them in order.
+        self._replay_wal_generation(prev_generation)
+        wal_generations = sorted(
+            generation
+            for generation in self._generations_on_disk()
+            if generation > prev_generation
+            and (self._wal_path("probes", generation).exists()
+                 or self._wal_path("prices", generation).exists())
+        )
+        for generation in wal_generations:
+            self._replay_wal_generation(generation)
+            replayed.append(generation)
+        self._generation = max([live_generation, *replayed])
+        self._previous_generation = prev_generation
+        self.recovery_report["fallback"] = {
+            "reason": reason,
+            "live_generation": live_generation,
+            "recovered_from": prev_generation,
+            "wal_generations_replayed": replayed,
+        }
+
+    def _load_snapshot_generation(self, generation: int) -> None:
+        if generation == 0:
+            return
+        self._load_probes(self._snapshot_path("probes", generation))
+        self._load_prices(self._snapshot_path("prices", generation))
+
+    def _replay_wal_generation(self, generation: int) -> None:
+        for kind, insert in (
+            ("probes", self._insert_probe_row),
+            ("prices", self._insert_price_row),
+        ):
+            path = self._wal_path(kind, generation)
+            if not path.exists() or path.stat().st_size == 0:
+                continue
+            raw_rows, dict_rows, dropped = _read_wal(path)
+            for row in dict_rows:
+                insert(row)
+            if dropped:
+                self.recovery_report[f"{kind}_wal"] = {
+                    "generation": generation,
+                    "recovered": len(dict_rows),
+                    "dropped": dropped,
+                }
+                if self._append_log:
+                    self._trim_wal(path, raw_rows)
+
+    def _trim_wal(self, path: Path, raw_rows: list[list[str]]) -> None:
+        """Rewrite a WAL to just its verified rows, so appends after a
+        torn-tail recovery land on a clean row boundary (read-only
+        opens skip this — they do not own the directory)."""
+        with path.open(newline="") as handle:
+            header = next(csv.reader(handle), None)
+        tmp = path.with_suffix(".csv.tmp")
+        with tmp.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            if header:
+                writer.writerow(header)
+            writer.writerows(raw_rows)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(path)
+        _fsync_path(self.root)
+
+    def _insert_probe_row(self, row: dict) -> None:
+        ProbeDatabase.insert_probe(self, ProbeRecord.from_row(row))
+
+    def _insert_price_row(self, row: dict) -> None:
+        ProbeDatabase.insert_price(self, parse_price_csv_row(row))
 
     def _load_probes(self, path: Path) -> None:
         if not path.exists() or path.stat().st_size == 0:
             return
         with path.open(newline="") as handle:
             for row in csv.DictReader(handle):
-                ProbeDatabase.insert_probe(self, ProbeRecord.from_row(row))
+                self._insert_probe_row(row)
 
     def _load_prices(self, path: Path) -> None:
         if not path.exists() or path.stat().st_size == 0:
             return
         with path.open(newline="") as handle:
             for row in csv.DictReader(handle):
-                ProbeDatabase.insert_price(self, parse_price_csv_row(row))
+                self._insert_price_row(row)

@@ -60,6 +60,14 @@ DEFAULT_MAX_REQUEST_BYTES = 1 << 20
 DEFAULT_REQUEST_TIMEOUT = 30.0
 DEFAULT_SHUTDOWN_GRACE = 5.0
 
+#: Overall budget for reading ONE request (request line + headers +
+#: body) once its first byte has arrived.  ``request_timeout`` bounds
+#: how long an idle keep-alive connection may sit quiet between
+#: requests; this bounds how long a peer may *dribble* — a slow-loris
+#: client that trickles one header byte per second resets a per-read
+#: timeout forever but cannot outrun a deadline.
+DEFAULT_READ_DEADLINE = 10.0
+
 #: Header-section guards (the body has ``max_request_bytes``; without
 #: these a peer could stream headers forever).
 MAX_HEADER_LINES = 100
@@ -90,8 +98,8 @@ _JSON_HEADERS = (("Content-Type", "application/json"),)
 #: board (``repro.server_pool.StatsBoard``), and the client SDK's
 #: single-process ``cluster_stats`` fallback.
 CLUSTER_COUNTER_FIELDS = (
-    "requests", "queries", "errors", "coalesced",
-    "throttled", "cache_hits", "cache_misses", "connections",
+    "requests", "queries", "errors", "coalesced", "throttled",
+    "slow_shed", "cache_hits", "cache_misses", "connections",
 )
 
 
@@ -179,6 +187,7 @@ class SpotLightServer:
         burst: float = DEFAULT_BURST,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        read_deadline: float = DEFAULT_READ_DEADLINE,
         shutdown_grace: float = DEFAULT_SHUTDOWN_GRACE,
         clock: Callable[[], float] = time.monotonic,
         reuse_port: bool = False,
@@ -198,6 +207,7 @@ class SpotLightServer:
         self.burst = burst
         self.max_request_bytes = max_request_bytes
         self.request_timeout = request_timeout
+        self.read_deadline = read_deadline
         self.shutdown_grace = shutdown_grace
         self._clock = clock
         self._server: asyncio.base_events.Server | None = None
@@ -215,6 +225,7 @@ class SpotLightServer:
         self.connections_accepted = 0
         self.coalesced = 0
         self.throttled = 0
+        self.slow_shed = 0
         self._endpoints: dict[str, _EndpointStats] = {
             "/query": _EndpointStats(),
             "/healthz": _EndpointStats(),
@@ -281,7 +292,9 @@ class SpotLightServer:
                 except _IdleTimeout:
                     break  # quiet peer between requests: just close
                 except asyncio.TimeoutError:
-                    # Stalled mid-request: tell the peer before closing.
+                    # Stalled or dribbling mid-request (slow-loris):
+                    # shed the connection rather than hold it open.
+                    self.slow_shed += 1
                     await self._write_response(
                         writer, 408,
                         json.dumps(
@@ -337,17 +350,34 @@ class SpotLightServer:
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> tuple[str, str, bytes, bool] | None:
-        """Read one framed request; None on clean EOF before a request."""
+        """Read one framed request; None on clean EOF before a request.
+
+        The wait for the request's *first byte* is the idle keep-alive
+        timeout (``request_timeout``).  From that byte on, the whole
+        request — line, headers, body — must arrive within
+        ``read_deadline``: every subsequent read is bounded by the time
+        remaining, so a peer dribbling one byte per read cannot hold
+        the connection indefinitely.
+        """
         try:
-            request_line = await asyncio.wait_for(
-                reader.readline(), self.request_timeout
+            first = await asyncio.wait_for(
+                reader.read(1), self.request_timeout
             )
         except asyncio.TimeoutError:
             raise _IdleTimeout() from None
+        if not first:
+            return None
+        deadline = self._clock() + self.read_deadline
+
+        def remaining() -> float:
+            return max(0.001, deadline - self._clock())
+
+        try:
+            request_line = first + await asyncio.wait_for(
+                reader.readline(), remaining()
+            )
         except ValueError:  # StreamReader line-length limit overrun
             raise _HttpError(431, "request line too long") from None
-        if not request_line:
-            return None
         try:
             method, target, version = request_line.decode("latin-1").split()
         except ValueError:
@@ -362,7 +392,7 @@ class SpotLightServer:
                 raise _HttpError(431, "too many header fields")
             try:
                 line = await asyncio.wait_for(
-                    reader.readline(), self.request_timeout
+                    reader.readline(), remaining()
                 )
             except ValueError:
                 raise _HttpError(431, "header line too long") from None
@@ -389,7 +419,7 @@ class SpotLightServer:
         body = b""
         if content_length:
             body = await asyncio.wait_for(
-                reader.readexactly(content_length), self.request_timeout
+                reader.readexactly(content_length), remaining()
             )
         keep_alive = (
             headers.get("connection", "").lower() != "close"
@@ -443,11 +473,7 @@ class SpotLightServer:
                     "method-not-allowed", f"use GET for {path}"
                 )
             elif path == "/healthz":
-                status, payload = 200, {
-                    "ok": True,
-                    "status": "shutting-down" if self._closing else "serving",
-                    "uptime_seconds": round(self._clock() - self._started_at, 3),
-                }
+                status, payload = 200, self._healthz()
             else:  # /stats
                 status, payload = 200, self.stats()
         except Exception as exc:  # last-ditch: never drop the connection
@@ -462,6 +488,31 @@ class SpotLightServer:
             self._stats_board.publish(self.worker_id, self._board_counters())
         return status, payload
 
+    def _healthz(self) -> dict:
+        """Liveness plus — for pool workers — cluster degradation.
+
+        A worker always answers 200 (it is, after all, alive); the
+        ``status`` string escalates to ``"degraded"`` when the pool
+        supervisor reports dead or budget-exhausted workers, so health
+        checks see trouble even though the surviving workers answer.
+        """
+        health_status = "shutting-down" if self._closing else "serving"
+        payload: dict[str, object] = {
+            "ok": True,
+            "uptime_seconds": round(self._clock() - self._started_at, 3),
+        }
+        pool_health = getattr(self._stats_board, "health", None)
+        if callable(pool_health):
+            pool = pool_health()
+            if pool.get("workers"):
+                payload["pool"] = pool
+                if not self._closing and (
+                    pool["alive"] < pool["workers"] or pool["failed"]
+                ):
+                    health_status = "degraded"
+        payload["status"] = health_status
+        return payload
+
     def _board_counters(self) -> dict[str, float]:
         """This worker's running totals, in stats-board schema.
 
@@ -475,6 +526,7 @@ class SpotLightServer:
             "errors": sum(e.errors for e in self._endpoints.values()),
             "coalesced": self.coalesced,
             "throttled": self.throttled,
+            "slow_shed": self.slow_shed,
             "cache_hits": self.frontend.hits,
             "cache_misses": self.frontend.misses,
             "connections": self.connections_accepted,
@@ -576,6 +628,7 @@ class SpotLightServer:
             "open_connections": len(self._connections),
             "coalesced": self.coalesced,
             "throttled": self.throttled,
+            "slow_shed": self.slow_shed,
             "clients": len(self._buckets),
             "endpoints": {
                 path: endpoint.snapshot()

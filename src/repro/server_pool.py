@@ -14,7 +14,10 @@ Pieces:
   worker owns one row and republishes its running totals after every
   request; any worker answering ``GET /stats`` folds all rows into a
   ``"cluster"`` aggregate, so one request sees fleet-wide traffic even
-  though it landed on a single worker.
+  though it landed on a single worker.  A separate **health row**,
+  written by the parent's supervisor, tells every worker how many of
+  its siblings are alive — which is how a ``/healthz`` answered by a
+  perfectly healthy worker still reports a ``degraded`` pool.
 * :func:`_worker_main` — the (spawn-safe, module-level) worker entry
   point: load snapshot, prime the read index, serve until
   SIGINT/SIGTERM, drain gracefully, report.
@@ -23,6 +26,15 @@ Pieces:
   for the pool's lifetime, so ``port=0`` resolves race-free), spawns
   the workers, waits for readiness, forwards shutdown, and checks that
   every worker drained cleanly.
+
+**Supervision** (on by default): a parent-side thread watches the
+worker sentinels; a worker that dies — segfault, OOM kill, a chaos
+plan's ``kill-worker`` — is re-spawned with capped exponential backoff
+(``respawn_backoff * 2**(n-1)``, capped at ``backoff_cap``) up to
+``max_respawns`` per slot.  While a slot is down the health row shows
+``alive < workers`` (handlers answer ``degraded``); when a slot
+exhausts its budget the pool is marked failed and :meth:`WorkerPool.wait`
+returns so the caller can drain.  See RELIABILITY.md.
 
 Workers use the ``spawn`` start method: forking a parent that already
 runs threads or an event loop (pytest, benchmarks) is a deadlock
@@ -38,6 +50,7 @@ import multiprocessing
 import multiprocessing.connection
 import signal
 import socket
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -48,16 +61,26 @@ from repro.server import CLUSTER_COUNTER_FIELDS, SpotLightServer
 #: values, repro.server owns the schema.
 BOARD_FIELDS = CLUSTER_COUNTER_FIELDS
 
+#: The supervisor-written health row (see StatsBoard.set_health).
+HEALTH_FIELDS = ("workers", "alive", "respawns", "failed")
+
 DEFAULT_READY_TIMEOUT = 120.0
 DEFAULT_STOP_TIMEOUT = 60.0
 
+#: Supervision defaults: respawn budget per worker slot, and the capped
+#: exponential backoff between a death and its respawn.
+DEFAULT_MAX_RESPAWNS = 8
+DEFAULT_RESPAWN_BACKOFF = 0.25
+DEFAULT_BACKOFF_CAP = 5.0
+
 
 class StatsBoard:
-    """Shared-memory per-worker counter rows.
+    """Shared-memory per-worker counter rows plus a pool health row.
 
     Lock-free by construction: each worker is the only writer of its
-    row (aligned 8-byte stores), readers sum whatever totals are
-    currently visible — stats are allowed to trail by a request.
+    row (aligned 8-byte stores), the supervisor is the only writer of
+    the health row, readers sum whatever totals are currently visible —
+    stats are allowed to trail by a request.
     """
 
     def __init__(
@@ -65,6 +88,7 @@ class StatsBoard:
     ) -> None:
         self.workers = workers
         self._cells = ctx.Array("d", workers * len(BOARD_FIELDS), lock=False)
+        self._health = ctx.Array("d", len(HEALTH_FIELDS), lock=False)
 
     def publish(self, worker_id: int, counters: dict[str, float]) -> None:
         base = worker_id * len(BOARD_FIELDS)
@@ -87,6 +111,18 @@ class StatsBoard:
                 totals[field] += value
         totals["workers"] = self.workers
         return totals
+
+    def set_health(
+        self, workers: int, alive: int, respawns: int, failed: int
+    ) -> None:
+        for offset, value in enumerate((workers, alive, respawns, failed)):
+            self._health[offset] = float(value)
+
+    def health(self) -> dict[str, int]:
+        return {
+            field: int(self._health[offset])
+            for offset, field in enumerate(HEALTH_FIELDS)
+        }
 
 
 @dataclass
@@ -182,8 +218,10 @@ class WorkerPool:
             ...
 
     ``start()`` returns once every worker is accepting connections;
-    ``stop()`` drains them gracefully and raises if any worker exited
-    uncleanly.
+    ``stop()`` drains them gracefully, returns a drain summary, and
+    raises if a worker that was alive at stop time had to be killed or
+    exited nonzero.  With ``supervise`` (the default) dead workers are
+    re-spawned with capped exponential backoff until ``max_respawns``.
     """
 
     def __init__(
@@ -196,6 +234,10 @@ class WorkerPool:
         burst: float = 1000.0,
         cache_ttl: float = DEFAULT_CACHE_TTL,
         ready_timeout: float = DEFAULT_READY_TIMEOUT,
+        supervise: bool = True,
+        max_respawns: int = DEFAULT_MAX_RESPAWNS,
+        respawn_backoff: float = DEFAULT_RESPAWN_BACKOFF,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker: {workers}")
@@ -203,31 +245,52 @@ class WorkerPool:
         self.workers = workers
         self.host = host
         self.ready_timeout = ready_timeout
-        ctx = multiprocessing.get_context("spawn")
-        self.board = StatsBoard(ctx, workers)
+        self.supervise = supervise
+        self.max_respawns = max_respawns
+        self.respawn_backoff = respawn_backoff
+        self.backoff_cap = backoff_cap
+        self._ctx = multiprocessing.get_context("spawn")
+        self._spec = dict(
+            rate_per_second=rate_per_second,
+            burst=burst,
+            cache_ttl=cache_ttl,
+        )
+        self.board = StatsBoard(self._ctx, workers)
         self._placeholder, self.port = _reserve_port(host, port)
-        self._ready = [ctx.Event() for _ in range(workers)]
-        self._procs = [
-            ctx.Process(
-                target=_worker_main,
-                args=(
-                    _WorkerSpec(
-                        worker_id=worker_id,
-                        snapshot=self.snapshot,
-                        host=host,
-                        port=self.port,
-                        rate_per_second=rate_per_second,
-                        burst=burst,
-                        cache_ttl=cache_ttl,
-                        board=self.board,
-                        ready=self._ready[worker_id],
-                    ),
-                ),
-                name=f"spotlight-worker-{worker_id}",
-                daemon=True,
-            )
-            for worker_id in range(workers)
-        ]
+        self.respawns = 0
+        #: (worker_id, exitcode) of every unexpected worker death.
+        self.exit_history: list[tuple[int, int | None]] = []
+        self.drain_summary: dict[str, object] | None = None
+        self._respawn_counts = [0] * workers
+        self._recorded_exits: set[int] = set()  # id(proc) already logged
+        self._stopping = threading.Event()
+        self._failed = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        self._procs: list[multiprocessing.process.BaseProcess] = []
+        self._ready: list[object] = []
+        for worker_id in range(workers):
+            proc, ready = self._make_proc(worker_id)
+            self._procs.append(proc)
+            self._ready.append(ready)
+
+    def _make_proc(self, worker_id: int):
+        ready = self._ctx.Event()
+        spec = _WorkerSpec(
+            worker_id=worker_id,
+            snapshot=self.snapshot,
+            host=self.host,
+            port=self.port,
+            board=self.board,
+            ready=ready,
+            **self._spec,
+        )
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(spec,),
+            name=f"spotlight-worker-{worker_id}",
+            daemon=True,
+        )
+        return proc, ready
 
     @property
     def address(self) -> tuple[str, int]:
@@ -237,6 +300,22 @@ class WorkerPool:
     def sentinels(self) -> Sequence[int]:
         """Process sentinels (for ``multiprocessing.connection.wait``)."""
         return [proc.sentinel for proc in self._procs]
+
+    @property
+    def failed(self) -> bool:
+        """True once a worker slot exhausted its respawn budget."""
+        return self._failed.is_set()
+
+    def worker_pids(self) -> dict[int, int]:
+        """Live workers: ``{worker_id: pid}`` (chaos harness target)."""
+        return {
+            worker_id: proc.pid
+            for worker_id, proc in enumerate(self._procs)
+            if proc.is_alive() and proc.pid is not None
+        }
+
+    def alive_workers(self) -> int:
+        return sum(1 for proc in self._procs if proc.is_alive())
 
     def start(self) -> "WorkerPool":
         for proc in self._procs:
@@ -259,45 +338,182 @@ class WorkerPool:
                         f"worker {worker_id} not ready within "
                         f"{self.ready_timeout:.0f}s"
                     )
+        self._publish_health()
+        if self.supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="spotlight-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
         return self
 
-    def wait(self) -> None:
-        """Block until any worker exits (normally only on shutdown)."""
-        multiprocessing.connection.wait(self.sentinels)
+    # -- supervision --------------------------------------------------------
+    def _publish_health(self) -> None:
+        self.board.set_health(
+            workers=self.workers,
+            alive=self.alive_workers(),
+            respawns=self.respawns,
+            failed=1 if self._failed.is_set() else 0,
+        )
 
-    def stop(self, timeout: float = DEFAULT_STOP_TIMEOUT) -> None:
-        """Graceful shutdown: SIGTERM every worker, join, verify clean
-        exits.  Raises ``RuntimeError`` if a worker had to be killed or
-        exited nonzero."""
+    def _record_exit(self, worker_id: int, proc) -> None:
+        if id(proc) not in self._recorded_exits:
+            self._recorded_exits.add(id(proc))
+            self.exit_history.append((worker_id, proc.exitcode))
+
+    def _supervise(self) -> None:
+        """Detect dead workers; re-spawn with capped exponential
+        backoff; give up (and release :meth:`wait`) once a slot
+        exhausts ``max_respawns``."""
+        try:
+            while not self._stopping.is_set():
+                for worker_id, proc in enumerate(self._procs):
+                    if proc.is_alive() or self._stopping.is_set():
+                        continue
+                    proc.join(timeout=1.0)
+                    self._record_exit(worker_id, proc)
+                    self._publish_health()
+                    self._respawn_counts[worker_id] += 1
+                    count = self._respawn_counts[worker_id]
+                    if count > self.max_respawns:
+                        print(
+                            f"worker {worker_id} exhausted its respawn "
+                            f"budget ({self.max_respawns}); pool failed",
+                            flush=True,
+                        )
+                        # Publish the failed health row *before* the
+                        # event releases wait()ing callers, so they
+                        # never observe a healthy-looking board.
+                        self.board.set_health(
+                            workers=self.workers,
+                            alive=self.alive_workers(),
+                            respawns=self.respawns,
+                            failed=1,
+                        )
+                        self._failed.set()
+                        return
+                    delay = min(
+                        self.backoff_cap,
+                        self.respawn_backoff * (2.0 ** (count - 1)),
+                    )
+                    print(
+                        f"worker {worker_id} exited with code "
+                        f"{proc.exitcode}; respawning in {delay:.2f}s "
+                        f"(attempt {count}/{self.max_respawns})",
+                        flush=True,
+                    )
+                    if self._stopping.wait(delay):
+                        return
+                    replacement, ready = self._make_proc(worker_id)
+                    self._procs[worker_id] = replacement
+                    self._ready[worker_id] = ready
+                    replacement.start()
+                    self.respawns += 1
+                    self._publish_health()
+                    while not ready.wait(timeout=0.25):
+                        if (
+                            self._stopping.is_set()
+                            or not replacement.is_alive()
+                        ):
+                            break  # death-before-ready: next sweep sees it
+                    if ready.is_set():
+                        print(
+                            f"respawned worker {worker_id} "
+                            f"(pid {replacement.pid})",
+                            flush=True,
+                        )
+                    self._publish_health()
+                live = [p.sentinel for p in self._procs if p.is_alive()]
+                if live:
+                    multiprocessing.connection.wait(live, timeout=0.5)
+        except Exception as exc:  # pragma: no cover - defensive
+            print(f"supervisor crashed: {type(exc).__name__}: {exc}",
+                  flush=True)
+            self._failed.set()
+            self._publish_health()
+            raise
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the pool permanently fails (supervised) or any
+        worker exits (unsupervised).  Returns :attr:`failed`.
+
+        Never hangs on workers that are *already* dead: their sentinels
+        are skipped, and an all-dead unsupervised pool returns
+        immediately.
+        """
+        if self._supervisor is not None:
+            self._failed.wait(timeout)
+            return self.failed
+        live = [proc.sentinel for proc in self._procs if proc.is_alive()]
+        if live:
+            multiprocessing.connection.wait(live, timeout=timeout)
+        return self.failed
+
+    def stop(self, timeout: float = DEFAULT_STOP_TIMEOUT) -> dict[str, object]:
+        """Graceful shutdown: stop supervising, SIGTERM every live
+        worker, join, verify clean drains.
+
+        Returns a drain summary (exit codes per slot, respawn totals,
+        the full unexpected-exit history).  Raises ``RuntimeError`` if
+        a worker that was alive at stop time had to be killed or exited
+        nonzero; workers that were already dead are reported in the
+        summary, not raised — their deaths were either supervised
+        (and respawned) or the very reason the caller is stopping.
+        """
+        self._stopping.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=10.0)
         try:
             # A startup interrupt can leave part of the pool unspawned;
             # only ever-started workers can be signalled or joined.
             started = [proc for proc in self._procs if proc.pid is not None]
-            for proc in started:
-                if proc.is_alive():
-                    proc.terminate()  # SIGTERM -> worker drains
+            draining = [proc for proc in started if proc.is_alive()]
+            for proc in draining:
+                proc.terminate()  # SIGTERM -> worker drains
             killed = []
-            for proc in started:
+            for proc in draining:
                 proc.join(timeout=timeout)
                 if proc.is_alive():
                     proc.kill()
                     proc.join(timeout=5.0)
                     killed.append(proc.name)
+            for worker_id, proc in enumerate(self._procs):
+                if proc in started and not proc.is_alive():
+                    # Pre-dead workers land in the history too (their
+                    # exit codes belong in the drain summary).
+                    if proc not in draining:
+                        self._record_exit(worker_id, proc)
             unclean = [
                 f"{proc.name} (exit {proc.exitcode})"
-                for proc in started
+                for proc in draining
                 if proc.exitcode != 0
             ]
+            self.drain_summary = {
+                "workers": self.workers,
+                "respawns": self.respawns,
+                "failed": self.failed,
+                "exit_codes": {
+                    proc.name: proc.exitcode for proc in started
+                },
+                "unexpected_exits": list(self.exit_history),
+                "killed": killed,
+                "unclean": unclean,
+            }
             if killed or unclean:
                 raise RuntimeError(
                     f"workers did not drain cleanly: "
                     f"killed={killed} unclean={unclean}"
                 )
+            return self.drain_summary
         finally:
+            self._publish_health()
             self._placeholder.close()
 
     def terminate(self) -> None:
         """Hard stop (startup-failure cleanup; no drain guarantees)."""
+        self._stopping.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
         for proc in self._procs:
             if proc.is_alive():
                 proc.kill()

@@ -104,23 +104,29 @@ class TestSnapshotDatastore:
         store.flush()
         assert list(root.glob("*.wal.*.csv"))
         store.save()
-        assert not list(root.glob("*.wal.*.csv"))
+        # The superseded generation's WAL is *retained* (it is the
+        # fallback should the new snapshot fail verification) but the
+        # live generation starts with no WAL at all.
+        assert not list(root.glob(f"*.wal.{store._generation}.csv"))
         assert (root / "manifest.json").exists()
+        # The next save retires the old fallback generation entirely.
+        store.insert_probe(_probe(40.0))
+        store.save()
+        store.close()
+        assert not list(root.glob("*.wal.0.csv"))
 
-    def test_stale_wal_from_crashed_save_is_not_replayed(self, tmp_path):
+    def test_superseded_wal_is_retained_but_not_replayed(self, tmp_path):
         root = tmp_path / "state"
         store = SnapshotDatastore(root)
         _fill(store)
-        store.save()  # now at generation 1; WALs swept
-        # Simulate a save() that crashed after the manifest commit but
-        # before the sweep: a WAL of the *previous* generation remains,
-        # holding rows the snapshot already contains.
+        store.flush()
         wal = root / "probes.wal.0.csv"
-        store.export_probes_csv(wal)
+        assert wal.exists()
+        store.save()  # generation 1 commits; its snapshot holds the rows
 
         reloaded = SnapshotDatastore(root)
         assert len(reloaded) == len(store)  # no double replay
-        assert not wal.exists()  # stale file swept on load
+        assert wal.exists()  # kept as the fallback generation's WAL
 
     def test_append_log_can_be_disabled(self, tmp_path):
         root = tmp_path / "state"
@@ -194,10 +200,40 @@ class TestSnapshotDatastore:
         store.save()
         manifest = root / "manifest.json"
         manifest.write_text(manifest.read_text().replace(
-            '"format_version": 1', '"format_version": 99'
+            '"format_version": 2', '"format_version": 99'
         ))
         with pytest.raises(ValueError):
             SnapshotDatastore(root)
+
+    def test_legacy_v1_manifest_still_loads(self, tmp_path):
+        """Directories written before checksums existed (format 1, no
+        ``checksums``/``previous`` blocks, plain WAL rows) must load."""
+        import csv
+        import json
+
+        from repro.core.records import PROBE_CSV_FIELDS
+
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root)
+        _fill(store)
+        store.save()
+        manifest = json.loads((root / "manifest.json").read_text())
+        for key in ("checksums", "previous"):
+            manifest.pop(key)
+        manifest["format_version"] = 1
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        (root / "manifest.prev.json").unlink(missing_ok=True)
+        # A legacy WAL: no crc column.
+        with (root / "probes.wal.1.csv").open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(PROBE_CSV_FIELDS)
+            row = _probe(99.0).to_row()
+            writer.writerow([row[field] for field in PROBE_CSV_FIELDS])
+
+        reloaded = SnapshotDatastore(root)
+        assert len(reloaded) == len(store) + 1
+        assert reloaded.probes()[-1].time == 99.0
+        assert reloaded.recovery_report == {}
 
     def test_reopening_appends_after_reload(self, tmp_path):
         root = tmp_path / "state"
@@ -209,6 +245,195 @@ class TestSnapshotDatastore:
         resumed.close()
         final = SnapshotDatastore(root)
         assert [p.time for p in final.probes(market=M1)] == [10.0, 20.0]
+
+
+class TestCrashRecovery:
+    """Chaos-grade recovery: torn WAL tails, corrupted snapshots, and
+    faults injected mid-save (see RELIABILITY.md for the failure
+    model these encode)."""
+
+    def _times(self, store) -> list[float]:
+        return [p.time for p in store.probes()]
+
+    def test_truncated_wal_tail_recovers_every_complete_record(self, tmp_path):
+        from repro.chaos import truncate_tail
+
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root)
+        for t in (10.0, 20.0, 30.0, 40.0, 50.0):
+            store.insert_probe(_probe(t))
+        store.close()
+        truncate_tail(root / "probes.wal.0.csv", 7)  # shear the last row
+
+        reloaded = SnapshotDatastore(root)
+        # Record-for-record: everything except the torn final record.
+        assert reloaded.probes() == store.probes()[:-1]
+        report = reloaded.recovery_report["probes_wal"]
+        assert report == {"generation": 0, "recovered": 4, "dropped": 1}
+
+    def test_garbled_wal_tail_recovers_every_complete_record(self, tmp_path):
+        from repro.chaos import garble_tail
+
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root)
+        for t in (10.0, 20.0, 30.0):
+            store.insert_probe(_probe(t))
+        store.insert_price(PriceRecord(5.0, M1, 0.02))
+        store.close()
+        garble_tail(root / "probes.wal.0.csv", 9)  # corrupt in place
+
+        reloaded = SnapshotDatastore(root)
+        assert reloaded.probes() == store.probes()[:-1]
+        assert reloaded.recovery_report["probes_wal"]["dropped"] == 1
+        # The untouched price WAL replays in full, and silently.
+        assert reloaded.price_count() == 1
+        assert "prices_wal" not in reloaded.recovery_report
+
+    def test_torn_tail_is_trimmed_so_the_next_load_is_clean(self, tmp_path):
+        from repro.chaos import truncate_tail
+
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root)
+        for t in (10.0, 20.0, 30.0):
+            store.insert_probe(_probe(t))
+        store.close()
+        truncate_tail(root / "probes.wal.0.csv", 5)
+
+        first = SnapshotDatastore(root)  # writer mode: trims the tail
+        assert first.recovery_report["probes_wal"]["dropped"] == 1
+        first.close()
+        second = SnapshotDatastore(root)
+        assert self._times(second) == [10.0, 20.0]
+        assert second.recovery_report == {}  # nothing left to repair
+
+    def test_corrupt_snapshot_falls_back_to_previous_generation(self, tmp_path):
+        from repro.chaos import garble_tail
+
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root)
+        _fill(store)
+        store.save()                        # generation 1
+        store.insert_probe(_probe(40.0))    # -> WAL generation 1
+        store.save()                        # generation 2
+        store.insert_probe(_probe(50.0))    # -> WAL generation 2
+        store.close()
+        garble_tail(root / "probes.2.csv", 12)  # live snapshot now lies
+
+        reloaded = SnapshotDatastore(root)
+        # snapshot(1) + WAL(1) + WAL(2) = everything ever committed.
+        assert reloaded.probes() == store.probes()
+        assert reloaded.price_count() == store.price_count()
+        fallback = reloaded.recovery_report["fallback"]
+        assert fallback["reason"] == "snapshot failed verification"
+        assert fallback["recovered_from"] == 1
+        assert fallback["wal_generations_replayed"] == [1, 2]
+
+    def test_saving_after_a_fallback_load_supersedes_the_damage(self, tmp_path):
+        from repro.chaos import garble_tail
+
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root)
+        _fill(store)
+        store.save()
+        store.insert_probe(_probe(40.0))
+        store.save()
+        store.close()
+        garble_tail(root / "probes.2.csv", 12)
+
+        recovered = SnapshotDatastore(root)
+        assert "fallback" in recovered.recovery_report
+        recovered.insert_probe(_probe(60.0))
+        recovered.save()  # must not collide with the damaged generation
+        recovered.close()
+
+        clean = SnapshotDatastore(root)
+        assert clean.probes() == recovered.probes()
+        assert clean.recovery_report == {}
+
+    def test_garbled_manifest_recovers_via_the_retained_copy(self, tmp_path):
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root)
+        _fill(store)
+        store.save()
+        store.insert_probe(_probe(40.0))
+        store.save()
+        store.close()
+        (root / "manifest.json").write_text("{ not json at all")
+
+        reloaded = SnapshotDatastore(root)
+        assert reloaded.probes() == store.probes()
+        fallback = reloaded.recovery_report["fallback"]
+        assert fallback["reason"] == "manifest unreadable"
+
+    def test_unrecoverable_directory_raises_corrupt_snapshot_error(
+        self, tmp_path
+    ):
+        from repro.chaos import garble_tail
+        from repro.core.datastore import CorruptSnapshotError
+
+        root = tmp_path / "state"
+        store = SnapshotDatastore(root)
+        _fill(store)
+        store.save()
+        store.insert_probe(_probe(40.0))
+        store.save()
+        store.close()
+        garble_tail(root / "probes.2.csv", 12)  # live generation bad
+        garble_tail(root / "probes.1.csv", 12)  # ...and its fallback too
+
+        with pytest.raises(CorruptSnapshotError, match="failed verification"):
+            SnapshotDatastore(root)
+
+    def test_crash_at_the_commit_point_loses_nothing_committed(self, tmp_path):
+        from repro.chaos import FaultError, FaultInjector
+
+        root = tmp_path / "state"
+        faults = FaultInjector(seed=7)
+        store = SnapshotDatastore(root, fault_injector=faults)
+        _fill(store)
+        store.save()
+        store.insert_probe(_probe(40.0))
+        store.flush()
+
+        faults.arm("datastore.save.commit", times=1)
+        with pytest.raises(FaultError):
+            store.save()  # "crashes" right before the manifest replace
+
+        # A fresh process sees the last *committed* state: the gen-1
+        # snapshot plus its WAL — the orphaned gen-2 files are ignored.
+        reloaded = SnapshotDatastore(root)
+        assert reloaded.probes() == store.probes()
+        assert reloaded.recovery_report == {}
+        # And the next save moves past the orphaned generation.
+        reloaded.insert_probe(_probe(60.0))
+        reloaded.save()
+        reloaded.close()
+        assert SnapshotDatastore(root).probes() == reloaded.probes()
+
+    def test_crash_while_writing_the_snapshot_is_harmless(self, tmp_path):
+        from repro.chaos import FaultError, FaultInjector
+
+        root = tmp_path / "state"
+        faults = FaultInjector(seed=7)
+        store = SnapshotDatastore(root, fault_injector=faults)
+        _fill(store)
+        faults.arm("datastore.save.snapshot", times=1)
+        with pytest.raises(FaultError):
+            store.save()
+        reloaded = SnapshotDatastore(root)  # WAL replay carries it all
+        assert reloaded.probes() == store.probes()
+
+    def test_fsync_faults_surface_as_io_errors(self, tmp_path):
+        from repro.chaos import FaultError, FaultInjector
+
+        faults = FaultInjector(seed=7)
+        store = SnapshotDatastore(tmp_path / "state", fault_injector=faults)
+        store.insert_probe(_probe(10.0))
+        faults.arm("datastore.wal.fsync", times=1)
+        with pytest.raises(FaultError):
+            store.flush()
+        store.flush()  # the budgeted fault is spent; IO works again
+        store.close()
 
 
 class TestServiceStopResume:

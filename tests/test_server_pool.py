@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import time
+
 import pytest
 
 from repro.client import SpotLightClient
@@ -135,3 +139,102 @@ def test_pool_drains_cleanly(snapshot):
             client.top_stable_markets(n=2)
     # __exit__ ran stop(): it raises unless every worker exited 0.
     assert all(proc.exitcode == 0 for proc in running._procs)
+    summary = running.drain_summary
+    assert summary["unclean"] == [] and summary["killed"] == []
+    assert set(summary["exit_codes"].values()) == {0}
+
+
+def _wait_until(predicate, timeout=30.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestSupervision:
+    def test_killed_worker_is_respawned_and_pool_recovers(self, snapshot):
+        pool = WorkerPool(
+            snapshot, workers=2, rate_per_second=1e6, burst=1e6,
+            respawn_backoff=0.05, backoff_cap=0.2,
+        )
+        with pool:
+            pids = pool.worker_pids()
+            assert sorted(pids) == [0, 1]
+            os.kill(pids[0], signal.SIGKILL)
+            assert _wait_until(
+                lambda: pool.respawns >= 1 and pool.alive_workers() == 2
+                and pool.board.health()["alive"] == 2
+            ), "killed worker was not respawned"
+            replacement = pool.worker_pids()
+            assert replacement[0] != pids[0]  # a new process in slot 0
+            assert replacement[1] == pids[1]  # the survivor untouched
+            with SpotLightClient(*pool.address) as client:
+                assert client.rejection_rate() >= 0.0  # replacement serves
+            health = pool.board.health()
+            assert health == {
+                "workers": 2, "alive": 2, "respawns": pool.respawns,
+                "failed": 0,
+            }
+        assert (0, -signal.SIGKILL) in pool.exit_history
+        assert pool.drain_summary["respawns"] >= 1
+        assert not pool.failed
+
+    def test_healthz_reports_degraded_while_a_worker_is_down(self, snapshot):
+        # A long respawn backoff keeps the pool one-worker for a
+        # window wide enough to observe the degraded health report.
+        pool = WorkerPool(
+            snapshot, workers=2, rate_per_second=1e6, burst=1e6,
+            respawn_backoff=20.0, backoff_cap=20.0,
+        )
+        with pool:
+            os.kill(pool.worker_pids()[1], signal.SIGKILL)
+            assert _wait_until(
+                lambda: pool.board.health()["alive"] == 1, timeout=10.0
+            )
+            with SpotLightClient(*pool.address) as client:
+                payload = client.healthz()
+            assert payload["status"] == "degraded"
+            assert payload["pool"]["alive"] == 1
+            assert payload["pool"]["workers"] == 2
+
+    def test_unsupervised_wait_and_stop_never_hang_on_dead_workers(
+        self, snapshot
+    ):
+        pool = WorkerPool(
+            snapshot, workers=2, supervise=False,
+            rate_per_second=1e6, burst=1e6,
+        )
+        pool.start()
+        try:
+            for pid in pool.worker_pids().values():
+                os.kill(pid, signal.SIGKILL)
+            assert _wait_until(lambda: pool.alive_workers() == 0, timeout=10.0)
+            started = time.monotonic()
+            pool.wait()  # every sentinel is dead: must return immediately
+            assert time.monotonic() - started < 5.0
+        finally:
+            summary = pool.stop()  # nothing alive to drain: must not raise
+        assert summary["exit_codes"] == {
+            "spotlight-worker-0": -signal.SIGKILL,
+            "spotlight-worker-1": -signal.SIGKILL,
+        }
+        assert sorted(summary["unexpected_exits"]) == [
+            (0, -signal.SIGKILL), (1, -signal.SIGKILL),
+        ]
+
+    def test_respawn_budget_exhaustion_marks_the_pool_failed(self, snapshot):
+        pool = WorkerPool(
+            snapshot, workers=2, max_respawns=0,
+            rate_per_second=1e6, burst=1e6,
+        )
+        pool.start()
+        try:
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            assert pool.wait(timeout=15.0), "wait() did not report failure"
+            assert pool.failed
+            assert pool.board.health()["failed"] == 1
+        finally:
+            summary = pool.stop()
+        assert summary["failed"] is True
