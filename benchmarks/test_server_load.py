@@ -51,6 +51,23 @@ WORKERS = 8
 ROUNDS_PER_WORKER = 40
 MIN_CACHED_RPS = 1000.0
 
+#: The PR 6 cached-throughput baseline (http.client transport, JSON
+#: re-serialized per hit) and the wire hot path's required win over it.
+#: The full multiple is demanded only when client and server do not
+#: have to share one core; a single-core host still must show most of
+#: the win (both sides of the benchmark got cheaper).
+PR6_CACHED_BASELINE_RPS = 2426.2
+MIN_CACHED_SPEEDUP = 3.0
+MIN_CACHED_SPEEDUP_SHARED_CORE = 2.0
+
+#: Batch scenario shape: the whole mixed workload rides in each /batch
+#: request, several rounds per driver thread.
+BATCH_DRIVERS = 2
+BATCH_ROUNDS = 60
+#: Conditional-request scenario: pollers re-asking the same questions.
+ETAG_DRIVERS = 4
+ETAG_ROUNDS = 40
+
 #: Multi-worker scenario shape: pool size, driver processes (the
 #: client side runs in separate processes so its GIL cannot mask
 #: server-side scaling), threads per driver, cached-phase rounds.
@@ -246,6 +263,8 @@ def test_server_sustains_load():
             "throttled": stats["throttled"],
             "frontend_hits": stats["frontend"]["hits"],
             "frontend_misses": stats["frontend"]["misses"],
+            "wire_hits": stats["frontend"]["wire_hits"],
+            "wire_misses": stats["frontend"]["wire_misses"],
         },
     }
     _record_result("server_load", entry)
@@ -263,13 +282,155 @@ def test_server_sustains_load():
         f"cached throughput {throughput:.0f} req/s below {MIN_CACHED_RPS}"
     )
     # Nothing was throttled (admission control was configured away) and
-    # every cached-phase answer was served from the result cache or
-    # coalesced onto an identical in-flight request.
+    # every cached-phase answer was served from the wire byte cache or
+    # coalesced onto an identical in-flight request (the object cache
+    # only sees wire misses, so its hit counter stays near zero here).
     assert stats["throttled"] == 0
     assert (
-        stats["frontend"]["hits"] + stats["coalesced"]
+        stats["frontend"]["wire_hits"] + stats["coalesced"]
         >= warm_requests - len(workload)
     )
+    # The wire hot path's acceptance criterion: a multiple of the PR 6
+    # baseline, full strength only where client and server are not
+    # fighting over one core.
+    cores = len(os.sched_getaffinity(0))
+    speedup = (
+        MIN_CACHED_SPEEDUP if cores >= 2 else MIN_CACHED_SPEEDUP_SHARED_CORE
+    )
+    assert throughput >= speedup * PR6_CACHED_BASELINE_RPS, (
+        f"cached throughput {throughput:.0f} req/s is below "
+        f"{speedup:.1f}x the PR 6 baseline of {PR6_CACHED_BASELINE_RPS} "
+        f"req/s on {cores} core(s)"
+    )
+
+
+def test_batch_throughput():
+    """``POST /batch``: the whole mixed workload per round trip.
+
+    Amortizes HTTP framing and syscalls over the batch, so per-query
+    cost approaches the byte-cache lookup itself; recorded as the
+    ``server_load_batch`` scenario.
+    """
+    frontend = QueryFrontend(
+        SpotLightQuery(build_database(), default_catalog()),
+        cache_ttl=3600.0,
+    )
+    requests = [
+        {"query": name, "params": params} for name, params in build_workload()
+    ]
+
+    with BackgroundServer(frontend, rate_per_second=1e6, burst=1e6) as background:
+        with SpotLightClient(*background.address) as warmup:
+            warmup.batch_response(requests)  # cold pass: fill the caches
+
+        walls: list[float] = [0.0] * BATCH_DRIVERS
+        barrier = threading.Barrier(BATCH_DRIVERS + 1)
+
+        def driver(index: int) -> None:
+            with SpotLightClient(*background.address) as client:
+                barrier.wait()
+                started = time.perf_counter()
+                for _ in range(BATCH_ROUNDS):
+                    got = client.batch_response(requests)
+                    assert len(got) == len(requests)
+                walls[index] = time.perf_counter() - started
+
+        threads = [
+            threading.Thread(target=driver, args=(i,))
+            for i in range(BATCH_DRIVERS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join(timeout=600.0)
+        wall = time.perf_counter() - started
+        stats = background.server.stats()
+
+    queries = BATCH_DRIVERS * BATCH_ROUNDS * len(requests)
+    throughput = queries / wall
+    entry = {
+        "batch_size": len(requests),
+        "drivers": BATCH_DRIVERS,
+        "rounds": BATCH_ROUNDS,
+        "queries": queries,
+        "wall_seconds": round(wall, 3),
+        "throughput_qps": round(throughput, 1),
+        "round_trips": BATCH_DRIVERS * BATCH_ROUNDS,
+        "batch_queries_counter": stats["batch_queries"],
+    }
+    _record_result("server_load_batch", entry)
+    print(
+        f"\nbatch: {queries} queries in {wall:.2f}s over "
+        f"{entry['round_trips']} round trips = {throughput:.0f} queries/s"
+    )
+    assert stats["batch_queries"] == queries + len(requests)  # + warmup
+    assert stats["throttled"] == 0
+    # Batching must clear the single-request acceptance floor with
+    # obvious headroom — it amortizes everything but the answer.
+    assert throughput >= 4 * MIN_CACHED_RPS
+
+
+def test_etag_polling_throughput():
+    """Conditional requests: pollers re-asking unchanged questions.
+
+    After the first pass every answer is a bodyless 304, so the wire
+    cost is one header exchange; recorded as ``server_load_etag``.
+    """
+    frontend = QueryFrontend(
+        SpotLightQuery(build_database(), default_catalog()),
+        cache_ttl=3600.0,
+    )
+    workload = build_workload()
+
+    with BackgroundServer(frontend, rate_per_second=1e6, burst=1e6) as background:
+        barrier = threading.Barrier(ETAG_DRIVERS + 1)
+
+        def driver() -> int:
+            with SpotLightClient(*background.address) as client:
+                for name, params in workload:
+                    client.poll(name, params)  # learn the tags
+                barrier.wait()
+                for _ in range(ETAG_ROUNDS):
+                    for name, params in workload:
+                        client.poll(name, params)
+                return client.polls_not_modified
+
+        not_modified: list[int] = []
+        threads = [
+            threading.Thread(target=lambda: not_modified.append(driver()))
+            for _ in range(ETAG_DRIVERS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join(timeout=600.0)
+        wall = time.perf_counter() - started
+        stats = background.server.stats()
+
+    polls = ETAG_DRIVERS * ETAG_ROUNDS * len(workload)
+    throughput = polls / wall
+    entry = {
+        "drivers": ETAG_DRIVERS,
+        "rounds": ETAG_ROUNDS,
+        "polls": polls,
+        "wall_seconds": round(wall, 3),
+        "throughput_rps": round(throughput, 1),
+        "not_modified": stats["not_modified"],
+        "client_304s": sum(not_modified),
+    }
+    _record_result("server_load_etag", entry)
+    print(
+        f"\netag: {polls} conditional polls in {wall:.2f}s = "
+        f"{throughput:.0f} req/s, {stats['not_modified']} answered 304"
+    )
+    # Once the tags are learned, every poll of an unchanged answer must
+    # come back 304 — the timed phase re-asks known questions only.
+    assert sum(not_modified) >= polls
+    assert throughput >= MIN_CACHED_RPS
 
 
 # -- the multi-worker scenario -------------------------------------------------

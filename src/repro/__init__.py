@@ -56,6 +56,7 @@ from repro.core import (
     SpotLightQuery,
     UnavailabilityPeriod,
 )
+from repro.core.frontend import QueryRequest, WireResponse
 from repro.ec2 import EC2Client, EC2Simulator
 from repro.ec2.catalog import Catalog, default_catalog, small_catalog
 from repro.ec2.platform import FleetConfig
@@ -68,13 +69,15 @@ from repro.providers import (
 from repro.server import BackgroundServer, SpotLightServer
 from repro.server_pool import WorkerPool
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "SpotLight",
     "SpotLightConfig",
     "SpotLightQuery",
     "QueryFrontend",
+    "QueryRequest",
+    "WireResponse",
     "SpotLightServer",
     "BackgroundServer",
     "WorkerPool",

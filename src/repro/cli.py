@@ -14,7 +14,8 @@ the layered-service workflows:
   no simulator — and print the top-N stable markets;
 * ``query`` — reload a datastore snapshot in a fresh process and serve
   one frontend request against it, printing the JSON response (with
-  ``--stats``, the frontend's cache counters ride along);
+  ``--stats``, the frontend's cache counters ride along;
+  ``--batch-file`` serves a whole file of requests in one batch pass);
 * ``serve`` — put a datastore snapshot on the wire: an asyncio HTTP
   server answering ``POST /query`` (plus ``/healthz`` and ``/stats``)
   until SIGINT/SIGTERM, shutting down gracefully.  ``--workers N``
@@ -204,6 +205,8 @@ def cmd_query(args) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.batch_file:
+        return _run_batch_file(frontend, args.batch_file)
     try:
         params = json.loads(args.params)
     except json.JSONDecodeError as exc:
@@ -217,6 +220,40 @@ def cmd_query(args) -> int:
         response = {**response, "frontend_stats": frontend.stats()}
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0 if response["ok"] else 1
+
+
+def _run_batch_file(frontend: QueryFrontend, path: str) -> int:
+    """``query --batch-file``: serve N schema requests in one pass.
+
+    The file holds either a JSON array of requests or JSON Lines (one
+    request object per line).  Output is one batch response — the same
+    wire body ``POST /batch`` would return, duplicates answered from
+    the byte cache.  Exits 0 only if every sub-query succeeded.
+    """
+    try:
+        text = open(path, encoding="utf-8").read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        stripped = text.lstrip()
+        if stripped.startswith("["):
+            requests = json.loads(text)
+        else:
+            requests = [
+                json.loads(line) for line in text.splitlines() if line.strip()
+            ]
+    except json.JSONDecodeError as exc:
+        print(f"--batch-file is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(requests, list) or not requests:
+        print("--batch-file must hold a non-empty list of requests",
+              file=sys.stderr)
+        return 2
+    body = frontend.handle_wire_batch(requests)
+    decoded = json.loads(body)
+    print(json.dumps(decoded, indent=2, sort_keys=True))
+    return 0 if all(sub.get("ok") for sub in decoded["results"]) else 1
 
 
 def _serve_pool(args) -> int:
@@ -454,6 +491,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="query parameters as a JSON object")
     query.add_argument("--repeat", type=int, default=1,
                        help="serve the request N times (exercises the cache)")
+    query.add_argument("--batch-file",
+                       help="serve every request in this file (JSON array "
+                            "or JSON Lines of schema requests) in one "
+                            "batch; prints the /batch-format response")
     query.add_argument("--stats", action="store_true",
                        help="include the frontend's cache counters in the "
                             "printed response")

@@ -1,9 +1,15 @@
 """The blocking client SDK for a served SpotLight.
 
 :class:`SpotLightClient` speaks the wire protocol of
-:class:`~repro.server.SpotLightServer` over a persistent
-``http.client`` connection (keep-alive; a stale socket is transparently
-reopened once).  It mirrors the :class:`~repro.core.frontend.QueryFrontend`
+:class:`~repro.server.SpotLightServer` over a persistent keep-alive
+socket (a stale socket is transparently reopened once).  The transport
+is a hand-rolled HTTP/1.1 round trip over a raw ``socket`` —
+``TCP_NODELAY``, a preassembled request head per ``(method, path)``,
+and a buffered response parser — because ``http.client`` costs more
+per request than a cached answer does (it re-formats every header and
+allocates a fresh response object per call; see PERFORMANCE.md).
+
+The client mirrors the :class:`~repro.core.frontend.QueryFrontend`
 typed surface — each helper builds the corresponding schema request,
 POSTs it to ``/query``, and returns the ``result`` payload — so moving
 an application from in-process serving to the network tier is a
@@ -13,6 +19,12 @@ one-line change::
         for entry in client.top_stable_markets(n=10):
             print(entry["market"], entry["mean_time_to_revocation"])
 
+Beyond single queries: :meth:`SpotLightClient.batch_query` ships N
+queries in one ``/batch`` round trip, and
+:meth:`SpotLightClient.poll` repeats a query with ``If-None-Match`` so
+an unchanged answer costs a header exchange (HTTP 304) instead of a
+re-sent body.
+
 Error model: schema and engine failures raise :class:`QueryError`
 (carrying the server's error code), admission-control rejections raise
 :class:`ThrottledError` (carrying the server's ``Retry-After`` hint),
@@ -21,7 +33,6 @@ and transport failures surface as :class:`TransportError`.
 
 from __future__ import annotations
 
-import http.client
 import json
 import random
 import socket
@@ -73,6 +84,11 @@ def _kind_param(kind: ProbeKind | str) -> str:
     return kind.value if isinstance(kind, ProbeKind) else str(kind)
 
 
+class _WireFormatError(Exception):
+    """The peer answered with bytes that do not frame an HTTP response
+    (usually a stale keep-alive socket handing us a truncated read)."""
+
+
 class SpotLightClient:
     """A blocking SpotLight client with connection reuse."""
 
@@ -85,20 +101,40 @@ class SpotLightClient:
         self.host = host
         self.port = port
         self.timeout = timeout
-        self._conn: http.client.HTTPConnection | None = None
+        self._sock: socket.socket | None = None
+        self._rfile: Any = None
+        # Preassembled request heads, ending "Content-Length: " for
+        # bodied requests — per-call work is appending digits, optional
+        # extra header lines, the blank line, and the body.
+        self._post_head: dict[str, bytes] = {}
+        self._get_head: dict[str, bytes] = {}
+        # poll() state: request key -> (etag, last full response).
+        self._poll_cache: dict[str, tuple[str, dict]] = {}
+        self.polls_not_modified = 0
 
     # -- transport ----------------------------------------------------------
-    def _connection(self) -> http.client.HTTPConnection:
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
-        return self._conn
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        # Query bodies are one small write; never wait on Nagle.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def __enter__(self) -> "SpotLightClient":
         return self
@@ -106,32 +142,90 @@ class SpotLightClient:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def _head_for(self, method: str, path: str) -> bytes:
+        heads = self._post_head if method == "POST" else self._get_head
+        head = heads.get(path)
+        if head is None:
+            lines = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+            )
+            if method == "POST":
+                lines += "Content-Type: application/json\r\nContent-Length: "
+            else:
+                lines += "Content-Length: 0\r\n"
+            head = heads[path] = lines.encode("latin-1")
+        return head
+
+    def _send(
+        self, method: str, path: str, body: bytes | None, extra: bytes
+    ) -> None:
+        head = self._head_for(method, path)
+        if method == "POST":
+            data = (
+                head + str(len(body or b"")).encode() + b"\r\n" + extra
+                + b"\r\n" + (body or b"")
+            )
+        else:
+            data = head + extra + b"\r\n"
+        self._sock.sendall(data)  # type: ignore[union-attr]
+
+    def _read_response(self) -> tuple[int, dict[str, str], bytes]:
+        rfile = self._rfile
+        status_line = rfile.readline()
+        if not status_line:
+            raise _WireFormatError("connection closed before status line")
+        try:
+            status = int(status_line.split(None, 2)[1])
+        except (IndexError, ValueError):
+            raise _WireFormatError(
+                f"malformed status line: {status_line!r}"
+            ) from None
+        headers: dict[str, str] = {}
+        while True:
+            line = rfile.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise _WireFormatError("connection closed mid-headers")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        payload = b""
+        length = int(headers.get("content-length", "0"))
+        if length:
+            payload = rfile.read(length)
+            if len(payload) != length:
+                raise _WireFormatError("connection closed mid-body")
+        if headers.get("connection", "").lower() == "close":
+            self.close()
+        return status, headers, payload
+
     def _request(
-        self, method: str, path: str, body: bytes | None = None
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        extra: bytes = b"",
     ) -> tuple[int, dict[str, str], dict]:
         """One round trip; retries exactly once on a stale keep-alive
         socket (the server may have timed our idle connection out)."""
         last_error: Exception | None = None
         for attempt in range(2):
-            conn = self._connection()
             try:
-                conn.request(
-                    method, path, body=body,
-                    headers={"Content-Type": "application/json"} if body else {},
-                )
-                response = conn.getresponse()
-                payload = response.read()
-                headers = {k.lower(): v for k, v in response.getheaders()}
+                if self._sock is None:
+                    self._connect()
+                self._send(method, path, body, extra)
+                status, headers, payload = self._read_response()
                 try:
                     decoded = json.loads(payload) if payload else {}
                 except json.JSONDecodeError as exc:
                     raise TransportError(
                         f"non-JSON response from {self.host}:{self.port}: {exc}"
                     ) from None
-                return response.status, headers, decoded
+                return status, headers, decoded
             except (
-                http.client.HTTPException, ConnectionError, socket.timeout,
-                OSError,
+                _WireFormatError, ConnectionError, socket.timeout, OSError,
             ) as exc:
                 last_error = exc
                 self.close()
@@ -170,6 +264,92 @@ class SpotLightClient:
     def query(self, name: str, params: dict[str, Any] | None = None) -> Any:
         """POST one schema request and return its ``result`` payload."""
         return self.query_response(name, params)["result"]
+
+    def batch_response(self, requests: list[dict]) -> list[dict]:
+        """POST N schema requests to ``/batch`` in one round trip.
+
+        ``requests`` is a list of ``{"query": ..., "params": {...}}``
+        dicts; returns the per-query response dicts in request order.
+        Each element is exactly what the equivalent single
+        :meth:`query_response` call would have returned — including
+        per-query error responses, which do NOT raise here (one bad
+        sub-query should not cost the caller the other N-1 answers).
+        """
+        body = json.dumps({"queries": requests}).encode()
+        status, headers, response = self._request("POST", "/batch", body)
+        if status == 429:
+            error = response.get("error", {})
+            retry_after = float(
+                headers.get("retry-after", error.get("retry_after", 1.0))
+            )
+            raise ThrottledError(error.get("message", "throttled"), retry_after)
+        if status != 200 or not response.get("ok"):
+            error = response.get("error", {})
+            raise QueryError(
+                error.get("code", "unknown"),
+                error.get("message", f"HTTP {status}"),
+                status,
+            )
+        return response["results"]
+
+    def batch_query(
+        self, requests: list[dict | tuple[str, dict | None]]
+    ) -> list[Any]:
+        """Like :meth:`batch_response` but returns the ``result``
+        payloads, raising :class:`QueryError` on the first failed
+        sub-query.  Accepts request dicts or ``(name, params)`` pairs.
+        """
+        normalized = [
+            request if isinstance(request, dict)
+            else {"query": request[0], "params": request[1] or {}}
+            for request in requests
+        ]
+        results = []
+        for sub in self.batch_response(normalized):
+            if not sub.get("ok"):
+                error = sub.get("error", {})
+                raise QueryError(
+                    error.get("code", "unknown"),
+                    error.get("message", "batch sub-query failed"),
+                    400,
+                )
+            results.append(sub["result"])
+        return results
+
+    def poll(self, name: str, params: dict[str, Any] | None = None) -> Any:
+        """Like :meth:`query`, but conditional: remembers the ETag of
+        the last answer per ``(name, params)`` and sends
+        ``If-None-Match``, so an unchanged answer is a bodyless 304
+        (counted in :attr:`polls_not_modified`) and the cached result
+        is returned.  The cheap way to watch a query."""
+        params = params or {}
+        key = json.dumps({"query": name, "params": params}, sort_keys=True)
+        body = json.dumps({"query": name, "params": params}).encode()
+        cached = self._poll_cache.get(key)
+        extra = b""
+        if cached is not None:
+            extra = b"If-None-Match: " + cached[0].encode("latin-1") + b"\r\n"
+        status, headers, response = self._request("POST", "/query", body, extra)
+        if status == 304 and cached is not None:
+            self.polls_not_modified += 1
+            return cached[1]["result"]
+        if status == 429:
+            error = response.get("error", {})
+            retry_after = float(
+                headers.get("retry-after", error.get("retry_after", 1.0))
+            )
+            raise ThrottledError(error.get("message", "throttled"), retry_after)
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise QueryError(
+                error.get("code", "unknown"),
+                error.get("message", f"HTTP {status}"),
+                status,
+            )
+        etag = headers.get("etag")
+        if etag:
+            self._poll_cache[key] = (etag, response)
+        return response["result"]
 
     def retrying_query(
         self,
@@ -281,6 +461,8 @@ class SpotLightClient:
             "cache_hits": frontend.get("hits", 0),
             "cache_misses": frontend.get("misses", 0),
             "connections": stats.get("connections_accepted", 0),
+            "batch_queries": stats.get("batch_queries", 0),
+            "not_modified": stats.get("not_modified", 0),
         }
         # values[field], not .get: keep this fallback loudly in sync
         # with the schema the stats board publishes.

@@ -17,10 +17,30 @@ The cache key is the canonical JSON of ``(query, params)``; entries
 expire ``cache_ttl`` seconds after being filled, measured on the clock
 the frontend is given (the provider's clock for an embedded frontend,
 wall time for a standalone one).
+
+On top of the object cache sits the **wire cache** — the serving hot
+path.  :meth:`QueryFrontend.handle_wire` answers a schema request with
+a :class:`WireResponse` holding the *serialized* UTF-8 JSON response
+bytes and a precomputed strong ETag, keyed by the same
+:meth:`request_key`.  A wire hit is a dict lookup returning bytes that
+a transport writes straight to the socket — no ``json.dumps`` per hit.
+ETags hash the ``(query, result)`` content plus a **generation**
+counter bumped by :meth:`invalidate`, so conditional requests
+(``If-None-Match`` → 304) stay correct across cache invalidation and
+keep answering 304 across TTL refreshes that recompute the same
+result.  The typed methods are untouched: they keep returning engine
+objects from the object cache.
+
+Both caches keep their dicts in expiry order (constant TTL + monotonic
+clock means insertion order *is* expiry order; refreshed keys are
+re-inserted at the end), so making room for an insert pops expired
+entries from the front instead of scanning the whole dict — O(1)
+amortized at capacity.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from dataclasses import dataclass
@@ -42,6 +62,101 @@ class BadRequestError(ValueError):
 class _CacheEntry:
     value: Any
     expires: float
+
+
+def wire_encode(payload: object) -> bytes:
+    """The canonical wire encoding: compact UTF-8 JSON.
+
+    Every serialized response — single, batch element, cached bytes —
+    uses this one encoding, so decode→re-encode round-trips
+    byte-identically and batch bodies can be assembled by concatenating
+    already-serialized parts.
+    """
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def assemble_batch_body(parts: list[bytes]) -> bytes:
+    """Join per-query response bytes into one batch response body
+    without re-encoding any of them."""
+    return (
+        b'{"ok":true,"count":' + str(len(parts)).encode() + b',"results":['
+        + b",".join(parts) + b"]}"
+    )
+
+
+class QueryRequest:
+    """One wire query with its canonical key memoized.
+
+    The transport builds one of these per parsed request; single-flight
+    coalescing, the wire byte cache, and the ETag all share the single
+    :meth:`QueryFrontend.request_key` computation instead of re-running
+    ``json.dumps(sort_keys=True)`` at every layer.
+    """
+
+    __slots__ = ("query", "params", "_key")
+
+    def __init__(self, query: object, params: object) -> None:
+        self.query = query
+        self.params = params if params is not None else {}
+        self._key: str | None = None
+
+    @classmethod
+    def from_dict(cls, request: dict) -> "QueryRequest":
+        return cls(request.get("query"), request.get("params", {}))
+
+    @property
+    def key(self) -> str:
+        key = self._key
+        if key is None:
+            key = self._key = QueryFrontend.request_key(self.query, self.params)
+        return key
+
+    def as_dict(self) -> dict[str, object]:
+        return {"query": self.query, "params": self.params}
+
+
+class WireResponse:
+    """One serialized response: exact bytes plus wire metadata.
+
+    ``body`` is what this request gets; ``follower_body`` is what a
+    *subsequent* identical request would get (the cached variant with
+    ``"cached": true`` baked in) — coalesced followers and batch
+    duplicates use it so a batch stays byte-identical to the
+    equivalent sequence of single requests.
+    """
+
+    __slots__ = ("status", "body", "etag", "cached", "follower_body")
+
+    def __init__(
+        self,
+        status: int,
+        body: bytes,
+        etag: str | None,
+        cached: bool,
+        follower_body: bytes,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.etag = etag
+        self.cached = cached
+        self.follower_body = follower_body
+
+    def as_follower(self) -> "WireResponse":
+        return WireResponse(
+            self.status, self.follower_body, self.etag, True, self.follower_body
+        )
+
+
+class _WireEntry:
+    __slots__ = ("status", "body", "etag", "expires")
+
+    def __init__(
+        self, status: int, body: bytes, etag: str, expires: float
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.etag = etag
+        self.expires = expires
 
 
 def _parse_market(value: object) -> MarketID:
@@ -189,10 +304,14 @@ class QueryFrontend:
         self.max_entries = max_entries
         self._clock = clock if clock is not None else time.monotonic
         self._cache: dict[str, _CacheEntry] = {}
+        self._wire_cache: dict[str, _WireEntry] = {}
+        self._generation = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
+        self.wire_hits = 0
+        self.wire_misses = 0
         self._handlers: dict[str, Callable[[dict], object]] = {
             "top-stable-markets": self._q_top_stable_markets,
             "availability": self._q_availability,
@@ -228,7 +347,12 @@ class QueryFrontend:
             return entry.value, True
         self.misses += 1
         value = compute()
-        if entry is None and len(self._cache) >= self.max_entries:
+        if entry is not None:
+            # Re-insert at the end so the dict stays expiry-ordered
+            # (constant TTL + monotonic clock: insertion order is
+            # expiry order — what lets _evict pop from the front).
+            del self._cache[key]
+        elif len(self._cache) >= self.max_entries:
             self._evict(now)
         self._cache[key] = _CacheEntry(value, now + self.cache_ttl)
         return value, False
@@ -236,19 +360,37 @@ class QueryFrontend:
     def _evict(self, now: float) -> None:
         """Make room for one insert.  ``expirations`` counts entries
         whose TTL had lapsed; ``evictions`` counts live entries dropped
-        purely for capacity — each removal is tallied exactly once."""
-        expired = [k for k, e in self._cache.items() if e.expires <= now]
-        for key in expired:
-            del self._cache[key]
-        self.expirations += len(expired)
-        while len(self._cache) >= self.max_entries:
+        purely for capacity — each removal is tallied exactly once.
+
+        The dict is expiry-ordered (see :meth:`_cached`), so lapsed
+        entries are popped from the front until the first live one —
+        O(expired), not O(entries) — and the scan never touches live
+        entries it will not drop.
+        """
+        cache = self._cache
+        while cache:
+            oldest = next(iter(cache))
+            if cache[oldest].expires > now:
+                break
+            del cache[oldest]
+            self.expirations += 1
+        while len(cache) >= self.max_entries:
             # Dicts iterate in insertion order: drop the oldest entry.
-            del self._cache[next(iter(self._cache))]
+            del cache[next(iter(cache))]
             self.evictions += 1
 
     def invalidate(self) -> None:
-        """Drop every cached result (e.g. after a bulk data import)."""
+        """Drop every cached result (e.g. after a bulk data import).
+
+        Bumps the ETag generation: every ETag minted after an
+        invalidation differs from every ETag minted before it, so a
+        poller holding a pre-invalidation tag gets a full 200 (with the
+        new tag) rather than a 304, even when the recomputed result
+        happens to be identical.
+        """
         self._cache.clear()
+        self._wire_cache.clear()
+        self._generation += 1
 
     def prime(self) -> None:
         """Warm the engine's read-side index (servers call this before
@@ -265,7 +407,117 @@ class QueryFrontend:
             "misses": self.misses,
             "evictions": self.evictions,
             "expirations": self.expirations,
+            "wire_entries": len(self._wire_cache),
+            "wire_hits": self.wire_hits,
+            "wire_misses": self.wire_misses,
         }
+
+    # -- the wire byte cache -------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """The ETag generation (bumped by :meth:`invalidate`)."""
+        return self._generation
+
+    def _etag(self, query: object, result: object) -> str:
+        """A strong ETag over the *content* of an answer.
+
+        Hashes ``(query, result)`` — not the response envelope — so a
+        TTL refresh that recomputes the same result keeps the same tag
+        (repeat pollers keep getting 304s), while the generation prefix
+        guarantees a new tag after :meth:`invalidate`.
+        """
+        digest = hashlib.blake2b(
+            wire_encode([query, result]), digest_size=10
+        ).hexdigest()
+        return f'"g{self._generation}-{digest}"'
+
+    def wire_lookup(self, key: str) -> WireResponse | None:
+        """The hot path: serialized bytes for ``key`` if cached and
+        fresh, else None.  A hit costs one dict lookup — no encoding."""
+        entry = self._wire_cache.get(key)
+        if entry is None:
+            return None
+        if self._clock() >= entry.expires:
+            del self._wire_cache[key]
+            return None
+        self.wire_hits += 1
+        return WireResponse(entry.status, entry.body, entry.etag, True, entry.body)
+
+    def handle_wire(self, request: "QueryRequest | dict") -> WireResponse:
+        """Serve one schema request as serialized bytes (see
+        :class:`WireResponse`); the byte-cache layer over
+        :meth:`handle`.
+
+        Only ``ok`` responses are cached (and tagged): error responses
+        are recomputed per request, which keeps their bytes identical
+        to what a fresh computation would produce.
+        """
+        if isinstance(request, QueryRequest):
+            key = request.key
+            raw = request.as_dict()
+        else:
+            key = self.request_key(
+                request.get("query"), request.get("params", {})
+            )
+            raw = request
+        hit = self.wire_lookup(key)
+        if hit is not None:
+            return hit
+        self.wire_misses += 1
+        response = self.handle(raw)
+        body = wire_encode(response)
+        if not response.get("ok"):
+            code = response.get("error", {}).get("code")
+            status = 500 if code == "internal-error" else 400
+            return WireResponse(status, body, None, False, body)
+        if response.get("cached"):
+            follower = body  # already a downstream cache hit
+        else:
+            follower = wire_encode({**response, "cached": True})
+        etag = self._etag(response["query"], response["result"])
+        now = self._clock()
+        if key in self._wire_cache:
+            del self._wire_cache[key]  # re-insert: keep expiry order
+        elif len(self._wire_cache) >= self.max_entries:
+            self._evict_wire(now)
+        self._wire_cache[key] = _WireEntry(
+            200, follower, etag, now + self.cache_ttl
+        )
+        return WireResponse(200, body, etag, False, follower)
+
+    def _evict_wire(self, now: float) -> None:
+        """Make room in the wire cache: pop expired entries from the
+        front of the expiry-ordered dict, then oldest-first."""
+        cache = self._wire_cache
+        while cache:
+            oldest = next(iter(cache))
+            if cache[oldest].expires > now:
+                break
+            del cache[oldest]
+        while len(cache) >= self.max_entries:
+            del cache[next(iter(cache))]
+
+    def handle_wire_batch(self, requests: list) -> bytes:
+        """Serve a batch of schema requests as one assembled body.
+
+        Duplicate sub-queries are answered once and their later
+        occurrences get the cached-variant bytes — exactly what the
+        equivalent sequence of single requests would have produced.
+        (The async transport implements the same contract with
+        single-flight coalescing; this synchronous form serves the CLI
+        and in-process callers.)
+        """
+        parts: list[bytes] = []
+        for item in requests:
+            if not isinstance(item, dict):
+                parts.append(
+                    wire_encode(
+                        self._error("bad-request", "request must be a dict")
+                    )
+                )
+                continue
+            parts.append(self.handle_wire(QueryRequest.from_dict(item)).body)
+        return assemble_batch_body(parts)
 
     # -- typed API (what the apps consume) ---------------------------------
     def on_demand_price(self, market: MarketID) -> float:

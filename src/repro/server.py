@@ -5,6 +5,10 @@ behind a stdlib-only ``asyncio`` HTTP/1.1 endpoint:
 
 * ``POST /query`` — the frontend's dict request/response schema as
   JSON (``{"query": <name>, "params": {...}}``);
+* ``POST /batch`` — up to :data:`MAX_BATCH_QUERIES` queries in one
+  request (``{"queries": [...]}``), answered in one response whose
+  per-query results are byte-identical to the equivalent sequence of
+  single ``/query`` calls;
 * ``GET /healthz`` — liveness (never rate-limited);
 * ``GET /stats`` — serving counters, per-endpoint latency histograms,
   and the frontend's cache statistics.
@@ -19,11 +23,24 @@ It is shaped for real traffic, not demos:
   one engine computation.  The frontend's TTL cache only dedupes
   *completed* results; under a thundering herd of identical cold
   queries the coalescing map is what keeps the engine from computing
-  the same answer K times;
+  the same answer K times.  Batch sub-queries go through the same
+  map, so K identical sub-queries in one batch cost one engine call;
+* a **zero-re-serialization hot path**: queries are answered from the
+  frontend's wire byte cache (:meth:`QueryFrontend.handle_wire`), so a
+  cache hit is a dict lookup plus one ``writer.write`` of preassembled
+  header and body bytes — no ``json.dumps`` per hit, and no
+  thread-pool round-trip (the loop takes the frontend lock
+  opportunistically and falls back to the executor only on a miss);
+* **conditional requests**: every OK ``/query`` response carries a
+  strong ``ETag``; a request whose ``If-None-Match`` matches is
+  answered ``304 Not Modified`` with no body (counted in
+  ``not_modified``).  Tags are content-hashed with an invalidation
+  generation, so repeat pollers keep getting 304s across TTL
+  refreshes but never across :meth:`QueryFrontend.invalidate`;
 * **token-bucket admission control** per client host (the same bucket
   idiom the simulated EC2 substrate uses for API rate limits),
   answering ``429`` with a ``Retry-After`` hint when a client
-  overruns its budget;
+  overruns its budget — a batch of N queries consumes N tokens;
 * engine work runs on a worker thread (the event loop never blocks on
   a cold query), serialized by a lock because the frontend's cache is
   not thread-safe — coalescing and the TTL cache keep that serialization
@@ -47,7 +64,13 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Awaitable, Callable
 
-from repro.core.frontend import QueryFrontend
+from repro.core.frontend import (
+    QueryFrontend,
+    QueryRequest,
+    WireResponse,
+    assemble_batch_body,
+    wire_encode,
+)
 from repro.ec2.limits import TokenBucket
 
 #: Admission-control defaults: generous enough that a well-behaved
@@ -76,6 +99,12 @@ MAX_HEADER_LINES = 100
 #: size, so a parade of one-shot client IPs cannot grow memory forever.
 MAX_CLIENT_BUCKETS = 4096
 
+#: Upper bound on queries per ``/batch`` request.  Combined with the
+#: body-size cap this bounds the work one request can pin; a batch of N
+#: also consumes N admission tokens, so batching cannot outrun the
+#: per-client rate limit.
+MAX_BATCH_QUERIES = 256
+
 #: Latency histogram bucket upper bounds, in seconds (the last bucket
 #: is open-ended).  Spans 100 µs cache hits to multi-second cold scans.
 LATENCY_BUCKETS = (
@@ -84,14 +113,36 @@ LATENCY_BUCKETS = (
 )
 
 _REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
+    200: "OK", 304: "Not Modified", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 408: "Request Timeout",
     413: "Payload Too Large", 429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
 }
 
-_JSON_HEADERS = (("Content-Type", "application/json"),)
+#: Preassembled response heads, one per (status, keep_alive): every
+#: header byte that does not vary per response is baked at import, so
+#: writing a response is head + content-length digits + extra header
+#: lines + blank line + body — no per-request string formatting.
+_RESPONSE_HEADS = {
+    (status, keep_alive): (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"Content-Length: "
+    ).encode("latin-1")
+    for status, reason in _REASONS.items()
+    for keep_alive in (True, False)
+}
+
+#: Content-Length values for every body size a cached answer plausibly
+#: has, formatted once at import.
+_CONTENT_LENGTHS = tuple(b"%d" % n for n in range(8192))
+
+
+def _content_length(n: int) -> bytes:
+    return _CONTENT_LENGTHS[n] if n < 8192 else b"%d" % n
+
 
 #: The cluster counter schema — single source of truth shared by
 #: :meth:`SpotLightServer._board_counters`, the multi-worker stats
@@ -100,6 +151,7 @@ _JSON_HEADERS = (("Content-Type", "application/json"),)
 CLUSTER_COUNTER_FIELDS = (
     "requests", "queries", "errors", "coalesced", "throttled",
     "slow_shed", "cache_hits", "cache_misses", "connections",
+    "batch_queries", "not_modified",
 )
 
 
@@ -226,8 +278,11 @@ class SpotLightServer:
         self.coalesced = 0
         self.throttled = 0
         self.slow_shed = 0
+        self.batch_queries = 0
+        self.not_modified = 0
         self._endpoints: dict[str, _EndpointStats] = {
             "/query": _EndpointStats(),
+            "/batch": _EndpointStats(),
             "/healthz": _EndpointStats(),
             "/stats": _EndpointStats(),
         }
@@ -297,18 +352,16 @@ class SpotLightServer:
                     self.slow_shed += 1
                     await self._write_response(
                         writer, 408,
-                        json.dumps(
+                        wire_encode(
                             _error_body("timeout", "request read timed out")
-                        ).encode(),
+                        ),
                         keep_alive=False,
                     )
                     break
                 except _HttpError as exc:
                     await self._write_response(
                         writer, exc.status,
-                        json.dumps(
-                            _error_body("http-error", exc.message)
-                        ).encode(),
+                        wire_encode(_error_body("http-error", exc.message)),
                         keep_alive=False,
                     )
                     # Lingering close: swallow what the peer already
@@ -321,19 +374,14 @@ class SpotLightServer:
                     break
                 if request is None:  # clean EOF between requests
                     break
-                method, path, body, keep_alive = request
+                method, path, body, keep_alive, headers = request
                 keep_alive = keep_alive and not self._closing
-                status, payload = await self._dispatch(
-                    method, path, body, client_host
+                status, payload, extra = await self._dispatch(
+                    method, path, body, headers, client_host
                 )
-                extra = ()
-                if status == 429:
-                    retry_after = payload.get("error", {}).get("retry_after", 1.0)
-                    extra = (("Retry-After", f"{retry_after:.3f}"),)
                 await self._write_response(
-                    writer, status,
-                    json.dumps(payload).encode(),
-                    keep_alive=keep_alive, extra_headers=extra,
+                    writer, status, payload,
+                    keep_alive=keep_alive, extra=extra,
                     include_body=method != "HEAD",
                 )
                 if not keep_alive:
@@ -349,15 +397,17 @@ class SpotLightServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes, bool] | None:
+    ) -> tuple[str, str, bytes, bool, dict[str, str]] | None:
         """Read one framed request; None on clean EOF before a request.
 
         The wait for the request's *first byte* is the idle keep-alive
         timeout (``request_timeout``).  From that byte on, the whole
         request — line, headers, body — must arrive within
-        ``read_deadline``: every subsequent read is bounded by the time
-        remaining, so a peer dribbling one byte per read cannot hold
-        the connection indefinitely.
+        ``read_deadline``: the rest of the read runs under ONE
+        ``wait_for`` (on 3.11 every ``wait_for`` spawns a task, so the
+        old per-read deadline cost several task spin-ups per request),
+        and a peer dribbling one byte per read still cannot hold the
+        connection past the deadline.
         """
         try:
             first = await asyncio.wait_for(
@@ -367,15 +417,15 @@ class SpotLightServer:
             raise _IdleTimeout() from None
         if not first:
             return None
-        deadline = self._clock() + self.read_deadline
+        return await asyncio.wait_for(
+            self._read_rest(reader, first), self.read_deadline
+        )
 
-        def remaining() -> float:
-            return max(0.001, deadline - self._clock())
-
+    async def _read_rest(
+        self, reader: asyncio.StreamReader, first: bytes
+    ) -> tuple[str, str, bytes, bool, dict[str, str]]:
         try:
-            request_line = first + await asyncio.wait_for(
-                reader.readline(), remaining()
-            )
+            request_line = first + await reader.readline()
         except ValueError:  # StreamReader line-length limit overrun
             raise _HttpError(431, "request line too long") from None
         try:
@@ -391,9 +441,7 @@ class SpotLightServer:
             if header_lines > MAX_HEADER_LINES:
                 raise _HttpError(431, "too many header fields")
             try:
-                line = await asyncio.wait_for(
-                    reader.readline(), remaining()
-                )
+                line = await reader.readline()
             except ValueError:
                 raise _HttpError(431, "header line too long") from None
             if line in (b"\r\n", b"\n"):
@@ -418,14 +466,12 @@ class SpotLightServer:
             )
         body = b""
         if content_length:
-            body = await asyncio.wait_for(
-                reader.readexactly(content_length), remaining()
-            )
+            body = await reader.readexactly(content_length)
         keep_alive = (
             headers.get("connection", "").lower() != "close"
             and version.upper() != "HTTP/1.0"
         )
-        return method.upper(), target.split("?", 1)[0], body, keep_alive
+        return method.upper(), target.split("?", 1)[0], body, keep_alive, headers
 
     async def _write_response(
         self,
@@ -433,60 +479,81 @@ class SpotLightServer:
         status: int,
         body: bytes,
         keep_alive: bool,
-        extra_headers: tuple[tuple[str, str], ...] = (),
+        extra: bytes = b"",
         include_body: bool = True,
     ) -> None:
         # A HEAD response advertises the GET body's length but must not
         # send the body itself, or the keep-alive stream desyncs.
-        headers = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        for name, value in (*_JSON_HEADERS, *extra_headers):
-            headers.append(f"{name}: {value}")
+        # ``extra`` is zero or more complete header lines (each ending
+        # CRLF), pre-encoded by the dispatch path.
         writer.write(
-            "\r\n".join(headers).encode("latin-1") + b"\r\n\r\n"
+            _RESPONSE_HEADS[(status, keep_alive)]
+            + _content_length(len(body)) + b"\r\n" + extra + b"\r\n"
             + (body if include_body else b"")
         )
         await writer.drain()
 
     # -- routing ------------------------------------------------------------
     async def _dispatch(
-        self, method: str, path: str, body: bytes, client_host: str
-    ) -> tuple[int, dict]:
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: dict[str, str],
+        client_host: str,
+    ) -> tuple[int, bytes, bytes]:
+        """Route one request; returns ``(status, body_bytes, extra)``
+        where ``extra`` is pre-encoded additional header lines."""
         endpoint = self._endpoints.get(path)
         if endpoint is None:
-            return 404, _error_body("not-found", f"no such endpoint: {path}")
+            return (
+                404,
+                wire_encode(
+                    _error_body("not-found", f"no such endpoint: {path}")
+                ),
+                b"",
+            )
         started = self._clock()
         endpoint.requests += 1
+        extra = b""
         try:
             if path == "/query":
                 if method != "POST":
-                    status, payload = 405, _error_body(
+                    status, payload = 405, wire_encode(_error_body(
                         "method-not-allowed", "use POST for /query"
-                    )
+                    ))
                 else:
-                    status, payload = await self._handle_query(body, client_host)
+                    status, payload, extra = await self._handle_query(
+                        body, headers, client_host
+                    )
+            elif path == "/batch":
+                if method != "POST":
+                    status, payload = 405, wire_encode(_error_body(
+                        "method-not-allowed", "use POST for /batch"
+                    ))
+                else:
+                    status, payload, extra = await self._handle_batch(
+                        body, client_host
+                    )
             elif method not in ("GET", "HEAD"):
-                status, payload = 405, _error_body(
+                status, payload = 405, wire_encode(_error_body(
                     "method-not-allowed", f"use GET for {path}"
-                )
+                ))
             elif path == "/healthz":
-                status, payload = 200, self._healthz()
+                status, payload = 200, wire_encode(self._healthz())
             else:  # /stats
-                status, payload = 200, self.stats()
+                status, payload = 200, wire_encode(self.stats())
         except Exception as exc:  # last-ditch: never drop the connection
-            status, payload = 500, _error_body(
+            status, payload = 500, wire_encode(_error_body(
                 "internal-error", f"{type(exc).__name__}: {exc}"
-            )
+            ))
         finally:
             endpoint.latency.observe(self._clock() - started)
         if status >= 400:
             endpoint.errors += 1
         if self._stats_board is not None:
             self._stats_board.publish(self.worker_id, self._board_counters())
-        return status, payload
+        return status, payload, extra
 
     def _healthz(self) -> dict:
         """Liveness plus — for pool workers — cluster degradation.
@@ -530,21 +597,27 @@ class SpotLightServer:
             "cache_hits": self.frontend.hits,
             "cache_misses": self.frontend.misses,
             "connections": self.connections_accepted,
+            "batch_queries": self.batch_queries,
+            "not_modified": self.not_modified,
         }
         return {field: values[field] for field in CLUSTER_COUNTER_FIELDS}
 
     # -- /query: admission + single flight ----------------------------------
-    def _admit(self, client_host: str) -> float | None:
-        """None if the request may proceed, else a retry-after hint."""
+    def _admit(self, client_host: str, tokens: float = 1.0) -> float | None:
+        """None if the request may proceed, else a retry-after hint.
+
+        A batch consumes one token per sub-query, so the per-client
+        rate limit holds regardless of how queries are framed.
+        """
         bucket = self._buckets.get(client_host)
         if bucket is None:
             if len(self._buckets) >= MAX_CLIENT_BUCKETS:
                 self._sweep_idle_buckets()
             bucket = TokenBucket(self._clock, self.rate_per_second, self.burst)
             self._buckets[client_host] = bucket
-        if bucket.try_consume():
+        if bucket.try_consume(tokens):
             return None
-        return bucket.seconds_until_available()
+        return bucket.seconds_until_available(tokens)
 
     def _sweep_idle_buckets(self) -> None:
         """Drop buckets that have refilled to full burst (their client
@@ -560,48 +633,152 @@ class SpotLightServer:
         while len(self._buckets) >= MAX_CLIENT_BUCKETS:
             del self._buckets[next(iter(self._buckets))]
 
+    def _throttle_response(
+        self, client_host: str, retry_after: float
+    ) -> tuple[int, bytes, bytes]:
+        self.throttled += 1
+        body = wire_encode({
+            "ok": False,
+            "error": {
+                "code": "throttled",
+                "message": (
+                    f"client {client_host} exceeded "
+                    f"{self.rate_per_second:g} queries/s"
+                ),
+                "retry_after": round(retry_after, 3),
+            },
+        })
+        return 429, body, f"Retry-After: {retry_after:.3f}\r\n".encode("latin-1")
+
     async def _handle_query(
-        self, body: bytes, client_host: str
-    ) -> tuple[int, dict]:
+        self, body: bytes, headers: dict[str, str], client_host: str
+    ) -> tuple[int, bytes, bytes]:
         retry_after = self._admit(client_host)
         if retry_after is not None:
-            self.throttled += 1
-            return 429, {
-                "ok": False,
-                "error": {
-                    "code": "throttled",
-                    "message": (
-                        f"client {client_host} exceeded "
-                        f"{self.rate_per_second:g} queries/s"
-                    ),
-                    "retry_after": round(retry_after, 3),
-                },
-            }
+            return self._throttle_response(client_host, retry_after)
         try:
             request = json.loads(body)
         except json.JSONDecodeError as exc:
-            return 400, _error_body("bad-request", f"body is not JSON: {exc}")
+            return (
+                400,
+                wire_encode(
+                    _error_body("bad-request", f"body is not JSON: {exc}")
+                ),
+                b"",
+            )
         if not isinstance(request, dict):
-            return 400, _error_body("bad-request", "request must be an object")
-        response = await self._coalesced_handle(request)
-        return _status_of(response), response
+            return (
+                400,
+                wire_encode(
+                    _error_body("bad-request", "request must be an object")
+                ),
+                b"",
+            )
+        wire = await self._coalesced_wire(QueryRequest.from_dict(request))
+        if wire.etag is None:
+            return wire.status, wire.body, b""
+        etag_line = b"ETag: " + wire.etag.encode("latin-1") + b"\r\n"
+        if self._etag_matches(headers.get("if-none-match"), wire.etag):
+            self.not_modified += 1
+            return 304, b"", etag_line
+        return wire.status, wire.body, etag_line
 
-    async def _coalesced_handle(self, request: dict) -> dict:
-        """Run ``frontend.handle`` off-loop, sharing one computation
-        between identical in-flight requests."""
+    @staticmethod
+    def _etag_matches(if_none_match: str | None, etag: str) -> bool:
+        if if_none_match is None:
+            return False
+        if if_none_match == etag or if_none_match == "*":
+            return True
+        return etag in (tag.strip() for tag in if_none_match.split(","))
+
+    async def _handle_batch(
+        self, body: bytes, client_host: str
+    ) -> tuple[int, bytes, bytes]:
+        """N queries, one request.  Each sub-query runs through the same
+        wire cache and single-flight map as ``/query``, so the
+        ``results`` array is byte-identical to what the equivalent
+        sequence of single calls would have returned — and K identical
+        sub-queries cost one engine call."""
+        try:
+            parsed = json.loads(body)
+        except json.JSONDecodeError as exc:
+            return (
+                400,
+                wire_encode(
+                    _error_body("bad-request", f"body is not JSON: {exc}")
+                ),
+                b"",
+            )
+        queries = parsed.get("queries") if isinstance(parsed, dict) else parsed
+        if not isinstance(queries, list) or not queries:
+            return (
+                400,
+                wire_encode(_error_body(
+                    "bad-request",
+                    'batch body must be {"queries": [...]} with at least '
+                    "one query",
+                )),
+                b"",
+            )
+        if len(queries) > MAX_BATCH_QUERIES:
+            return (
+                400,
+                wire_encode(_error_body(
+                    "bad-request",
+                    f"batch of {len(queries)} exceeds the "
+                    f"{MAX_BATCH_QUERIES} query limit",
+                )),
+                b"",
+            )
+        retry_after = self._admit(client_host, tokens=float(len(queries)))
+        if retry_after is not None:
+            return self._throttle_response(client_host, retry_after)
+        self.batch_queries += len(queries)
+        # Sub-queries are dispatched concurrently; duplicates coalesce
+        # on the in-flight map (the leader registers its future before
+        # first awaiting, so in-batch duplicates deterministically
+        # follow it).  gather preserves order.
+        coros = []
+        for item in queries:
+            if isinstance(item, dict):
+                coros.append(self._coalesced_wire(QueryRequest.from_dict(item)))
+            else:
+                coros.append(self._bad_subquery())
+        results = await asyncio.gather(*coros)
+        return 200, assemble_batch_body([wire.body for wire in results]), b""
+
+    async def _bad_subquery(self) -> WireResponse:
+        body = wire_encode(_error_body("bad-request", "request must be an object"))
+        return WireResponse(400, body, None, False, body)
+
+    async def _coalesced_wire(self, request: QueryRequest) -> WireResponse:
+        """Serve one query as wire bytes, sharing one computation
+        between identical in-flight requests.
+
+        The hot path never leaves the event loop: if the frontend lock
+        is free (it almost always is — holders are cold engine calls),
+        a wire-cache hit is answered inline instead of paying a
+        thread-pool round-trip.
+        """
+        key = request.key
+        if self._frontend_lock.acquire(blocking=False):
+            try:
+                hit = self.frontend.wire_lookup(key)
+            finally:
+                self._frontend_lock.release()
+            if hit is not None:
+                return hit
         loop = asyncio.get_running_loop()
-        key = QueryFrontend.request_key(
-            request.get("query"), request.get("params", {})
-        )
         leader_future = self._inflight.get(key)
         if leader_future is not None:
             self.coalesced += 1
-            return await asyncio.shield(leader_future)
+            leader: WireResponse = await asyncio.shield(leader_future)
+            return leader.as_follower()
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
         try:
             response = await loop.run_in_executor(
-                self._executor, self._locked_handle, request
+                self._executor, self._locked_handle_wire, request
             )
             future.set_result(response)
         except BaseException as exc:
@@ -614,9 +791,9 @@ class SpotLightServer:
             del self._inflight[key]
         return response
 
-    def _locked_handle(self, request: dict) -> dict:
+    def _locked_handle_wire(self, request: QueryRequest) -> WireResponse:
         with self._frontend_lock:
-            return self.frontend.handle(request)
+            return self.frontend.handle_wire(request)
 
     # -- stats ---------------------------------------------------------------
     def stats(self) -> dict[str, object]:
@@ -629,6 +806,8 @@ class SpotLightServer:
             "coalesced": self.coalesced,
             "throttled": self.throttled,
             "slow_shed": self.slow_shed,
+            "batch_queries": self.batch_queries,
+            "not_modified": self.not_modified,
             "clients": len(self._buckets),
             "endpoints": {
                 path: endpoint.snapshot()
@@ -641,14 +820,6 @@ class SpotLightServer:
             self._stats_board.publish(self.worker_id, self._board_counters())
             payload["cluster"] = self._stats_board.aggregate()
         return payload
-
-
-def _status_of(response: dict) -> int:
-    """Map a frontend response to an HTTP status."""
-    if response.get("ok"):
-        return 200
-    code = response.get("error", {}).get("code")
-    return 500 if code == "internal-error" else 400
 
 
 def _error_body(code: str, message: str) -> dict:

@@ -58,7 +58,9 @@ from repro.core.frontend import DEFAULT_CACHE_TTL, QueryFrontend
 from repro.server import CLUSTER_COUNTER_FIELDS, SpotLightServer
 
 #: One row per worker; SpotLightServer._board_counters produces the
-#: values, repro.server owns the schema.
+#: values, repro.server owns the schema.  The schema includes the wire
+#: hot-path counters (``batch_queries``, ``not_modified``) so cluster
+#: aggregates report batch and 304 traffic without a board change here.
 BOARD_FIELDS = CLUSTER_COUNTER_FIELDS
 
 #: The supervisor-written health row (see StatsBoard.set_health).

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import random
+import socket
 import time
 
 import pytest
@@ -246,6 +247,119 @@ class TestWorkerKillUnderLoad:
         assert pool.respawns >= 1
         assert not pool.failed
         assert (0, -9) in pool.exit_history
+
+
+def _raw_query(
+    address: tuple[str, int], request: dict, extra: bytes = b""
+) -> tuple[int, dict[str, str], bytes]:
+    """One fresh-connection /query round trip at the byte level (the
+    SDK hides status codes and ETags; these assertions need them)."""
+    body = json.dumps(request).encode()
+    with socket.create_connection(address, timeout=10.0) as sock:
+        sock.sendall(
+            b"POST /query HTTP/1.1\r\nConnection: close\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            + extra + b"\r\n" + body
+        )
+        rfile = sock.makefile("rb")
+        status = int(rfile.readline().split()[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = rfile.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        payload = rfile.read(int(headers.get("content-length", "0")))
+    return status, headers, payload
+
+
+def _raw_query_retrying(
+    address: tuple[str, int], request: dict, extra: bytes = b""
+) -> tuple[int, dict[str, str], bytes]:
+    """Ride out connections that land on a worker mid-kill."""
+    last: Exception | None = None
+    for _ in range(20):
+        try:
+            return _raw_query(address, request, extra)
+        except (ConnectionError, OSError) as exc:
+            last = exc
+            time.sleep(0.1)
+    raise AssertionError(f"query never succeeded: {last}")
+
+
+class TestWireCacheAcrossRespawn:
+    REQUEST = {"query": "rejection-rate", "params": {}}
+
+    def test_etags_and_304s_stay_correct_across_worker_kill(self, snapshot):
+        """Kill a worker holding a warm wire cache.  The respawned
+        worker reloads the same snapshot at generation 0, so its
+        content-hashed ETags must equal the pre-kill tags: held tags
+        keep earning 304s, wrong tags never do, and every fresh 200
+        carries the same tag the client started with — zero stale 304s.
+        """
+        plan = ChaosPlan(
+            [FaultEvent(0.3, "kill-worker", {"worker": 0})], seed=7
+        )
+        pool = WorkerPool(
+            snapshot, workers=2, rate_per_second=1e6, burst=1e6,
+            respawn_backoff=0.05, backoff_cap=0.2,
+        )
+        with pool:
+            # Warm both workers' wire caches and pin the baseline tag.
+            status, headers, _ = _raw_query_retrying(pool.address, self.REQUEST)
+            assert status == 200
+            etag = headers["etag"]
+            match = b"If-None-Match: " + etag.encode() + b"\r\n"
+            status, headers, payload = _raw_query_retrying(
+                pool.address, self.REQUEST, match
+            )
+            # Either worker may answer; both serve the same content, so
+            # a conditional hit is a bodyless 304 with the same tag.
+            assert status == 304
+            assert payload == b""
+            assert headers["etag"] == etag
+
+            harness = ChaosHarness(plan, pool=pool).start()
+            deadline = time.monotonic() + 30.0
+            while pool.respawns < 1 and time.monotonic() < deadline:
+                # Conditional polling straight through the kill window:
+                # every answer must be a valid 304 (same tag) or a full
+                # 200 (same content) — never an error, never a stale tag.
+                status, headers, payload = _raw_query_retrying(
+                    pool.address, self.REQUEST, match
+                )
+                assert status in (200, 304)
+                assert headers["etag"] == etag
+                if status == 200:
+                    assert json.loads(payload)["ok"] is True
+            results = harness.join(timeout=10.0)
+            assert pool.respawns >= 1, "worker was never respawned"
+            assert results[0]["action"] == "kill-worker"
+
+            # Hammer fresh connections until both workers (including
+            # the respawned slot) have answered: unconditional requests
+            # re-derive the SAME tag, correct tags still 304, and a
+            # wrong tag is never confirmed.
+            for _ in range(20):
+                status, headers, payload = _raw_query_retrying(
+                    pool.address, self.REQUEST
+                )
+                assert status == 200
+                assert headers["etag"] == etag  # fresh tag, same content
+                assert json.loads(payload)["ok"] is True
+                status, headers, _ = _raw_query_retrying(
+                    pool.address, self.REQUEST, match
+                )
+                assert status == 304
+                assert headers["etag"] == etag
+                status, _, payload = _raw_query_retrying(
+                    pool.address, self.REQUEST,
+                    b'If-None-Match: "g0-feedfacedeadbeef0000"\r\n',
+                )
+                assert status == 200  # a wrong tag is never a 304
+                assert json.loads(payload)["ok"] is True
+        assert not pool.failed
 
 
 # -- socket-level attacks ----------------------------------------------------

@@ -77,7 +77,8 @@ class TestTypedApi:
         frontend.top_stable_markets(n=2)
         assert frontend.stats() == {
             "entries": 1, "hits": 1, "misses": 1, "evictions": 0,
-            "expirations": 0,
+            "expirations": 0, "wire_entries": 0, "wire_hits": 0,
+            "wire_misses": 0,
         }
 
     def test_different_params_are_different_entries(self, frontend):

@@ -1,0 +1,463 @@
+"""Tests for the wire hot path: the serialized-bytes response cache,
+batch queries, and conditional (ETag/304) requests.
+
+Byte-identity matters here: the wire cache serves stored bytes, the
+batch endpoint concatenates per-query bytes, and a 304 stands in for a
+body — each test pins the bytes, not just the decoded values.  The
+frontends use a fixed clock so ``served_at`` is deterministic and two
+servers over the same data answer byte-identically.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import socket
+import time
+
+import pytest
+
+from repro.client import QueryError, SpotLightClient, ThrottledError
+from repro.core.database import ProbeDatabase
+from repro.core.frontend import (
+    QueryFrontend,
+    QueryRequest,
+    assemble_batch_body,
+    wire_encode,
+)
+from repro.core.market_id import MarketID
+from repro.core.query import SpotLightQuery
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+)
+from repro.ec2.catalog import default_catalog
+from repro.server import MAX_BATCH_QUERIES, BackgroundServer
+
+REJ = "InsufficientInstanceCapacity"
+
+MARKETS = [
+    MarketID("us-east-1a", "m3.large", "Linux/UNIX"),
+    MarketID("us-east-1b", "m3.large", "Linux/UNIX"),
+    MarketID("us-east-1a", "c3.large", "Linux/UNIX"),
+]
+
+
+def build_database() -> ProbeDatabase:
+    db = ProbeDatabase()
+    for index, market in enumerate(MARKETS):
+        base = 0.01 * (index + 1)
+        for step in range(30):
+            t = 250.0 * step
+            price = base * (8.0 if (step + index) % 7 == 0 else 1.0)
+            db.insert_price(PriceRecord(t, market, price))
+        for t, outcome in [
+            (0.0, OUTCOME_FULFILLED),
+            (500.0 + 100 * index, REJ),
+            (900.0 + 100 * index, OUTCOME_FULFILLED),
+        ]:
+            db.insert_probe(
+                ProbeRecord(
+                    time=t, market=market, kind=ProbeKind.ON_DEMAND,
+                    trigger=ProbeTrigger.RECOVERY, outcome=outcome,
+                )
+            )
+    return db
+
+
+@pytest.fixture(scope="module")
+def database() -> ProbeDatabase:
+    return build_database()
+
+
+def fixed_clock_frontend(database: ProbeDatabase) -> QueryFrontend:
+    """A frontend whose responses are deterministic (``served_at`` is
+    always 0.0), so byte-level comparisons hold across processes."""
+    return QueryFrontend(
+        SpotLightQuery(database, default_catalog()), clock=lambda: 0.0
+    )
+
+
+class RawConnection:
+    """A keep-alive socket speaking just enough HTTP/1.1 to capture the
+    server's exact response bytes (the SDK decodes; these tests must
+    not)."""
+
+    def __init__(self, address: tuple[str, int]) -> None:
+        self.sock = socket.create_connection(address, timeout=10.0)
+        self.rfile = self.sock.makefile("rb")
+
+    def request(
+        self, method: str, path: str, body: bytes = b"", extra: bytes = b""
+    ) -> tuple[int, dict[str, str], bytes]:
+        self.sock.sendall(
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Content-Length: {len(body)}\r\n".encode()
+            + extra + b"\r\n" + body
+        )
+        status = int(self.rfile.readline().split()[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = self.rfile.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        payload = self.rfile.read(length) if length else b""
+        return status, headers, payload
+
+    def close(self) -> None:
+        self.rfile.close()
+        self.sock.close()
+
+
+def post_query(conn: RawConnection, request: dict, extra: bytes = b""):
+    return conn.request("POST", "/query", json.dumps(request).encode(), extra)
+
+
+WORKLOAD = [
+    {"query": "top-stable-markets", "params": {"n": 3, "bid_multiple": 1.0}},
+    {"query": "mean-price", "params": {"market": str(MARKETS[0])}},
+    # A duplicate: must come back as the *cached* variant, exactly as a
+    # repeated single query would.
+    {"query": "top-stable-markets", "params": {"n": 3, "bid_multiple": 1.0}},
+    {"query": "availability",
+     "params": {"market": str(MARKETS[1]), "kind": "on-demand"}},
+    # An error mid-batch must not cost the other answers.
+    {"query": "no-such-query", "params": {}},
+    {"query": "rejection-rate", "params": {}},
+]
+
+
+class TestByteCache:
+    def test_miss_bytes_round_trip_through_canonical_encoding(self, database):
+        frontend = fixed_clock_frontend(database)
+        wire = frontend.handle_wire(
+            QueryRequest("rejection-rate", {})
+        )
+        assert wire.status == 200
+        assert not wire.cached
+        # The served bytes ARE the canonical encoding of their decode.
+        assert wire.body == wire_encode(json.loads(wire.body))
+        assert json.loads(wire.body)["cached"] is False
+
+    def test_hit_serves_stored_bytes_identical_to_fresh_encoding(
+        self, database
+    ):
+        frontend = fixed_clock_frontend(database)
+        request = QueryRequest("rejection-rate", {})
+        first = frontend.handle_wire(request)
+        second = frontend.handle_wire(QueryRequest("rejection-rate", {}))
+        assert second.cached
+        assert second.body == wire_encode(
+            {**json.loads(first.body), "cached": True}
+        )
+        assert second.body is frontend.handle_wire(request).body  # same object
+        stats = frontend.stats()
+        assert stats["wire_misses"] == 1
+        assert stats["wire_hits"] == 2
+        assert stats["wire_entries"] == 1
+
+    def test_error_responses_are_not_cached(self, database):
+        frontend = fixed_clock_frontend(database)
+        for _ in range(2):
+            wire = frontend.handle_wire(QueryRequest("no-such-query", {}))
+            assert wire.status == 400
+            assert wire.etag is None
+        assert frontend.stats()["wire_entries"] == 0
+        assert frontend.stats()["wire_misses"] == 2
+
+    def test_invalidate_clears_wire_cache_and_changes_etag(self, database):
+        frontend = fixed_clock_frontend(database)
+        before = frontend.handle_wire(QueryRequest("rejection-rate", {}))
+        frontend.invalidate()
+        assert frontend.stats()["wire_entries"] == 0
+        after = frontend.handle_wire(QueryRequest("rejection-rate", {}))
+        assert not after.cached  # recomputed, not served from bytes
+        # Same result, but the generation bump forces a fresh tag.
+        assert before.etag != after.etag
+
+    def test_etag_stable_across_ttl_recompute_of_identical_result(
+        self, database
+    ):
+        now = {"t": 0.0}
+        frontend = QueryFrontend(
+            SpotLightQuery(database, default_catalog()),
+            clock=lambda: now["t"], cache_ttl=10.0,
+        )
+        first = frontend.handle_wire(QueryRequest("rejection-rate", {}))
+        now["t"] = 100.0  # everything expired; same underlying data
+        second = frontend.handle_wire(QueryRequest("rejection-rate", {}))
+        assert not second.cached
+        assert first.etag == second.etag  # content hash, not timestamps
+
+
+class TestExpiryOrderedEviction:
+    def test_refreshed_entry_moves_to_the_back_of_the_eviction_order(self):
+        """A refresh re-inserts at the end of the expiry-ordered dict;
+        capacity eviction must then drop the *other* (older) key."""
+        now = {"t": 0.0}
+
+        class Engine:
+            def prime(self) -> None:
+                pass
+
+            def rejection_rate(self, market=None, kind=None) -> float:
+                return now["t"]
+
+        frontend = QueryFrontend(
+            Engine(), clock=lambda: now["t"], cache_ttl=5.0, max_entries=2
+        )
+
+        def rate(market: str) -> float:
+            return frontend.rejection_rate(market=MarketID("z", market, "L"))
+
+        rate("a")            # a @ t=0
+        now["t"] = 1.0
+        rate("b")            # b @ t=1; cache full
+        now["t"] = 6.0       # a, b both expired
+        rate("a")            # a recomputed, re-inserted @ t=6
+        now["t"] = 7.0
+        rate("c")            # room is made: b expired -> expiration
+        assert frontend.stats()["expirations"] == 1
+        # a (fresh, t=6) must have survived the insert of c.
+        assert rate("a") == 6.0
+        assert frontend.stats()["hits"] == 1
+
+    def test_capacity_eviction_drops_oldest_live_entry(self):
+        class Engine:
+            def rejection_rate(self, market=None, kind=None) -> float:
+                return 1.0
+
+        frontend = QueryFrontend(
+            Engine(), clock=lambda: 0.0, cache_ttl=100.0, max_entries=2
+        )
+        for market in ("a", "b", "c"):
+            frontend.rejection_rate(market=MarketID("z", market, "L"))
+        stats = frontend.stats()
+        assert stats["evictions"] == 1
+        assert stats["expirations"] == 0
+        assert stats["entries"] == 2
+
+
+class TestBatch:
+    def test_batch_is_byte_identical_to_single_query_sequence(self, database):
+        """The acceptance criterion, literally: one /batch response
+        carries exactly the bytes that the same requests issued as
+        sequential /query calls produce — duplicates, errors and all —
+        measured against two independent servers over the same data."""
+        singles_frontend = fixed_clock_frontend(database)
+        batch_frontend = fixed_clock_frontend(database)
+        with BackgroundServer(singles_frontend) as single_server, \
+                BackgroundServer(batch_frontend) as batch_server:
+            conn = RawConnection(single_server.address)
+            single_bodies = []
+            for request in WORKLOAD:
+                _, _, payload = post_query(conn, request)
+                single_bodies.append(payload)
+            conn.close()
+
+            conn = RawConnection(batch_server.address)
+            status, _, batch_body = conn.request(
+                "POST", "/batch",
+                json.dumps({"queries": WORKLOAD}).encode(),
+            )
+            conn.close()
+        assert status == 200
+        assert batch_body == assemble_batch_body(single_bodies)
+        decoded = json.loads(batch_body)
+        assert decoded["ok"] is True
+        assert decoded["count"] == len(WORKLOAD)
+        assert [sub.get("ok") for sub in decoded["results"]] == [
+            True, True, True, True, False, True,
+        ]
+        assert decoded["results"][2]["cached"] is True  # the duplicate
+
+    def test_client_batch_query_matches_single_queries(self, database):
+        frontend = fixed_clock_frontend(database)
+        requests = [r for r in WORKLOAD if r["query"] != "no-such-query"]
+        with BackgroundServer(frontend) as background:
+            with SpotLightClient(*background.address) as client:
+                batched = client.batch_query(requests)
+                singles = [
+                    client.query(r["query"], r["params"]) for r in requests
+                ]
+        assert json.dumps(batched, sort_keys=True) == json.dumps(
+            singles, sort_keys=True
+        )
+
+    def test_client_batch_query_raises_on_failed_subquery(self, database):
+        frontend = fixed_clock_frontend(database)
+        with BackgroundServer(frontend) as background:
+            with SpotLightClient(*background.address) as client:
+                responses = client.batch_response(WORKLOAD)
+                assert responses[4]["ok"] is False
+                with pytest.raises(QueryError) as excinfo:
+                    client.batch_query(WORKLOAD)
+                assert excinfo.value.code == "unknown-query"
+
+    def test_batch_consumes_one_admission_token_per_subquery(self, database):
+        frontend = fixed_clock_frontend(database)
+        with BackgroundServer(
+            frontend, rate_per_second=1.0, burst=4.0
+        ) as background:
+            with SpotLightClient(*background.address) as client:
+                request = {"query": "rejection-rate", "params": {}}
+                with pytest.raises(ThrottledError):
+                    client.batch_response([request] * 6)  # > burst of 4
+                # A batch within the burst is admitted.
+                assert len(client.batch_response([request] * 3)) == 3
+
+    def test_batch_size_cap_is_http_400(self, database):
+        frontend = fixed_clock_frontend(database)
+        with BackgroundServer(frontend) as background:
+            with SpotLightClient(*background.address) as client:
+                oversized = [{"query": "rejection-rate", "params": {}}] * (
+                    MAX_BATCH_QUERIES + 1
+                )
+                with pytest.raises(QueryError) as excinfo:
+                    client.batch_response(oversized)
+                assert excinfo.value.status == 400
+
+    def test_identical_cold_subqueries_coalesce_to_one_engine_call(
+        self, database
+    ):
+        """K identical sub-queries in one batch: one engine call, the
+        followers byte-identical to what repeats would have seen."""
+
+        class SlowCountingEngine:
+            def __init__(self, engine: SpotLightQuery) -> None:
+                self._engine = engine
+                self.calls: collections.Counter = collections.Counter()
+
+            def __getattr__(self, name: str):
+                attr = getattr(self._engine, name)
+                if not callable(attr):
+                    return attr
+
+                def slow(*args, **kwargs):
+                    self.calls[name] += 1
+                    time.sleep(0.3)
+                    return attr(*args, **kwargs)
+
+                return slow
+
+        engine = SlowCountingEngine(SpotLightQuery(database, default_catalog()))
+        frontend = QueryFrontend(engine, clock=lambda: 0.0)
+        k = 8
+        request = {"query": "mean-price", "params": {"market": str(MARKETS[0])}}
+        with BackgroundServer(frontend) as background:
+            with SpotLightClient(*background.address) as client:
+                results = client.batch_response([request] * k)
+            stats = background.server.stats()
+        assert engine.calls["mean_price"] == 1  # the whole point
+        assert stats["coalesced"] == k - 1
+        assert stats["batch_queries"] == k
+        assert results[0]["cached"] is False
+        assert all(sub["cached"] for sub in results[1:])
+        # Followers carry the leader's answer, byte-for-byte.
+        assert len({json.dumps(sub, sort_keys=True)
+                    for sub in results[1:]}) == 1
+
+    def test_malformed_batch_bodies_are_http_400(self, database):
+        frontend = fixed_clock_frontend(database)
+        with BackgroundServer(frontend) as background:
+            conn = RawConnection(background.address)
+            for bad in (b"{not json", b'{"queries": []}', b'{"queries": 3}',
+                        b'"just a string"'):
+                status, _, payload = conn.request("POST", "/batch", bad)
+                assert status == 400, bad
+                assert json.loads(payload)["ok"] is False
+            conn.close()
+
+
+class TestConditionalRequests:
+    REQUEST = {"query": "rejection-rate", "params": {}}
+
+    def test_if_none_match_roundtrip_is_304_until_invalidation(self, database):
+        frontend = fixed_clock_frontend(database)
+        with BackgroundServer(frontend) as background:
+            conn = RawConnection(background.address)
+            status, headers, payload = post_query(conn, self.REQUEST)
+            assert status == 200
+            etag = headers["etag"]
+            assert etag.startswith('"g0-')
+
+            # Conditional repeat: bodyless 304 carrying the same tag.
+            match = b"If-None-Match: " + etag.encode() + b"\r\n"
+            status, headers, payload = post_query(conn, self.REQUEST, match)
+            assert status == 304
+            assert payload == b""
+            assert headers["etag"] == etag
+
+            # A request without the header still gets the full body.
+            status, _, payload = post_query(conn, self.REQUEST)
+            assert status == 200
+            assert json.loads(payload)["ok"] is True
+
+            # Invalidation: same bytes would answer, but the generation
+            # moved — the held tag must stop matching.
+            with background.server._frontend_lock:
+                frontend.invalidate()
+            status, headers, payload = post_query(conn, self.REQUEST, match)
+            assert status == 200
+            assert json.loads(payload)["ok"] is True
+            new_etag = headers["etag"]
+            assert new_etag != etag
+            assert new_etag.startswith('"g1-')
+
+            stats = background.server.stats()
+            assert stats["not_modified"] == 1
+            conn.close()
+
+    def test_wrong_etag_gets_full_response(self, database):
+        frontend = fixed_clock_frontend(database)
+        with BackgroundServer(frontend) as background:
+            conn = RawConnection(background.address)
+            post_query(conn, self.REQUEST)
+            status, _, payload = post_query(
+                conn, self.REQUEST, b'If-None-Match: "bogus"\r\n'
+            )
+            assert status == 200
+            assert json.loads(payload)["ok"] is True
+            assert background.server.stats()["not_modified"] == 0
+            conn.close()
+
+    def test_if_none_match_list_and_star_match(self, database):
+        frontend = fixed_clock_frontend(database)
+        with BackgroundServer(frontend) as background:
+            conn = RawConnection(background.address)
+            _, headers, _ = post_query(conn, self.REQUEST)
+            etag = headers["etag"]
+            listed = f'If-None-Match: "other", {etag}\r\n'.encode()
+            status, _, _ = post_query(conn, self.REQUEST, listed)
+            assert status == 304
+            status, _, _ = post_query(conn, self.REQUEST, b"If-None-Match: *\r\n")
+            assert status == 304
+            conn.close()
+
+    def test_client_poll_uses_304s(self, database):
+        frontend = fixed_clock_frontend(database)
+        with BackgroundServer(frontend) as background:
+            with SpotLightClient(*background.address) as client:
+                first = client.poll("rejection-rate", {})
+                second = client.poll("rejection-rate", {})
+                third = client.poll("rejection-rate", {})
+                assert first == second == third
+                assert client.polls_not_modified == 2
+            assert background.server.stats()["not_modified"] == 2
+
+    def test_error_responses_carry_no_etag(self, database):
+        frontend = fixed_clock_frontend(database)
+        with BackgroundServer(frontend) as background:
+            conn = RawConnection(background.address)
+            status, headers, _ = post_query(
+                conn, {"query": "no-such-query", "params": {}}
+            )
+            assert status == 400
+            assert "etag" not in headers
+            conn.close()
