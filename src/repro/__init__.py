@@ -20,6 +20,10 @@ Layout:
 * :mod:`repro.chaos` — deterministic fault injection (seeded chaos
   plans, in-process fault points, WAL tail corruption) for proving the
   stack survives worker crashes, slow clients, and torn writes;
+* :mod:`repro.replication` — live serving that survives failure: a
+  crash-safe recorder commit protocol over the snapshot WAL, a replica
+  tailer with bounded staleness, and the resumable change feed behind
+  ``GET /watch``;
 * :mod:`repro.analysis` — the Chapter 5 analyses (one per figure);
 * :mod:`repro.apps` — the Chapter 6 case studies (SpotCheck, SpotOn);
 * :mod:`repro.traces` — synthetic spot-price trace generation.
@@ -66,10 +70,16 @@ from repro.providers import (
     SimulatorProvider,
     TraceReplayProvider,
 )
+from repro.replication import (
+    ChangeFeed,
+    Recorder,
+    ReplicaTailer,
+    read_watermark,
+)
 from repro.server import BackgroundServer, SpotLightServer
 from repro.server_pool import WorkerPool
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "SpotLight",
@@ -82,6 +92,10 @@ __all__ = [
     "BackgroundServer",
     "WorkerPool",
     "SpotLightClient",
+    "Recorder",
+    "ReplicaTailer",
+    "ChangeFeed",
+    "read_watermark",
     "ChaosHarness",
     "ChaosPlan",
     "FaultError",

@@ -15,7 +15,8 @@ Three layers:
   and costs one dict lookup per point.
 * :class:`ChaosPlan` — a declarative, JSON-loadable schedule of fault
   events (kill a pool worker, slow-loris the listener, reset sockets
-  mid-request, truncate or garble a WAL tail) validated up front.
+  mid-request, truncate or garble a WAL tail, pause or kill a recorder
+  process, hold a replica tailer back) validated up front.
 * :class:`ChaosHarness` — a thread that executes a plan against a
   running :class:`~repro.server_pool.WorkerPool` and/or a served
   address, recording what each event did so tests (and the CLI's
@@ -192,6 +193,9 @@ PLAN_ACTIONS: dict[str, frozenset[str]] = {
     "reset-sockets": frozenset({"connections"}),
     "truncate-wal": frozenset({"root", "kind", "bytes"}),
     "garble-wal": frozenset({"root", "kind", "bytes"}),
+    "pause-recorder": frozenset({"hold"}),
+    "kill-recorder": frozenset({"signal"}),
+    "lag-replica": frozenset({"hold"}),
 }
 
 
@@ -324,9 +328,15 @@ class ChaosHarness:
 
     ``pool`` (a :class:`~repro.server_pool.WorkerPool`) is the target of
     ``kill-worker`` events; ``address`` (defaulting to the pool's) is
-    the target of the socket attacks.  ``start()`` launches a daemon
-    thread that sleeps to each event's ``at`` offset and fires it;
-    ``join()`` waits the plan out and returns the per-event results.
+    the target of the socket attacks.  ``recorder`` — a pid, or a
+    zero-argument callable returning the current pid (recorders restart;
+    the callable re-resolves at fire time) — is the target of
+    ``pause-recorder``/``kill-recorder``; ``replica`` (an object with
+    ``pause()``/``resume()``, i.e. a
+    :class:`~repro.replication.ReplicaTailer`) is the target of
+    ``lag-replica``.  ``start()`` launches a daemon thread that sleeps
+    to each event's ``at`` offset and fires it; ``join()`` waits the
+    plan out and returns the per-event results.
     """
 
     def __init__(
@@ -335,12 +345,20 @@ class ChaosHarness:
         pool: "object | None" = None,
         address: tuple[str, int] | None = None,
         log: Callable[[str], None] | None = None,
+        recorder: "int | Callable[[], int | None] | None" = None,
+        replica: "object | None" = None,
     ) -> None:
-        if pool is None and address is None:
-            raise ValueError("chaos harness needs a pool and/or an address")
+        if pool is None and address is None and recorder is None \
+                and replica is None:
+            raise ValueError(
+                "chaos harness needs a pool, an address, a recorder, "
+                "or a replica"
+            )
         self.plan = plan
         self.pool = pool
-        if address is None:
+        self.recorder = recorder
+        self.replica = replica
+        if address is None and pool is not None:
             address = pool.address  # type: ignore[union-attr]
         self.address = address
         self.results: list[dict[str, Any]] = []
@@ -368,6 +386,8 @@ class ChaosHarness:
         return {"worker": worker, "pid": pid, "signal": signum}
 
     def _slow_loris(self, params: dict) -> dict:
+        if self.address is None:
+            return {"error": "no address for socket attacks"}
         host, port = self.address
         connections = int(params.get("connections", 4))
         interval = float(params.get("interval", 0.2))
@@ -393,6 +413,8 @@ class ChaosHarness:
                 "records": records}
 
     def _reset_sockets(self, params: dict) -> dict:
+        if self.address is None:
+            return {"error": "no address for socket attacks"}
         host, port = self.address
         connections = int(params.get("connections", 8))
         for _ in range(connections):
@@ -419,6 +441,60 @@ class ChaosHarness:
         self._log(f"{verb} {nbytes} bytes of {target.name}")
         return {"path": str(target), "bytes": nbytes}
 
+    def _recorder_pid(self) -> int | None:
+        if callable(self.recorder):
+            try:
+                pid = self.recorder()
+            except Exception:
+                return None
+            return int(pid) if pid else None
+        return int(self.recorder) if self.recorder else None
+
+    def _pause_recorder(self, params: dict) -> dict:
+        pid = self._recorder_pid()
+        if pid is None:
+            return {"error": "no recorder pid to pause"}
+        hold = float(params.get("hold", 5.0))
+        try:
+            os.kill(pid, signal.SIGSTOP)
+        except ProcessLookupError:
+            return {"error": f"recorder pid {pid} is gone"}
+        self._log(f"paused recorder (pid {pid}) for {hold:.1f}s")
+        try:
+            self._stop.wait(hold)
+        finally:
+            try:
+                os.kill(pid, signal.SIGCONT)
+            except ProcessLookupError:
+                return {"pid": pid, "hold": hold, "resumed": False}
+        self._log(f"resumed recorder (pid {pid})")
+        return {"pid": pid, "hold": hold, "resumed": True}
+
+    def _kill_recorder(self, params: dict) -> dict:
+        pid = self._recorder_pid()
+        if pid is None:
+            return {"error": "no recorder pid to kill"}
+        signum = int(params.get("signal", signal.SIGKILL))
+        try:
+            os.kill(pid, signum)
+        except ProcessLookupError:
+            return {"error": f"recorder pid {pid} is gone"}
+        self._log(f"killed recorder (pid {pid}, signal {signum})")
+        return {"pid": pid, "signal": signum}
+
+    def _lag_replica(self, params: dict) -> dict:
+        if self.replica is None:
+            return {"error": "no replica to lag"}
+        hold = float(params.get("hold", 5.0))
+        self.replica.pause()
+        self._log(f"lagging replica for {hold:.1f}s")
+        try:
+            self._stop.wait(hold)
+        finally:
+            self.replica.resume()
+        self._log("replica resumed")
+        return {"hold": hold}
+
     def _fire(self, event: FaultEvent) -> dict[str, Any]:
         if event.action == "kill-worker":
             outcome = self._kill_worker(event.params)
@@ -428,6 +504,12 @@ class ChaosHarness:
             outcome = self._reset_sockets(event.params)
         elif event.action == "truncate-wal":
             outcome = self._wal_attack(event.params, garble=False)
+        elif event.action == "pause-recorder":
+            outcome = self._pause_recorder(event.params)
+        elif event.action == "kill-recorder":
+            outcome = self._kill_recorder(event.params)
+        elif event.action == "lag-replica":
+            outcome = self._lag_replica(event.params)
         else:  # garble-wal (plan validation bounds the action set)
             outcome = self._wal_attack(event.params, garble=True)
         return {"at": event.at, "action": event.action, **outcome}

@@ -25,6 +25,20 @@ the layered-service workflows:
   budget, ``--no-supervise`` disables it).  ``--chaos-plan plan.json``
   runs a seeded fault schedule (worker kills, slow-loris, socket
   resets — see RELIABILITY.md) against the pool while it serves.
+  ``--follow`` turns the server into a live *replica*: a tailer thread
+  follows the snapshot directory's WAL as a ``record`` process appends
+  to it, applying committed increments without a restart and serving a
+  resumable ``GET /watch`` change feed;
+* ``record`` — run a live monitoring study that *streams* into a
+  snapshot directory: increments are appended to the WAL and committed
+  (fsync + watermark) every ``--commit-interval`` of simulated time,
+  so concurrent ``serve --follow`` replicas stay within a bounded lag
+  of the recorder.  ``--resume`` continues into a directory that
+  already holds observations; ``kill -9`` mid-run loses at most the
+  uncommitted tail, which the next run trims and re-records;
+* ``watch`` — subscribe to a ``serve --follow`` replica's change feed
+  and print one JSON event per line (spikes, revocations,
+  availability transitions), reconnecting with a resume cursor.
 
 Examples::
 
@@ -39,6 +53,9 @@ Examples::
     python -m repro serve --snapshot ./spotlight-state --port 8080 --workers 4
     python -m repro serve --snapshot ./spotlight-state --workers 2 \\
         --chaos-plan chaos.json
+    python -m repro record --snapshot ./live-state --days 30 --pace 0.05
+    python -m repro serve --snapshot ./live-state --follow --port 8080
+    python -m repro watch --host 127.0.0.1 --port 8080 --since 0
 """
 
 from __future__ import annotations
@@ -49,6 +66,7 @@ import contextlib
 import json
 import signal
 import sys
+import time
 
 from repro import (
     EC2Simulator,
@@ -186,20 +204,25 @@ def cmd_replay(args) -> int:
     return 0
 
 
-def _open_snapshot_frontend(path: str, vectorized: bool = True) -> QueryFrontend:
+def _open_snapshot_frontend(
+    path: str, vectorized: bool = True
+) -> tuple[QueryFrontend, SnapshotDatastore]:
     # Prices are resolved against the full default catalog.  Snapshots
     # recorded by this CLI always price identically (study/replay use
     # subsets of the same 2015 price table); snapshots built in-library
     # against a *custom* catalog should be queried in-library instead.
+    # The datastore rides along so `serve --follow` can hand it to a
+    # replica tailer.
     datastore = SnapshotDatastore(path, append_log=False, must_exist=True)
-    return QueryFrontend(
+    frontend = QueryFrontend(
         SpotLightQuery(datastore, default_catalog(), vectorized=vectorized)
     )
+    return frontend, datastore
 
 
 def cmd_query(args) -> int:
     try:
-        frontend = _open_snapshot_frontend(
+        frontend, _datastore = _open_snapshot_frontend(
             args.snapshot, vectorized=args.engine == "vectorized"
         )
     except FileNotFoundError as exc:
@@ -282,6 +305,9 @@ def _serve_pool(args) -> int:
         supervise=not args.no_supervise,
         max_respawns=args.max_respawns,
         respawn_backoff=args.respawn_backoff,
+        follow=args.follow,
+        max_lag=args.max_lag,
+        poll_interval=args.poll_interval,
     )
     harness = None
 
@@ -371,11 +397,27 @@ def cmd_serve(args) -> int:
     if args.workers > 1 or args.chaos_plan:
         return _serve_pool(args)
     try:
-        frontend = _open_snapshot_frontend(args.snapshot)
+        frontend, datastore = _open_snapshot_frontend(args.snapshot)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     frontend.prime()  # build the read index before the first request
+
+    replica = None
+    serve_kwargs: dict = {}
+    if args.follow:
+        from repro.replication import ReplicaTailer
+
+        replica = ReplicaTailer(
+            datastore,
+            frontend,
+            catalog=default_catalog(),
+            max_lag=args.max_lag,
+            poll_interval=args.poll_interval,
+        )
+        # The server serializes replicated inserts and engine reads on
+        # the tailer's lock; /watch and /healthz see the tailer itself.
+        serve_kwargs = {"replica": replica, "frontend_lock": replica.lock}
 
     async def _run() -> None:
         shutdown = asyncio.Event()
@@ -386,7 +428,10 @@ def cmd_serve(args) -> int:
 
         def announce(server) -> None:
             host, port = server.address
-            print(f"serving on http://{host}:{port}", flush=True)
+            mode = " (following the recorder's WAL)" if replica else ""
+            print(f"serving on http://{host}:{port}{mode}", flush=True)
+            if replica is not None:
+                replica.start()
 
         server = await serve(
             frontend,
@@ -396,7 +441,10 @@ def cmd_serve(args) -> int:
             burst=args.burst,
             shutdown=shutdown,
             on_start=announce,
+            **serve_kwargs,
         )
+        if replica is not None:
+            replica.stop()
         stats = server.stats()
         queries = stats["endpoints"]["/query"]["requests"]
         print(
@@ -404,8 +452,142 @@ def cmd_serve(args) -> int:
             f"{stats['coalesced']} coalesced, {stats['throttled']} throttled",
             flush=True,
         )
+        if replica is not None:
+            health = replica.health()
+            print(
+                f"replica: applied_seq {health['applied_seq']} / committed "
+                f"{health['committed_seq']} (lag {health['lag']})",
+                flush=True,
+            )
 
     asyncio.run(_run())
+    return 0
+
+
+def cmd_record(args) -> int:
+    """``record``: a live study streaming into a replicated snapshot.
+
+    Unlike ``study`` (which saves once at the end), every
+    ``--commit-interval`` of simulated time the recorder fsyncs the WAL
+    and publishes the watermark, so a concurrent ``serve --follow``
+    replica applies the increments live.  ``--save-interval`` rolls the
+    WAL generation over with a full snapshot; ``--pace`` sleeps between
+    commits so wall-clock observers (replicas, chaos harnesses) get a
+    window to act in.
+    """
+    from repro.replication import (
+        Recorder,
+        TimeShiftedDatastore,
+        latest_record_time,
+    )
+
+    datastore = SnapshotDatastore(args.snapshot)
+    resuming = bool(len(datastore) or datastore.price_count())
+    if resuming and not args.resume:
+        datastore.close()
+        print(
+            f"error: snapshot directory {args.snapshot!r} already holds a "
+            f"recording; pass --resume to append to it",
+            file=sys.stderr,
+        )
+        return 2
+    recorder = Recorder(datastore)
+    recorder.bootstrap()
+
+    sink = datastore
+    if resuming:
+        # The fresh simulator's clock restarts at zero; shift appended
+        # record times past everything already recorded (plus one tick)
+        # so per-market time order survives the resume.
+        offset = latest_record_time(datastore) + 300.0
+        sink = TimeShiftedDatastore(datastore, offset)
+        print(f"resuming: shifting new records by +{offset:.0f}s",
+              file=sys.stderr)
+
+    catalog = small_catalog(regions=args.regions, families=args.families)
+    simulator = EC2Simulator(
+        FleetConfig(catalog=catalog, seed=args.seed, tick_interval=300.0)
+    )
+    spotlight = SpotLight(
+        simulator,
+        SpotLightConfig(
+            threshold_multiple=args.threshold,
+            sampling_probability=args.sampling,
+            spot_probe_interval=4 * 3600.0,
+        ),
+        datastore=sink,
+    )
+    spotlight.start()
+
+    total = args.days * 86400.0
+    step = max(float(args.commit_interval), 1.0)
+    print(
+        f"recording {len(spotlight.markets)} markets for {args.days} "
+        f"simulated day(s) into {args.snapshot} "
+        f"(commit every {step:.0f}s of simulated time)...",
+        file=sys.stderr,
+    )
+    elapsed = 0.0
+    since_save = 0.0
+    try:
+        while elapsed < total:
+            chunk = min(step, total - elapsed)
+            simulator.run_for(chunk)
+            elapsed += chunk
+            since_save += chunk
+            if args.save_interval and since_save >= args.save_interval:
+                recorder.save()
+                since_save = 0.0
+            else:
+                recorder.commit()
+            if args.pace:
+                time.sleep(args.pace)
+    except KeyboardInterrupt:
+        watermark = recorder.commit()
+        print(
+            f"interrupted at t={elapsed:.0f}s; committed seq "
+            f"{watermark['seq']}",
+            file=sys.stderr,
+        )
+        return 1
+    watermark = recorder.save()
+    print(
+        f"recorded {len(datastore)} probes and {datastore.price_count()} "
+        f"prices (committed seq {watermark['seq']}, "
+        f"generation {watermark['generation']})"
+    )
+    return 0
+
+
+def cmd_watch(args) -> int:
+    """``watch``: print a replica's change feed, one JSON event/line."""
+    from repro.client import QueryError, SpotLightClient, TransportError
+
+    client = SpotLightClient(args.host, args.port, timeout=args.timeout)
+    count = 0
+    try:
+        for event in client.watch(
+            since_seq=args.since,
+            heartbeats=True,
+            heartbeat_interval=args.heartbeat,
+            max_attempts=args.max_attempts,
+        ):
+            if event.get("heartbeat"):
+                if args.idle_exit and count >= args.idle_exit:
+                    break
+                continue
+            print(json.dumps(event, sort_keys=True), flush=True)
+            count += 1
+            if args.max_events and count >= args.max_events:
+                break
+    except (QueryError, TransportError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        pass
+    finally:
+        client.close()
+    print(f"{count} event(s)", file=sys.stderr)
     return 0
 
 
@@ -534,7 +716,64 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--respawn-backoff", type=float, default=0.25,
                            help="base respawn delay, doubled per "
                                 "consecutive death (capped at 5s)")
+    serve_cmd.add_argument("--follow", action="store_true",
+                           help="tail the snapshot directory's WAL and "
+                                "apply increments committed by a live "
+                                "`record` process; enables GET /watch "
+                                "and the replica staleness gauge")
+    serve_cmd.add_argument("--max-lag", type=int, default=512,
+                           help="committed-but-unapplied rows before "
+                                "/healthz reports degraded (with --follow)")
+    serve_cmd.add_argument("--poll-interval", type=float, default=0.2,
+                           help="replica watermark poll interval in "
+                                "seconds (with --follow)")
     serve_cmd.set_defaults(func=cmd_serve)
+
+    record = sub.add_parser(
+        "record",
+        help="run a live study streaming into a replicated snapshot",
+    )
+    add_deploy_args(record)
+    record.add_argument("--snapshot", required=True,
+                        help="snapshot directory to record into")
+    record.add_argument("--resume", action="store_true",
+                        help="append to a directory that already holds "
+                             "observations (record times are shifted "
+                             "past the existing ones)")
+    record.add_argument("--commit-interval", type=float, default=1800.0,
+                        help="simulated seconds between WAL commits "
+                             "(fsync + watermark publish)")
+    record.add_argument("--save-interval", type=float, default=0.0,
+                        help="simulated seconds between full snapshots "
+                             "(WAL generation rollovers); 0 saves only "
+                             "at the end")
+    record.add_argument("--pace", type=float, default=0.0,
+                        help="wall-clock sleep after each commit, so "
+                             "live followers can observe the run")
+    record.set_defaults(func=cmd_record)
+
+    watch = sub.add_parser(
+        "watch", help="stream a follower replica's change feed as JSON lines"
+    )
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=8080)
+    watch.add_argument("--since", type=int, default=None,
+                       help="resume cursor: replay retained events after "
+                            "this sequence number (0 = from the oldest "
+                            "retained; default = new events only)")
+    watch.add_argument("--heartbeat", type=float, default=1.0,
+                       help="server heartbeat interval in seconds")
+    watch.add_argument("--timeout", type=float, default=10.0,
+                       help="socket timeout in seconds")
+    watch.add_argument("--max-events", type=int, default=0,
+                       help="exit after printing N events (0 = no limit)")
+    watch.add_argument("--idle-exit", type=int, default=0,
+                       help="exit on the first heartbeat that arrives "
+                            "after at least N events (0 = keep waiting)")
+    watch.add_argument("--max-attempts", type=int, default=None,
+                       help="give up after N consecutive failed "
+                            "reconnects (default: retry forever)")
+    watch.set_defaults(func=cmd_watch)
 
     trace = sub.add_parser("trace", help="generate a synthetic price trace")
     trace.add_argument("--profile", default="c3.2xlarge-us-east-1d")

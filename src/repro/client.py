@@ -20,10 +20,13 @@ one-line change::
             print(entry["market"], entry["mean_time_to_revocation"])
 
 Beyond single queries: :meth:`SpotLightClient.batch_query` ships N
-queries in one ``/batch`` round trip, and
-:meth:`SpotLightClient.poll` repeats a query with ``If-None-Match`` so
-an unchanged answer costs a header exchange (HTTP 304) instead of a
-re-sent body.
+queries in one ``/batch`` round trip, :meth:`SpotLightClient.poll`
+repeats a query with ``If-None-Match`` so an unchanged answer costs a
+header exchange (HTTP 304) instead of a re-sent body, and
+:meth:`SpotLightClient.watch` subscribes to a follower server's
+``/watch`` change feed — a generator of replication events that
+reconnects with jittered backoff and resumes from its ``since_seq``
+cursor so no delivered-then-dropped window loses events.
 
 Error model: schema and engine failures raise :class:`QueryError`
 (carrying the server's error code), admission-control rejections raise
@@ -397,6 +400,10 @@ class SpotLightClient:
                 last_error = exc
                 if attempt == max_attempts - 1:
                     raise
+                # Honor the server's Retry-After hint — but never past
+                # the deadline budget: a hint that cannot fit inside
+                # what is left raises DeadlineError below instead of
+                # oversleeping the caller's SLA.
                 delay = max(exc.retry_after, 0.005)
             except TransportError as exc:
                 if not retry_transport:
@@ -463,6 +470,8 @@ class SpotLightClient:
             "connections": stats.get("connections_accepted", 0),
             "batch_queries": stats.get("batch_queries", 0),
             "not_modified": stats.get("not_modified", 0),
+            "wire_generation": frontend.get("generation", 0),
+            "replica_lag": stats.get("replica", {}).get("lag", 0),
         }
         # values[field], not .get: keep this fallback loudly in sync
         # with the schema the stats board publishes.
@@ -470,6 +479,169 @@ class SpotLightClient:
             "workers": 1,
             **{field: values[field] for field in CLUSTER_COUNTER_FIELDS},
         }
+
+    # -- /watch: the change feed ---------------------------------------------
+    def watch(
+        self,
+        since_seq: int | None = None,
+        *,
+        heartbeats: bool = False,
+        reconnect: bool = True,
+        max_attempts: int | None = None,
+        heartbeat_interval: float = 5.0,
+        backoff: float = 0.2,
+        backoff_cap: float = 5.0,
+        rng: random.Random | None = None,
+    ):
+        """Subscribe to a follower server's ``/watch`` change feed.
+
+        A generator of event dicts (spikes, revocations, availability
+        transitions), each carrying a dense ``seq``.  The stream rides
+        out failure: when the connection drops or the server restarts,
+        the client reconnects with full-jitter exponential backoff and
+        resumes from the last delivered ``seq``, so across any number
+        of reconnects each event is yielded at most once and none in a
+        delivered window is skipped.  A cursor that fell off the
+        server's bounded ring yields an explicit ``{"gap": ...}`` event
+        rather than silently losing history.
+
+        ``since_seq=None`` starts at the live tail; pass ``0`` to
+        replay everything the server still retains.  ``heartbeats=True``
+        also yields the periodic heartbeat frames (liveness probes).
+        ``max_attempts`` bounds *consecutive* failed connection cycles
+        (None: reconnect forever); with ``reconnect=False`` the
+        generator ends when the stream does.  Server-level rejections
+        (e.g. 404 from a server that follows no recorder) raise
+        :class:`QueryError` immediately — reconnecting cannot fix them.
+        """
+        jitter = rng if rng is not None else random
+        cursor = since_seq
+        failures = 0
+        while True:
+            got_any = False
+            try:
+                for event in self._watch_once(cursor, heartbeat_interval):
+                    if event.get("watch"):
+                        # Hello frame: adopt the server's echo of our
+                        # cursor (it also resolves the live-tail case).
+                        cursor = int(event.get("since_seq", cursor or 0))
+                        failures = 0
+                        got_any = True
+                        continue
+                    if event.get("heartbeat"):
+                        failures = 0
+                        if heartbeats:
+                            yield event
+                        continue
+                    if "seq" in event:
+                        cursor = int(event["seq"])
+                    failures = 0
+                    got_any = True
+                    yield event
+                ended_clean = True
+            except QueryError:
+                raise
+            except (_WireFormatError, OSError, json.JSONDecodeError):
+                ended_clean = False
+            if not reconnect:
+                return
+            failures = 0 if got_any else failures + 1
+            if max_attempts is not None and failures >= max_attempts:
+                raise TransportError(
+                    f"watch stream to {self.host}:{self.port} failed "
+                    f"{failures} consecutive time(s)"
+                )
+            if ended_clean and got_any:
+                delay = max(0.001, jitter.uniform(0.0, backoff))
+            else:
+                delay = max(
+                    0.001,
+                    jitter.uniform(
+                        0.0,
+                        min(backoff_cap, backoff * (2.0 ** max(failures, 1))),
+                    ),
+                )
+            time.sleep(delay)
+
+    def _watch_once(self, cursor: int | None, heartbeat_interval: float):
+        """One ``/watch`` connection on a dedicated socket (never the
+        keep-alive query socket — a stream would wedge it); yields the
+        decoded frames until the server ends the stream."""
+        query = f"heartbeat={heartbeat_interval:g}"
+        if cursor is not None:
+            query += f"&since_seq={int(cursor)}"
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # Heartbeats bound how long a healthy stream stays silent;
+            # a read blocking well past that means the server is gone.
+            sock.settimeout(max(self.timeout, heartbeat_interval * 3 + 5.0))
+            rfile = sock.makefile("rb")
+            sock.sendall(
+                (
+                    f"GET /watch?{query} HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    f"Content-Length: 0\r\nConnection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            status_line = rfile.readline()
+            if not status_line:
+                raise _WireFormatError("connection closed before status line")
+            try:
+                status = int(status_line.split(None, 2)[1])
+            except (IndexError, ValueError):
+                raise _WireFormatError(
+                    f"malformed status line: {status_line!r}"
+                ) from None
+            headers: dict[str, str] = {}
+            while True:
+                line = rfile.readline()
+                if line in (b"\r\n", b"\n"):
+                    break
+                if not line:
+                    raise _WireFormatError("connection closed mid-headers")
+                name, sep, value = line.decode("latin-1").partition(":")
+                if sep:
+                    headers[name.strip().lower()] = value.strip()
+            if status != 200:
+                length = int(headers.get("content-length", "0"))
+                payload = rfile.read(length) if length else b""
+                try:
+                    error = json.loads(payload).get("error", {})
+                except (json.JSONDecodeError, AttributeError):
+                    error = {}
+                raise QueryError(
+                    error.get("code", "unknown"),
+                    error.get("message", f"HTTP {status}"),
+                    status,
+                )
+            if headers.get("transfer-encoding", "").lower() != "chunked":
+                raise _WireFormatError("watch response is not chunked")
+            while True:
+                size_line = rfile.readline()
+                if not size_line:
+                    raise _WireFormatError("connection closed mid-stream")
+                try:
+                    size = int(size_line.strip().split(b";")[0], 16)
+                except ValueError:
+                    raise _WireFormatError(
+                        f"malformed chunk size: {size_line!r}"
+                    ) from None
+                if size == 0:
+                    return  # clean end of stream
+                data = rfile.read(size + 2)  # chunk + trailing CRLF
+                if len(data) != size + 2:
+                    raise _WireFormatError("connection closed mid-chunk")
+                for line in data[:-2].splitlines():
+                    if line.strip():
+                        yield json.loads(line)
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     # -- typed helpers (mirror QueryFrontend) --------------------------------
     def top_stable_markets(

@@ -248,8 +248,41 @@ class SnapshotDatastore(ProbeDatabase):
         self._previous_generation = 0
         self._probe_wal: _CsvAppender | None = None
         self._price_wal: _CsvAppender | None = None
+        self._wal_counts: dict[int, dict[str, int]] = {}
         self.recovery_report: dict[str, object] = {}
         self._load()
+
+    @property
+    def generation(self) -> int:
+        """The live snapshot generation this store serves."""
+        return self._generation
+
+    @property
+    def previous_generation(self) -> int:
+        """The retained fallback generation (0 when there is none)."""
+        return self._previous_generation
+
+    @property
+    def wal_row_counts(self) -> dict[str, int]:
+        """Complete (CRC-verified) rows in the live generation's WALs:
+        the rows replayed at load plus every row appended since.  This
+        is the commit/apply cursor replication builds on — a recorder
+        publishes these counts as its watermark, a read-only replica
+        aligns its tail position to them after a load."""
+        counts = self._wal_counts.get(self._generation)
+        if counts is None:
+            return {"probes": 0, "prices": 0}
+        return dict(counts)
+
+    def _bump_wal_count(
+        self, kind: str, generation: int | None = None, rows: int = 1
+    ) -> None:
+        if generation is None:
+            generation = self._generation
+        counts = self._wal_counts.setdefault(
+            generation, {"probes": 0, "prices": 0}
+        )
+        counts[kind] += rows
 
     def _fire(self, point: str) -> None:
         if self._faults is not None:
@@ -286,6 +319,7 @@ class SnapshotDatastore(ProbeDatabase):
                 )
             row = record.to_row()
             self._probe_wal.append([row[field] for field in PROBE_CSV_FIELDS])
+            self._bump_wal_count("probes")
 
     def insert_price(self, record: PriceRecord) -> None:
         super().insert_price(record)
@@ -298,6 +332,7 @@ class SnapshotDatastore(ProbeDatabase):
             self._price_wal.append(
                 price_csv_row(record.time, record.market, record.price)
             )
+            self._bump_wal_count("prices")
 
     # -- persistence --------------------------------------------------------
     def flush(self) -> None:
@@ -545,6 +580,8 @@ class SnapshotDatastore(ProbeDatabase):
             raw_rows, dict_rows, dropped = _read_wal(path)
             for row in dict_rows:
                 insert(row)
+            if dict_rows:
+                self._bump_wal_count(kind, generation, len(dict_rows))
             if dropped:
                 self.recovery_report[f"{kind}_wal"] = {
                     "generation": generation,

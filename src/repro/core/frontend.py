@@ -410,6 +410,7 @@ class QueryFrontend:
             "wire_entries": len(self._wire_cache),
             "wire_hits": self.wire_hits,
             "wire_misses": self.wire_misses,
+            "generation": self._generation,
         }
 
     # -- the wire byte cache -------------------------------------------------

@@ -80,6 +80,16 @@ class SpotLightQuery:
         # full.  Entries pin their stack, which keeps id() unambiguous.
         self._od_vectors: dict[int, tuple[object, np.ndarray]] = {}
 
+    def rebind(self, database: ProbeDatabase) -> None:
+        """Swap the underlying database and drop every read-through
+        cache.  A replica that falls too many WAL generations behind
+        reloads its datastore wholesale and rebinds the shared engine
+        rather than rebuilding the serving stack around it."""
+        self._db = database
+        self._vectorized = self._vectorized and hasattr(database, "read_index")
+        self._od_cache.clear()
+        self._od_vectors.clear()
+
     # -- pricing helpers -----------------------------------------------------
     def on_demand_price(self, market: MarketID) -> float:
         price = self._od_cache.get(market)

@@ -434,15 +434,30 @@ class ReadIndex:
         self._substacks_version = -1
         self._columns: ProbeColumns | None = None
         self._columns_version = -1
+        self.probe_invalidations = 0
+        self.price_invalidations = 0
 
     # -- invalidation hooks (called by the database on insert) --------------
     def invalidate_probes(self, market: MarketID, kind: ProbeKind) -> None:
         self._probe_version += 1
+        self.probe_invalidations += 1
         self._periods.pop((market, kind), None)
 
     def invalidate_prices(self, market: MarketID) -> None:
         self._price_version += 1
+        self.price_invalidations += 1
         self._price_arrays.pop(market, None)
+
+    def stats(self) -> dict[str, int]:
+        """Invalidation counters and warm-view counts — how much of the
+        index survives a stream of replicated inserts (per-market
+        invalidation means untouched markets stay warm)."""
+        return {
+            "probe_invalidations": self.probe_invalidations,
+            "price_invalidations": self.price_invalidations,
+            "warm_period_views": len(self._periods),
+            "warm_price_arrays": len(self._price_arrays),
+        }
 
     def reset(self) -> None:
         """Drop every cached view (benchmarks use this to re-measure

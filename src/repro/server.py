@@ -11,7 +11,11 @@ behind a stdlib-only ``asyncio`` HTTP/1.1 endpoint:
   single ``/query`` calls;
 * ``GET /healthz`` — liveness (never rate-limited);
 * ``GET /stats`` — serving counters, per-endpoint latency histograms,
-  and the frontend's cache statistics.
+  and the frontend's cache statistics;
+* ``GET /watch`` — when the server follows a recorder (see
+  :mod:`repro.replication`), a chunked-JSON change feed of replication
+  events (price spikes, revocations, availability transitions) with
+  periodic heartbeats and a resumable ``since_seq`` cursor.
 
 It is shaped for real traffic, not demos:
 
@@ -63,6 +67,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Awaitable, Callable
+from urllib.parse import parse_qs
 
 from repro.core.frontend import (
     QueryFrontend,
@@ -151,8 +156,13 @@ def _content_length(n: int) -> bytes:
 CLUSTER_COUNTER_FIELDS = (
     "requests", "queries", "errors", "coalesced", "throttled",
     "slow_shed", "cache_hits", "cache_misses", "connections",
-    "batch_queries", "not_modified",
+    "batch_queries", "not_modified", "wire_generation", "replica_lag",
 )
+
+#: The subset of :data:`CLUSTER_COUNTER_FIELDS` that are gauges
+#: (point-in-time readings), not monotone counters: cluster aggregation
+#: takes their max across worker rows instead of summing.
+CLUSTER_GAUGE_FIELDS = frozenset({"wire_generation", "replica_lag"})
 
 
 class LatencyHistogram:
@@ -245,6 +255,8 @@ class SpotLightServer:
         reuse_port: bool = False,
         worker_id: int = 0,
         stats_board: "object | None" = None,
+        replica: "object | None" = None,
+        frontend_lock: "threading.Lock | None" = None,
     ) -> None:
         self.frontend = frontend
         self.host = host
@@ -266,9 +278,17 @@ class SpotLightServer:
         self._connections: set[asyncio.Task] = set()
         self._inflight: dict[str, asyncio.Future] = {}
         self._buckets: dict[str, TokenBucket] = {}
+        # A ReplicaTailer (repro.replication) when this server follows
+        # a recorder's directory: source of the /watch change feed, the
+        # replica-lag gauge, and the "replica-stale" health detail.
+        self.replica = replica
         # The frontend mutates its cache with no locking; one worker
-        # lock serializes engine calls across connections.
-        self._frontend_lock = threading.Lock()
+        # lock serializes engine calls across connections.  A follower
+        # passes its tailer's lock here so replicated inserts and
+        # engine reads serialize on the same mutex.
+        self._frontend_lock = (
+            frontend_lock if frontend_lock is not None else threading.Lock()
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=4, thread_name_prefix="spotlight-query"
         )
@@ -280,6 +300,8 @@ class SpotLightServer:
         self.slow_shed = 0
         self.batch_queries = 0
         self.not_modified = 0
+        self.watch_connections = 0
+        self.watch_events = 0
         self._endpoints: dict[str, _EndpointStats] = {
             "/query": _EndpointStats(),
             "/batch": _EndpointStats(),
@@ -374,8 +396,14 @@ class SpotLightServer:
                     break
                 if request is None:  # clean EOF between requests
                     break
-                method, path, body, keep_alive, headers = request
+                method, target, body, keep_alive, headers = request
+                path, _, query = target.partition("?")
                 keep_alive = keep_alive and not self._closing
+                if path == "/watch":
+                    # A long-lived chunked stream, not a framed
+                    # request/response — it owns the connection.
+                    await self._handle_watch(writer, method, query)
+                    break
                 status, payload, extra = await self._dispatch(
                     method, path, body, headers, client_host
                 )
@@ -471,7 +499,7 @@ class SpotLightServer:
             headers.get("connection", "").lower() != "close"
             and version.upper() != "HTTP/1.0"
         )
-        return method.upper(), target.split("?", 1)[0], body, keep_alive, headers
+        return method.upper(), target, body, keep_alive, headers
 
     async def _write_response(
         self,
@@ -564,6 +592,7 @@ class SpotLightServer:
         checks see trouble even though the surviving workers answer.
         """
         health_status = "shutting-down" if self._closing else "serving"
+        detail: list[str] = []
         payload: dict[str, object] = {
             "ok": True,
             "uptime_seconds": round(self._clock() - self._started_at, 3),
@@ -573,11 +602,26 @@ class SpotLightServer:
             pool = pool_health()
             if pool.get("workers"):
                 payload["pool"] = pool
-                if not self._closing and (
-                    pool["alive"] < pool["workers"] or pool["failed"]
-                ):
+                if not self._closing and pool["alive"] < pool["workers"]:
                     health_status = "degraded"
+                    detail.append("worker-dead")
+                if not self._closing and pool["failed"]:
+                    health_status = "degraded"
+                    detail.append("worker-failed")
+        if self.replica is not None:
+            try:
+                replica = self.replica.health()
+            except Exception as exc:
+                replica = {"error": f"{type(exc).__name__}: {exc}"}
+            payload["replica"] = replica
+            if not self._closing and replica.get("stale"):
+                health_status = "degraded"
+                detail.append("replica-stale")
         payload["status"] = health_status
+        # ``detail`` names *why* a degrade happened — "worker-dead" is a
+        # supervision failure, "replica-stale" is replication lag — so
+        # operators can tell them apart from one probe.
+        payload["detail"] = detail
         return payload
 
     def _board_counters(self) -> dict[str, float]:
@@ -599,8 +643,20 @@ class SpotLightServer:
             "connections": self.connections_accepted,
             "batch_queries": self.batch_queries,
             "not_modified": self.not_modified,
+            "wire_generation": self.frontend.generation,
+            "replica_lag": self._replica_lag(),
         }
         return {field: values[field] for field in CLUSTER_COUNTER_FIELDS}
+
+    def _replica_lag(self) -> int:
+        """The cheap per-request lag gauge (cached watermark; /healthz
+        and /stats re-read the watermark for the authoritative value)."""
+        if self.replica is None:
+            return 0
+        try:
+            return int(self.replica.health(fresh=False)["lag"])
+        except Exception:
+            return 0
 
     # -- /query: admission + single flight ----------------------------------
     def _admit(self, client_host: str, tokens: float = 1.0) -> float | None:
@@ -795,6 +851,108 @@ class SpotLightServer:
         with self._frontend_lock:
             return self.frontend.handle_wire(request)
 
+    # -- /watch: the chunked change feed -------------------------------------
+    async def _handle_watch(
+        self, writer: asyncio.StreamWriter, method: str, query: str
+    ) -> None:
+        """Stream the replica's change feed as chunked JSON lines.
+
+        The stream opens with a hello frame
+        (``{"watch": true, "since_seq": N, "latest_seq": L}``), then
+        carries one JSON object per event.  ``?since_seq=N`` resumes
+        after cursor N (omitted: from the live tail); a cursor that has
+        fallen off the bounded ring gets an explicit
+        ``{"gap": true, ...}`` marker before the oldest retained event
+        — bounded resumability, never silent loss.  Heartbeat frames
+        every ``?heartbeat=`` seconds (default 5) keep idle streams
+        distinguishable from dead ones.
+        """
+        feed = getattr(self.replica, "feed", None)
+        if method not in ("GET", "HEAD") or feed is None:
+            status, code, message = (
+                (405, "method-not-allowed", "use GET for /watch")
+                if feed is not None
+                else (404, "not-found",
+                      "no change feed: this server does not follow a "
+                      "recorder (start it with --follow)")
+            )
+            await self._write_response(
+                writer, status, wire_encode(_error_body(code, message)),
+                keep_alive=False,
+            )
+            return
+        try:
+            params = parse_qs(query)
+            since = (
+                int(params["since_seq"][0]) if "since_seq" in params else None
+            )
+            heartbeat = float(params.get("heartbeat", ["5.0"])[0])
+        except (ValueError, IndexError):
+            await self._write_response(
+                writer, 400,
+                wire_encode(_error_body(
+                    "bad-request", "since_seq and heartbeat must be numbers"
+                )),
+                keep_alive=False,
+            )
+            return
+        heartbeat = min(max(heartbeat, 0.2), 60.0)
+        cursor = feed.latest_seq if since is None else max(int(since), 0)
+        self.watch_connections += 1
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n"
+        )
+        try:
+            await self._watch_stream(writer, feed, cursor, heartbeat)
+            writer.write(b"0\r\n\r\n")  # clean end of stream
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # subscriber went away mid-stream
+
+    @staticmethod
+    def _watch_chunk(payload: dict) -> bytes:
+        data = wire_encode(payload) + b"\n"
+        return b"%x\r\n%s\r\n" % (len(data), data)
+
+    async def _watch_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        feed: "object",
+        cursor: int,
+        heartbeat: float,
+    ) -> None:
+        writer.write(self._watch_chunk(
+            {"watch": True, "since_seq": cursor, "latest_seq": feed.latest_seq}
+        ))
+        await writer.drain()
+        last_write = self._clock()
+        poll = min(0.1, heartbeat / 4)
+        while not self._closing:
+            events, gap = feed.since(cursor)
+            if gap:
+                writer.write(self._watch_chunk(
+                    {"gap": True, "oldest_seq": feed.oldest_seq}
+                ))
+            if events:
+                for event in events:
+                    writer.write(self._watch_chunk(event))
+                    cursor = event["seq"]
+                self.watch_events += len(events)
+                last_write = self._clock()
+                await writer.drain()
+                continue
+            if self._clock() - last_write >= heartbeat:
+                writer.write(self._watch_chunk(
+                    {"heartbeat": True, "seq": feed.latest_seq}
+                ))
+                last_write = self._clock()
+                await writer.drain()
+            await asyncio.sleep(poll)
+
     # -- stats ---------------------------------------------------------------
     def stats(self) -> dict[str, object]:
         payload: dict[str, object] = {
@@ -814,7 +972,18 @@ class SpotLightServer:
                 for path, endpoint in self._endpoints.items()
             },
             "frontend": self.frontend.stats(),
+            "watch": {
+                "connections": self.watch_connections,
+                "events_sent": self.watch_events,
+            },
         }
+        if self.replica is not None:
+            try:
+                payload["replica"] = self.replica.stats()
+            except Exception as exc:
+                payload["replica"] = {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
         if self._stats_board is not None:
             # Publish first so the aggregate includes this request.
             self._stats_board.publish(self.worker_id, self._board_counters())

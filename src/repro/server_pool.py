@@ -55,7 +55,11 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.frontend import DEFAULT_CACHE_TTL, QueryFrontend
-from repro.server import CLUSTER_COUNTER_FIELDS, SpotLightServer
+from repro.server import (
+    CLUSTER_COUNTER_FIELDS,
+    CLUSTER_GAUGE_FIELDS,
+    SpotLightServer,
+)
 
 #: One row per worker; SpotLightServer._board_counters produces the
 #: values, repro.server owns the schema.  The schema includes the wire
@@ -110,7 +114,15 @@ class StatsBoard:
         totals = dict.fromkeys(BOARD_FIELDS, 0)
         for worker_id in range(self.workers):
             for field, value in self.row(worker_id).items():
-                totals[field] += value
+                if field in CLUSTER_GAUGE_FIELDS:
+                    # Gauges (cache generation, replica lag) are
+                    # point-in-time per worker: summing rows would
+                    # scale them by the worker count.  Max reports the
+                    # worst/newest worker, which is what an operator
+                    # alerting on lag wants.
+                    totals[field] = max(totals[field], value)
+                else:
+                    totals[field] += value
         totals["workers"] = self.workers
         return totals
 
@@ -138,24 +150,31 @@ class _WorkerSpec:
     rate_per_second: float
     burst: float
     cache_ttl: float
+    follow: bool
+    max_lag: int
+    poll_interval: float
     board: StatsBoard
     ready: object  # multiprocessing Event
 
 
-def _snapshot_frontend(snapshot: str, cache_ttl: float) -> QueryFrontend:
-    """A frontend over a read-only snapshot (same resolution rule as
-    ``python -m repro query``: prices against the full default catalog)."""
+def _snapshot_frontend(snapshot: str, cache_ttl: float):
+    """``(frontend, datastore)`` over a read-only snapshot (same
+    resolution rule as ``python -m repro query``: prices against the
+    full default catalog)."""
     from repro.core.datastore import SnapshotDatastore
     from repro.core.query import SpotLightQuery
     from repro.ec2.catalog import default_catalog
 
     datastore = SnapshotDatastore(snapshot, append_log=False, must_exist=True)
-    return QueryFrontend(
+    frontend = QueryFrontend(
         SpotLightQuery(datastore, default_catalog()), cache_ttl=cache_ttl
     )
+    return frontend, datastore
 
 
-async def _worker_serve(spec: _WorkerSpec, frontend: QueryFrontend) -> None:
+async def _worker_serve(
+    spec: _WorkerSpec, frontend: QueryFrontend, replica: "object | None" = None
+) -> None:
     shutdown = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
@@ -170,11 +189,17 @@ async def _worker_serve(spec: _WorkerSpec, frontend: QueryFrontend) -> None:
         reuse_port=True,
         worker_id=spec.worker_id,
         stats_board=spec.board,
+        replica=replica,
+        frontend_lock=replica.lock if replica is not None else None,
     )
     await server.start()
+    if replica is not None:
+        replica.start()
     spec.ready.set()
     await shutdown.wait()
     await server.stop()
+    if replica is not None:
+        replica.stop()
     queries = server.stats()["endpoints"]["/query"]["requests"]
     print(
         f"worker {spec.worker_id} drained: {queries} queries, "
@@ -190,9 +215,21 @@ def _worker_main(spec: _WorkerSpec) -> None:
     # a half-started worker with the default die-now disposition).
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
-    frontend = _snapshot_frontend(spec.snapshot, spec.cache_ttl)
+    frontend, datastore = _snapshot_frontend(spec.snapshot, spec.cache_ttl)
     frontend.prime()  # the first cold query must not pay the index build
-    asyncio.run(_worker_serve(spec, frontend))
+    replica = None
+    if spec.follow:
+        from repro.ec2.catalog import default_catalog
+        from repro.replication import ReplicaTailer
+
+        replica = ReplicaTailer(
+            datastore,
+            frontend,
+            catalog=default_catalog(),
+            max_lag=spec.max_lag,
+            poll_interval=spec.poll_interval,
+        )
+    asyncio.run(_worker_serve(spec, frontend, replica))
 
 
 def _reserve_port(host: str, port: int) -> tuple[socket.socket, int]:
@@ -235,6 +272,9 @@ class WorkerPool:
         rate_per_second: float = 500.0,
         burst: float = 1000.0,
         cache_ttl: float = DEFAULT_CACHE_TTL,
+        follow: bool = False,
+        max_lag: int = 512,
+        poll_interval: float = 0.2,
         ready_timeout: float = DEFAULT_READY_TIMEOUT,
         supervise: bool = True,
         max_respawns: int = DEFAULT_MAX_RESPAWNS,
@@ -256,6 +296,9 @@ class WorkerPool:
             rate_per_second=rate_per_second,
             burst=burst,
             cache_ttl=cache_ttl,
+            follow=follow,
+            max_lag=max_lag,
+            poll_interval=poll_interval,
         )
         self.board = StatsBoard(self._ctx, workers)
         self._placeholder, self.port = _reserve_port(host, port)

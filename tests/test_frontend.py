@@ -78,7 +78,7 @@ class TestTypedApi:
         assert frontend.stats() == {
             "entries": 1, "hits": 1, "misses": 1, "evictions": 0,
             "expirations": 0, "wire_entries": 0, "wire_hits": 0,
-            "wire_misses": 0,
+            "wire_misses": 0, "generation": 0,
         }
 
     def test_different_params_are_different_entries(self, frontend):
