@@ -41,9 +41,11 @@ from repro.core.records import (
     ProbeRecord,
     ProbeTrigger,
 )
+from repro.core.shard import ShardMap
 from repro.ec2.catalog import default_catalog
+from repro.router import SpotLightRouter
 from repro.server import BackgroundServer
-from repro.server_pool import WorkerPool
+from repro.server_pool import ShardCluster, WorkerPool
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_server.json"
 
@@ -79,6 +81,13 @@ COLD_HEAVY_PER_PROC = 300
 #: The multi-worker pool must beat the single-worker pool by this much
 #: on the cached phase — asserted only where the hardware can show it.
 MIN_MULTI_WORKER_SCALING = 1.5
+
+#: Sharded scenario shape: shard count, cold catalog-wide probes
+#: (distinct bid multiples so every one scatters), cached-phase drivers.
+SHARD_COUNT = 2
+COLD_SCATTER_PROBES = 30
+SHARD_DRIVERS = 4
+SHARD_ROUNDS = 20
 
 ZONES = [f"us-east-1{z}" for z in "abcde"]
 TYPES = ["m3.medium", "m3.large", "m3.xlarge", "c3.large", "c3.xlarge"]
@@ -577,3 +586,157 @@ def test_multi_worker_scaling(tmp_path):
         assert scaling >= 0.4, (
             f"multi-worker pool collapsed to {scaling:.2f}x on {cores} cores"
         )
+
+
+# -- the sharded scenario ------------------------------------------------------
+
+def test_sharded_serving(tmp_path):
+    """`serve --shards N`: filtered per-shard priming, scatter-gather
+    catalog-wide queries, and the router's wire cache.
+
+    Three measurements, recorded as ``server_load_sharded``:
+
+    * **per-shard cold prime** — each shard loads and indexes only its
+      slice of the snapshot, so priming cost drops with the slice size
+      (the point of sharding a much larger catalog);
+    * **cold catalog-wide latency** — every probe uses a distinct bid
+      multiple, so every one scatters to all shards and merges;
+    * **cached throughput** — the steady state: hot answers come from
+      the router's own wire cache and never re-scatter.
+    """
+    snapshot = tmp_path / "state"
+    store = SnapshotDatastore(snapshot)
+    build_database(into=store)
+    store.save()
+    store.close()
+
+    # Per-shard cold prime, measured in-process (the exact load+index
+    # work a shard worker does before announcing readiness).
+    shard_map = ShardMap(SHARD_COUNT)
+    started = time.perf_counter()
+    reference_store = SnapshotDatastore(
+        snapshot, append_log=False, must_exist=True
+    )
+    reference_frontend = QueryFrontend(
+        SpotLightQuery(reference_store, default_catalog()), cache_ttl=3600.0
+    )
+    reference_frontend.prime()
+    full_prime = time.perf_counter() - started
+    total_markets = len(reference_store.markets)
+
+    shard_primes: list[dict] = []
+    for shard in range(SHARD_COUNT):
+        started = time.perf_counter()
+        shard_store = SnapshotDatastore(
+            snapshot, append_log=False, must_exist=True,
+            market_filter=shard_map.filter(shard),
+        )
+        shard_frontend = QueryFrontend(
+            SpotLightQuery(shard_store, default_catalog()), cache_ttl=3600.0
+        )
+        shard_frontend.prime()
+        shard_primes.append({
+            "markets": len(shard_store.markets),
+            "prime_seconds": round(time.perf_counter() - started, 4),
+        })
+        shard_store.close()
+    # The shards partition the catalog: nobody loads the whole thing.
+    assert sum(entry["markets"] for entry in shard_primes) == total_markets
+    assert max(entry["markets"] for entry in shard_primes) < total_markets
+
+    cores = len(os.sched_getaffinity(0))
+    workload = build_workload()
+    with ShardCluster(
+        snapshot, shards=SHARD_COUNT, cache_ttl=3600.0
+    ) as cluster:
+        router = SpotLightRouter(
+            cluster.shard_addresses, rate_per_second=1e6, burst=1e6
+        )
+        with BackgroundServer(server=router) as background:
+            with SpotLightClient(*background.address) as client:
+                # Cold catalog-wide probes: distinct bid multiples, so
+                # every one misses the wire cache and scatters.
+                cold_latencies: list[float] = []
+                first_answer = None
+                for probe in range(COLD_SCATTER_PROBES):
+                    probe_started = time.perf_counter()
+                    answer = client.top_stable_markets(
+                        n=10, bid_multiple=1.0 + 0.01 * probe
+                    )
+                    cold_latencies.append(
+                        time.perf_counter() - probe_started
+                    )
+                    if first_answer is None:
+                        first_answer = answer
+                cold_latencies.sort()
+                # The distributed merge matches the single-node engine.
+                expected = reference_frontend.top_stable_markets(
+                    n=10, bid_multiple=1.0
+                )
+                assert [entry["market"] for entry in first_answer] == [
+                    str(entry.market) for entry in expected
+                ]
+            # Cached phase: the mixed workload hammers the (now warm)
+            # router wire cache.
+            cached_wall, cached_latencies = _drive(
+                background.address, workload,
+                workers=SHARD_DRIVERS, rounds=SHARD_ROUNDS,
+            )
+            stats = router.stats()
+    reference_store.close()
+
+    cached_requests = len(cached_latencies)
+    throughput = cached_requests / cached_wall
+    scatters = stats["shards"]["scatter_queries"]
+    entry = {
+        "shards": SHARD_COUNT,
+        "cores": cores,
+        "full_prime": {
+            "markets": total_markets,
+            "prime_seconds": round(full_prime, 4),
+        },
+        "shard_prime": shard_primes,
+        "cold_catalog_wide": {
+            "requests": COLD_SCATTER_PROBES,
+            "p50_ms": round(_quantile(cold_latencies, 0.50) * 1e3, 3),
+            "p99_ms": round(_quantile(cold_latencies, 0.99) * 1e3, 3),
+        },
+        "cached": {
+            "requests": cached_requests,
+            "wall_seconds": round(cached_wall, 3),
+            "throughput_rps": round(throughput, 1),
+            "p50_ms": round(_quantile(cached_latencies, 0.50) * 1e3, 3),
+            "p99_ms": round(_quantile(cached_latencies, 0.99) * 1e3, 3),
+        },
+        "router": dict(stats["shards"]),
+    }
+    _record_result("server_load_sharded", entry)
+    print(
+        f"\nsharded: {SHARD_COUNT} shards "
+        f"({'/'.join(str(e['markets']) for e in shard_primes)} of "
+        f"{total_markets} markets each), cold catalog-wide p50 "
+        f"{entry['cold_catalog_wide']['p50_ms']:.1f} ms, cached "
+        f"{throughput:.0f} req/s on {cores} cores "
+        f"({scatters} scatters, {stats['shards']['forwarded_queries']} "
+        f"forwarded)"
+    )
+
+    # No shard ever failed mid-benchmark and nothing went partial.
+    assert stats["shards"]["shard_errors"] == 0
+    assert stats["shards"]["partial_answers"] == 0
+    # Hot answers never re-scatter: the scatter count is bounded by the
+    # cold probes plus the catalog-wide entries of the first workload
+    # pass, not by the tens of thousands of cached-phase requests.
+    assert scatters <= COLD_SCATTER_PROBES + 2 * len(workload)
+    # Cores-gated floors: the cached phase is router-local dict lookups
+    # and must clear the standard floor when the router and drivers do
+    # not share one core with the (idle) shard workers.
+    if cores >= 2:
+        assert throughput >= MIN_CACHED_RPS, (
+            f"sharded cached throughput {throughput:.0f} req/s below "
+            f"{MIN_CACHED_RPS} on {cores} cores"
+        )
+        assert entry["cold_catalog_wide"]["p50_ms"] <= 250.0
+    else:
+        assert throughput >= 0.4 * MIN_CACHED_RPS
+        assert entry["cold_catalog_wide"]["p50_ms"] <= 500.0

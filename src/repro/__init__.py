@@ -61,6 +61,7 @@ from repro.core import (
     UnavailabilityPeriod,
 )
 from repro.core.frontend import QueryRequest, WireResponse
+from repro.core.shard import ShardMap
 from repro.ec2 import EC2Client, EC2Simulator
 from repro.ec2.catalog import Catalog, default_catalog, small_catalog
 from repro.ec2.platform import FleetConfig
@@ -76,10 +77,11 @@ from repro.replication import (
     ReplicaTailer,
     read_watermark,
 )
+from repro.router import SpotLightRouter
 from repro.server import BackgroundServer, SpotLightServer
-from repro.server_pool import WorkerPool
+from repro.server_pool import ShardCluster, WorkerPool
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "SpotLight",
@@ -90,7 +92,10 @@ __all__ = [
     "WireResponse",
     "SpotLightServer",
     "BackgroundServer",
+    "SpotLightRouter",
     "WorkerPool",
+    "ShardCluster",
+    "ShardMap",
     "SpotLightClient",
     "Recorder",
     "ReplicaTailer",

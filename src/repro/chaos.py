@@ -189,6 +189,7 @@ class FaultEvent:
 #: not three minutes into a chaos run).
 PLAN_ACTIONS: dict[str, frozenset[str]] = {
     "kill-worker": frozenset({"worker", "signal"}),
+    "kill-shard": frozenset({"shard", "signal", "respawn"}),
     "slow-loris": frozenset({"connections", "interval", "hold"}),
     "reset-sockets": frozenset({"connections"}),
     "truncate-wal": frozenset({"root", "kind", "bytes"}),
@@ -385,6 +386,36 @@ class ChaosHarness:
         self._log(f"killed worker {worker} (pid {pid}, signal {signum})")
         return {"worker": worker, "pid": pid, "signal": signum}
 
+    def _kill_shard(self, params: dict) -> dict:
+        """Kill one shard worker and (by default) keep it dead: the
+        point is to observe scatter-gather *degrading* — partial
+        answers, a degraded /healthz — not a quick respawn.  Pass
+        ``"respawn": true`` to let the supervisor bring it back."""
+        if self.pool is None:
+            return {"error": "no shard cluster to kill shards in"}
+        pids = self.pool.worker_pids()
+        if not pids:
+            return {"error": "no live shards"}
+        shard = params.get("shard")
+        if shard is None:
+            shard = self._rng.choice(sorted(pids))
+        pid = pids.get(shard)
+        if pid is None:
+            return {"error": f"shard {shard} not alive"}
+        respawn = bool(params.get("respawn", False))
+        if not respawn:
+            disable = getattr(self.pool, "disable_respawn", None)
+            if disable is not None:
+                disable(shard)
+        signum = int(params.get("signal", signal.SIGKILL))
+        os.kill(pid, signum)
+        self._log(
+            f"killed shard {shard} (pid {pid}, signal {signum}, "
+            f"respawn={'on' if respawn else 'off'})"
+        )
+        return {"shard": shard, "pid": pid, "signal": signum,
+                "respawn": respawn}
+
     def _slow_loris(self, params: dict) -> dict:
         if self.address is None:
             return {"error": "no address for socket attacks"}
@@ -498,6 +529,8 @@ class ChaosHarness:
     def _fire(self, event: FaultEvent) -> dict[str, Any]:
         if event.action == "kill-worker":
             outcome = self._kill_worker(event.params)
+        elif event.action == "kill-shard":
+            outcome = self._kill_shard(event.params)
         elif event.action == "slow-loris":
             outcome = self._slow_loris(event.params)
         elif event.action == "reset-sockets":

@@ -385,6 +385,152 @@ def _serve_pool(args) -> int:
     return 0
 
 
+def _serve_shards(args) -> int:
+    """``serve --shards N``: a :class:`~repro.server_pool.ShardCluster`
+    of catalog-filtered shard workers plus a scatter-gather
+    :class:`~repro.router.SpotLightRouter` in this process."""
+    from repro.router import SpotLightRouter
+    from repro.server_pool import ShardCluster
+
+    if args.follow:
+        print("error: --follow is not supported with --shards",
+              file=sys.stderr)
+        return 2
+    chaos_plan = None
+    if getattr(args, "chaos_plan", None):
+        from repro.chaos import ChaosPlan
+
+        try:
+            chaos_plan = ChaosPlan.load(args.chaos_plan)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    cluster = ShardCluster(
+        args.snapshot,
+        shards=args.shards,
+        host=args.host,
+        supervise=not args.no_supervise,
+        max_respawns=args.max_respawns,
+        respawn_backoff=args.respawn_backoff,
+    )
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    # Same discipline as _serve_pool: interrupts must reach cleanup
+    # code even while the shards are still spawning.
+    previous = {
+        signum: signal.signal(signum, _interrupt)
+        for signum in (signal.SIGINT, signal.SIGTERM)
+    }
+    harness = None
+    router_stats: dict = {}
+
+    async def _run_router() -> None:
+        nonlocal router_stats
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, shutdown.set)
+        router = SpotLightRouter(
+            cluster.shard_addresses,
+            host=args.host,
+            port=args.port,
+            rate_per_second=args.rate,
+            burst=args.burst,
+        )
+        await router.start()
+        host, port = router.address
+        print(
+            f"serving on http://{host}:{port} "
+            f"(router over {args.shards} shards)",
+            flush=True,
+        )
+
+        async def _watch_cluster() -> None:
+            # Mirror pool.wait(): a cluster that permanently fails (a
+            # slot exhausted its respawn budget) ends the run.
+            while not shutdown.is_set():
+                if cluster.failed:
+                    print(
+                        "error: a shard exhausted its respawn budget; "
+                        "shutting down",
+                        file=sys.stderr,
+                    )
+                    shutdown.set()
+                    return
+                await asyncio.sleep(0.5)
+
+        watcher = asyncio.ensure_future(_watch_cluster())
+        await shutdown.wait()
+        watcher.cancel()
+        await asyncio.gather(watcher, return_exceptions=True)
+        await router.stop()
+        router_stats = router.stats()
+
+    try:
+        started = False
+        try:
+            cluster.start()
+            started = True
+            if chaos_plan is not None:
+                from repro.chaos import ChaosHarness
+
+                harness = ChaosHarness(chaos_plan, pool=cluster).start()
+            asyncio.run(_run_router())
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            cluster.terminate()
+            return 2
+        except KeyboardInterrupt:
+            if not started:
+                cluster.terminate()
+                print("interrupted during startup; shards stopped",
+                      file=sys.stderr)
+                return 1
+        # Drain under the plain interrupt handlers again (the router's
+        # loop-scoped handlers died with its event loop).
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(signum, _interrupt)
+        try:
+            if harness is not None:
+                harness.stop()
+            cluster.stop()
+        except KeyboardInterrupt:
+            cluster.terminate()
+            print("error: interrupted during drain; shards killed",
+                  file=sys.stderr)
+            return 1
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    totals = cluster.aggregate()
+    shard_stats = router_stats.get("shards", {})
+    endpoints = router_stats.get("endpoints", {})
+    queries = endpoints.get("/query", {}).get("requests", 0)
+    print(
+        f"shutdown complete: {queries} queries through the router "
+        f"({shard_stats.get('forwarded_queries', 0)} forwarded, "
+        f"{shard_stats.get('scatter_queries', 0)} scattered, "
+        f"{totals['queries']} shard-side), "
+        f"{totals['coalesced']} coalesced",
+        flush=True,
+    )
+    if cluster.respawns:
+        print(f"supervisor respawned {cluster.respawns} shard(s)",
+              flush=True)
+    if cluster.failed:
+        print("error: a shard exhausted its respawn budget",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.server import serve
 
@@ -392,6 +538,17 @@ def cmd_serve(args) -> int:
         print(f"error: --workers must be >= 1, got {args.workers}",
               file=sys.stderr)
         return 2
+    shards = getattr(args, "shards", 1)
+    if shards < 1:
+        print(f"error: --shards must be >= 1, got {shards}",
+              file=sys.stderr)
+        return 2
+    if shards > 1:
+        if args.workers > 1:
+            print("error: --shards and --workers are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        return _serve_shards(args)
     # A chaos plan always runs against a supervised pool (kill-worker
     # needs worker processes to kill), even at --workers 1.
     if args.workers > 1 or args.chaos_plan:
@@ -703,6 +860,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker processes; >1 pre-forks "
                                 "SO_REUSEPORT workers so throughput "
                                 "scales across cores")
+    serve_cmd.add_argument("--shards", type=int, default=1,
+                           help="catalog shards; >1 spawns a worker per "
+                                "shard (each loading only its slice of "
+                                "the snapshot) behind a scatter-gather "
+                                "router on --port")
     serve_cmd.add_argument("--chaos-plan",
                            help="JSON fault schedule to run against the "
                                 "pool while serving (see RELIABILITY.md); "

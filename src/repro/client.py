@@ -100,10 +100,12 @@ class SpotLightClient:
         host: str = "127.0.0.1",
         port: int = 8080,
         timeout: float = DEFAULT_TIMEOUT,
+        direct_routing: bool = False,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.direct_routing = direct_routing
         self._sock: socket.socket | None = None
         self._rfile: Any = None
         # Preassembled request heads, ending "Content-Length: " for
@@ -114,6 +116,15 @@ class SpotLightClient:
         # poll() state: request key -> (etag, last full response).
         self._poll_cache: dict[str, tuple[str, dict]] = {}
         self.polls_not_modified = 0
+        # Shard-aware routing state (see query_response): the map from
+        # GET /shards, one nested client per shard, and whether the
+        # server turned out not to serve /shards at all.
+        self._shard_map: Any = None
+        self._shard_addresses: list[tuple[str, int]] | None = None
+        self._shard_clients: dict[int, "SpotLightClient"] = {}
+        self._direct_disabled = False
+        self.direct_queries = 0
+        self.direct_fallbacks = 0
 
     # -- transport ----------------------------------------------------------
     def _connect(self) -> None:
@@ -126,6 +137,8 @@ class SpotLightClient:
         self._rfile = sock.makefile("rb")
 
     def close(self) -> None:
+        for shard_client in self._shard_clients.values():
+            shard_client.close()
         if self._rfile is not None:
             try:
                 self._rfile.close()
@@ -244,8 +257,21 @@ class SpotLightClient:
         self, name: str, params: dict[str, Any] | None = None
     ) -> dict:
         """POST one schema request and return the full response dict
-        (including ``cached`` and ``served_at``); raises on errors."""
-        body = json.dumps({"query": name, "params": params or {}}).encode()
+        (including ``cached`` and ``served_at``); raises on errors.
+
+        With ``direct_routing`` enabled and a sharded deployment behind
+        ``host:port``, point queries (a ``market`` param) skip the
+        router hop and go straight to the owning shard; anything that
+        cannot be safely routed — catalog-wide queries, a topology
+        change (shard-map epoch mismatch), a dead shard — falls back
+        through the router.
+        """
+        params = params or {}
+        if self.direct_routing and not self._direct_disabled:
+            response = self._direct_query_response(name, params)
+            if response is not None:
+                return response
+        body = json.dumps({"query": name, "params": params}).encode()
         status, headers, response = self._request("POST", "/query", body)
         if status == 429:
             error = response.get("error", {})
@@ -267,6 +293,113 @@ class SpotLightClient:
     def query(self, name: str, params: dict[str, Any] | None = None) -> Any:
         """POST one schema request and return its ``result`` payload."""
         return self.query_response(name, params)["result"]
+
+    # -- shard-aware direct routing ------------------------------------------
+    def shard_map(self, refresh: bool = False) -> Any:
+        """The server's shard map (``GET /shards``), or None when the
+        server is unsharded.  ``refresh=True`` drops the cached map
+        (and per-shard connections) and refetches."""
+        if refresh:
+            self._invalidate_shards()
+            self._direct_disabled = False
+        if self._shard_map is None and not self._direct_disabled:
+            self._fetch_shard_map()
+        return self._shard_map
+
+    def _fetch_shard_map(self) -> Any:
+        from repro.core.shard import ShardMap
+
+        try:
+            status, _, response = self._request("GET", "/shards")
+        except TransportError:
+            return None
+        if status != 200 or not response.get("ok"):
+            # An unsharded server: stop probing /shards on every query.
+            self._direct_disabled = True
+            return None
+        try:
+            shard_map = ShardMap.from_dict(response)
+            addresses = [
+                (str(host), int(port)) for host, port in response["addresses"]
+            ]
+            if len(addresses) != shard_map.shards:
+                raise ValueError("address count does not match shard count")
+        except (KeyError, TypeError, ValueError):
+            self._direct_disabled = True
+            return None
+        self._shard_map = shard_map
+        self._shard_addresses = addresses
+        return shard_map
+
+    def _invalidate_shards(self) -> None:
+        self._shard_map = None
+        self._shard_addresses = None
+        while self._shard_clients:
+            _, shard_client = self._shard_clients.popitem()
+            shard_client.close()
+
+    def _direct_query_response(
+        self, name: str, params: dict[str, Any]
+    ) -> dict | None:
+        """Try answering a point query straight from the owning shard.
+
+        Returns None whenever the router should handle the request
+        instead: no market param, no shard map, an epoch mismatch
+        (topology changed under us — refetch and fall back), or a
+        transport failure (the router retries/degrades; we do not).
+        """
+        market = params.get("market")
+        if not isinstance(market, (str, MarketID)):
+            return None
+        shard_map = self._shard_map
+        if shard_map is None:
+            shard_map = self._fetch_shard_map()
+            if shard_map is None:
+                return None
+        shard = shard_map.owner(market)
+        shard_client = self._shard_clients.get(shard)
+        if shard_client is None:
+            host, port = self._shard_addresses[shard]
+            shard_client = SpotLightClient(host, port, timeout=self.timeout)
+            self._shard_clients[shard] = shard_client
+        body = json.dumps({"query": name, "params": params}).encode()
+        try:
+            status, headers, response = shard_client._request(
+                "POST", "/query", body
+            )
+        except TransportError:
+            # Dead or moved shard: let the router (which retries and
+            # degrades) answer, and refetch the topology next time.
+            self._invalidate_shards()
+            self.direct_fallbacks += 1
+            return None
+        epoch = headers.get("x-shard-epoch")
+        try:
+            epoch_value = None if epoch is None else int(epoch)
+        except ValueError:
+            epoch_value = None
+        if epoch_value != shard_map.epoch:
+            # Topology changed (or this is not a shard worker at all):
+            # the answer may come from a server that no longer owns the
+            # market.  Refetch the map and fall back through the router.
+            self._invalidate_shards()
+            self.direct_fallbacks += 1
+            return None
+        self.direct_queries += 1
+        if status == 429:
+            error = response.get("error", {})
+            retry_after = float(
+                headers.get("retry-after", error.get("retry_after", 1.0))
+            )
+            raise ThrottledError(error.get("message", "throttled"), retry_after)
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise QueryError(
+                error.get("code", "unknown"),
+                error.get("message", f"HTTP {status}"),
+                status,
+            )
+        return response
 
     def batch_response(self, requests: list[dict]) -> list[dict]:
         """POST N schema requests to ``/batch`` in one round trip.

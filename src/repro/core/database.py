@@ -34,6 +34,7 @@ from __future__ import annotations
 import csv
 import json
 from array import array
+from collections.abc import Callable
 from heapq import merge
 from pathlib import Path
 from typing import Iterator
@@ -121,7 +122,14 @@ class _ProbeColumnBlock:
 class ProbeDatabase:
     """Indexed in-memory store of probe and price records."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, market_filter: Callable[[MarketID], bool] | None = None
+    ) -> None:
+        #: Optional shard predicate: records for markets it rejects are
+        #: silently dropped at insert time, so a shard worker ingesting
+        #: the full snapshot (or tailing a full WAL) indexes only its
+        #: slice of the catalog.
+        self._market_filter = market_filter
         self._probes_by_market: dict[MarketID, list[ProbeRecord]] = {}
         self._probe_count = 0
         self._all_probes_cache: list[ProbeRecord] | None = None
@@ -140,8 +148,14 @@ class ProbeDatabase:
         return self._read_index
 
     # -- ingestion -----------------------------------------------------------
+    def owns(self, market: MarketID) -> bool:
+        """Whether this store keeps records for ``market`` (shard filter)."""
+        return self._market_filter is None or self._market_filter(market)
+
     def insert_probe(self, record: ProbeRecord) -> None:
         """Append a probe record (times must be non-decreasing per market)."""
+        if not self.owns(record.market):
+            return
         per_market = self._probes_by_market.setdefault(record.market, [])
         if per_market and record.time < per_market[-1].time:
             raise ValueError(
@@ -163,6 +177,8 @@ class ProbeDatabase:
             self._read_index.invalidate_probes(record.market, record.kind)
 
     def insert_price(self, record: PriceRecord) -> None:
+        if not self.owns(record.market):
+            return
         column = self._prices_by_market.setdefault(record.market, TimeSeries())
         if column.times and record.time < column.times[-1]:
             raise ValueError(

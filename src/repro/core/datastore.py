@@ -234,8 +234,11 @@ class SnapshotDatastore(ProbeDatabase):
         append_log: bool = True,
         must_exist: bool = False,
         fault_injector: "object | None" = None,
+        market_filter: "object | None" = None,
     ) -> None:
-        super().__init__()
+        # The filter must be installed before _load() so the snapshot
+        # CSVs and WAL replay only materialize the owned slice.
+        super().__init__(market_filter=market_filter)
         self.root = Path(root)
         if must_exist and not (self.root / _MANIFEST).exists():
             raise FileNotFoundError(
@@ -310,6 +313,10 @@ class SnapshotDatastore(ProbeDatabase):
 
     # -- ingestion (write-through to the WAL) -------------------------------
     def insert_probe(self, record: ProbeRecord) -> None:
+        if not self.owns(record.market):
+            # Filtered records must not reach the WAL either: a shard's
+            # snapshot directory holds only its own slice.
+            return
         super().insert_probe(record)
         if self._append_log:
             self._fire("datastore.wal.append")
@@ -322,6 +329,8 @@ class SnapshotDatastore(ProbeDatabase):
             self._bump_wal_count("probes")
 
     def insert_price(self, record: PriceRecord) -> None:
+        if not self.owns(record.market):
+            return
         super().insert_price(record)
         if self._append_log:
             self._fire("datastore.wal.append")

@@ -53,6 +53,20 @@ from repro.core.records import ProbeKind, UnavailabilityPeriod
 #: Default result-cache TTL (seconds on the frontend's clock).
 DEFAULT_CACHE_TTL = 300.0
 
+#: Per-market point queries the stacked cold-batch kernel can answer
+#: with one catalog-wide :func:`~repro.core.read_index.stability_metrics`
+#: pass instead of one engine call each.
+STACKABLE_QUERIES = frozenset(
+    {"availability-at-bid", "mean-time-to-revocation", "mean-price"}
+)
+
+#: Minimum number of *distinct* cold stackable queries in a batch before
+#: the stacked kernel is used.  Below this the per-query path wins — and
+#: a batch of identical sub-queries must keep flowing through it so
+#: duplicate coalescing (one engine call, followers get cached bytes)
+#: behaves exactly like the equivalent sequence of single requests.
+STACKED_BATCH_MIN = 4
+
 
 class BadRequestError(ValueError):
     """A request that does not fit the schema."""
@@ -322,6 +336,7 @@ class QueryFrontend:
             "unavailability-periods": self._q_unavailability_periods,
             "least-unavailable-markets": self._q_least_unavailable,
             "rejection-rate": self._q_rejection_rate,
+            "rejection-counts": self._q_rejection_counts,
         }
 
     # -- cache machinery ----------------------------------------------------
@@ -465,7 +480,18 @@ class QueryFrontend:
         if hit is not None:
             return hit
         self.wire_misses += 1
-        response = self.handle(raw)
+        return self.store_wire(key, self.handle(raw))
+
+    def store_wire(self, key: str, response: dict[str, object]) -> WireResponse:
+        """Serialize a :meth:`handle`-shaped response, cache the ``ok``
+        variant under ``key``, and return the leader's
+        :class:`WireResponse`.
+
+        This is the single place response dicts become wire bytes: the
+        per-request path, the stacked batch kernel, and a scatter-gather
+        router storing merged (or shard-forwarded) answers all share it,
+        so their bytes, ETags, and cache behavior stay identical.
+        """
         body = wire_encode(response)
         if not response.get("ok"):
             code = response.get("error", {}).get("code")
@@ -504,21 +530,152 @@ class QueryFrontend:
         Duplicate sub-queries are answered once and their later
         occurrences get the cached-variant bytes — exactly what the
         equivalent sequence of single requests would have produced.
-        (The async transport implements the same contract with
-        single-flight coalescing; this synchronous form serves the CLI
-        and in-process callers.)
+        Enough distinct cold point queries take the stacked kernel path
+        (:meth:`stacked_wire`) — one catalog-wide pass instead of one
+        engine call each.  (The async transport implements the same
+        contract with single-flight coalescing; this synchronous form
+        serves the CLI and in-process callers.)
         """
+        parsed = [
+            QueryRequest.from_dict(item) if isinstance(item, dict) else None
+            for item in requests
+        ]
+        stacked = self.stacked_wire(
+            [request for request in parsed if request is not None]
+        )
         parts: list[bytes] = []
-        for item in requests:
-            if not isinstance(item, dict):
+        for request in parsed:
+            if request is None:
                 parts.append(
                     wire_encode(
                         self._error("bad-request", "request must be a dict")
                     )
                 )
                 continue
-            parts.append(self.handle_wire(QueryRequest.from_dict(item)).body)
+            leader = stacked.pop(request.key, None)
+            if leader is None:
+                leader = self.handle_wire(request)
+            parts.append(leader.body)
         return assemble_batch_body(parts)
+
+    def _wire_fresh(self, key: str) -> bool:
+        """Whether ``key`` has a fresh wire entry, without touching the
+        hit counters (planning check, not a serve)."""
+        entry = self._wire_cache.get(key)
+        return entry is not None and self._clock() < entry.expires
+
+    def stacked_wire(
+        self, requests: "list[QueryRequest]"
+    ) -> dict[str, WireResponse]:
+        """The stacked cold-batch kernel: answer many *distinct* cold
+        per-market point queries with one catalog-wide read-index pass.
+
+        Returns leader :class:`WireResponse` objects keyed by request
+        key for every query the pass answered (wire cache filled, so
+        later duplicates get follower bytes).  Returns ``{}`` — and the
+        caller falls back to per-query evaluation — when the engine has
+        no stacked kernel (scalar reference path, duck-typed engines)
+        or fewer than :data:`STACKED_BATCH_MIN` distinct cold stackable
+        queries are present, which keeps duplicate-heavy batches on the
+        coalescing path.
+
+        Queries sharing a ``[start, end]`` window share one kernel pass;
+        a market queried at two different bids within one window forces
+        a second pass (each pass evaluates one bid per market).
+        """
+        batch_fn = getattr(self.engine, "point_stats_batch", None)
+        if batch_fn is None:
+            return {}
+        plan: dict[str, tuple] = {}
+        for request in requests:
+            if (
+                not isinstance(request.query, str)
+                or request.query not in STACKABLE_QUERIES
+                or request.key in plan
+            ):
+                continue
+            if not isinstance(request.params, dict):
+                continue
+            if self._wire_fresh(request.key):
+                continue
+            p = _Params(request.params)
+            try:
+                market = p.market()
+                start = p.number("start", 0.0)
+                end = p.optional_number("end")
+                bid = (
+                    0.0 if request.query == "mean-price"
+                    else p.number("bid_price")
+                )
+            except BadRequestError:
+                continue  # the per-query path renders the error bytes
+            plan[request.key] = (request, market, bid, start, end)
+        if len(plan) < STACKED_BATCH_MIN:
+            return {}
+        # One layer per (window, bid assignment): a layer holds at most
+        # one bid per market.  Bid-independent mean-price queries join
+        # the window's first layer.
+        windows: dict[tuple, list[tuple[dict, list]]] = {}
+        for request, market, bid, start, end in plan.values():
+            layers = windows.setdefault((start, end), [])
+            placed = None
+            if request.query == "mean-price":
+                if not layers:
+                    layers.append(({}, []))
+                placed = layers[0]
+            else:
+                for layer in layers:
+                    existing = layer[0].get(market)
+                    if existing is None or existing == bid:
+                        placed = layer
+                        break
+                if placed is None:
+                    placed = ({}, [])
+                    layers.append(placed)
+                placed[0][market] = bid
+            placed[1].append((request, market, bid))
+        out: dict[str, WireResponse] = {}
+        for (start, end), layers in windows.items():
+            for bids, members in layers:
+                assignments = dict(bids)
+                for _, market, _ in members:
+                    assignments.setdefault(market, 0.0)
+                try:
+                    stats = batch_fn(assignments, start, end)
+                except Exception:
+                    return out  # engine failure: per-query path reports it
+                if stats is None:
+                    return out  # no stacked kernel after all
+                for request, market, bid in members:
+                    # Markets absent from the price stack carry the same
+                    # degenerate defaults the per-market methods return.
+                    mttr, avail, mean_price = stats.get(market, (0.0, 1.0, 0.0))
+                    if request.query == "mean-price":
+                        value = mean_price
+                        normalized: dict[str, object] = {
+                            "market": str(market), "start": start, "end": end,
+                        }
+                    else:
+                        value = (
+                            avail if request.query == "availability-at-bid"
+                            else mttr
+                        )
+                        normalized = {
+                            "market": str(market), "bid_price": bid,
+                            "start": start, "end": end,
+                        }
+                    self.wire_misses += 1
+                    result, was_cached = self._cached(
+                        request.query, normalized, lambda v=value: v
+                    )
+                    out[request.key] = self.store_wire(request.key, {
+                        "ok": True,
+                        "query": request.query,
+                        "result": result,
+                        "cached": was_cached,
+                        "served_at": self._clock(),
+                    })
+        return out
 
     # -- typed API (what the apps consume) ---------------------------------
     def on_demand_price(self, market: MarketID) -> float:
@@ -658,6 +815,20 @@ class QueryFrontend:
         )
         return value
 
+    def rejection_counts(
+        self, market: MarketID | None = None, kind: ProbeKind | None = None
+    ) -> tuple[int, int]:
+        """``(rejected, total)`` probe counts — what a scatter-gather
+        router sums across shards to reproduce the global
+        :meth:`rejection_rate` exactly."""
+        value, _ = self._cached(
+            "rejection-counts",
+            {"market": None if market is None else str(market),
+             "kind": None if kind is None else kind.value},
+            lambda: self.engine.rejection_counts(market, kind),
+        )
+        return value
+
     # -- request/response API ----------------------------------------------
     def handle(self, request: dict[str, object]) -> dict[str, object]:
         """Serve one schema request; never raises on bad input.
@@ -771,3 +942,10 @@ class QueryFrontend:
         return self.rejection_rate(
             market=p.optional_market(), kind=p.optional_kind()
         )
+
+    def _q_rejection_counts(self, params: dict) -> object:
+        p = _Params(params)
+        rejected, total = self.rejection_counts(
+            market=p.optional_market(), kind=p.optional_kind()
+        )
+        return {"rejected": rejected, "total": total}

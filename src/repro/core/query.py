@@ -198,21 +198,34 @@ class SpotLightQuery:
     def rejection_rate(
         self, market: MarketID | None = None, kind: ProbeKind | None = None
     ) -> float:
+        rejected, total = self.rejection_counts(market, kind)
+        if total == 0:
+            return 0.0
+        return rejected / total
+
+    def rejection_counts(
+        self, market: MarketID | None = None, kind: ProbeKind | None = None
+    ) -> tuple[int, int]:
+        """``(rejected, total)`` probe counts — the mergeable form of
+        :meth:`rejection_rate`.  A scatter-gather router sums the per-shard
+        counts and divides once, reproducing the global rate exactly
+        (a mean of per-shard *rates* would weight shards wrongly)."""
         if not self._vectorized:
-            return self._db.rejection_rate(market, kind)
+            records = self._db.probes(market=market, kind=kind)
+            return sum(1 for r in records if r.rejected), len(records)
         columns = self._db.read_index.probe_columns()
         mask = np.ones(len(columns), dtype=bool)
         if market is not None:
             ordinal = columns.market_ordinal(market)
             if ordinal is None:
-                return 0.0
+                return 0, 0
             mask &= columns.market_index == ordinal
         if kind is not None:
             mask &= columns.kind_mask(kind)
         total = int(np.count_nonzero(mask))
         if total == 0:
-            return 0.0
-        return int(np.count_nonzero(columns.rejected & mask)) / total
+            return 0, 0
+        return int(np.count_nonzero(columns.rejected & mask)), total
 
     # -- price-derived metrics ----------------------------------------------------
     def _price_window(
@@ -285,6 +298,46 @@ class SpotLightQuery:
             return float(prices[-1])
         weighted = float(np.dot(prices[:-1], np.diff(times)))
         return weighted / total
+
+    def point_stats_batch(
+        self,
+        assignments: dict[MarketID, float],
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> dict[MarketID, tuple[float, float, float]] | None:
+        """Stacked point stats for many markets in one kernel pass.
+
+        ``assignments`` maps each market to the bid price its queries
+        use; the result maps each market *present in the price stack*
+        to ``(mean_time_to_revocation, availability_at_bid,
+        mean_price)`` over ``[start, end]``.  Markets absent from the
+        stack are omitted — they carry the same degenerate defaults the
+        per-market methods return on empty windows (0.0, 1.0, 0.0).
+
+        This is the cold-batch kernel: a ``/batch`` of N distinct
+        per-market point queries costs one :func:`stability_metrics`
+        pass over the full stack instead of N per-market engine calls.
+        Returns ``None`` on the scalar reference path, where no stacked
+        kernel exists and callers fall back to per-query evaluation.
+        """
+        if not self._vectorized:
+            return None
+        stack = self._db.read_index.price_stack()
+        if not stack.markets:
+            return {}
+        ordinals = {market: i for i, market in enumerate(stack.markets)}
+        bids = np.zeros(len(stack.markets))
+        for market, bid in assignments.items():
+            i = ordinals.get(market)
+            if i is not None:
+                bids[i] = bid
+        mttr, avail, mean_price = stability_metrics(stack, bids, start, end)
+        return {
+            market: (float(mttr[i]), float(avail[i]), float(mean_price[i]))
+            for market, i in (
+                (m, ordinals[m]) for m in assignments if m in ordinals
+            )
+        }
 
     def spike_multiples(
         self, market: MarketID, start: float = 0.0, end: float | None = None

@@ -1,0 +1,93 @@
+"""Deterministic catalog partitioning for sharded serving.
+
+A :class:`ShardMap` assigns every market to exactly one of ``shards``
+partitions by hashing its canonical string form
+(``"zone/instance_type/product"``) with BLAKE2b.  The assignment is a
+pure function of the market and the shard count — any process
+(router, shard worker, or client) that knows the shard count computes
+the same owner without coordination, which is what lets shard workers
+load a *filtered* snapshot and lets clients route point queries
+directly.
+
+Hashing (rather than contiguous market ranges) was chosen because the
+catalog is static per study but heavily skewed by region: contiguous
+ranges over the sorted catalog would put all of ``us-east-1`` on one
+shard and concentrate load, while a hash spreads every region across
+all shards.  The trade-off — catalog-wide queries must always touch
+every shard — is already forced by the scatter-gather merge, so
+hashing loses nothing.
+
+The ``epoch`` identifies the topology so clients holding a stale map
+can detect a change: every router (and shard) response carries the
+epoch in an ``X-Shard-Epoch`` header, and a client that sees a
+mismatch refetches ``GET /shards`` and falls back through the router.
+By default the epoch is the shard count, which distinguishes any two
+topologies that differ in size; deployments that re-shard at the same
+size can pass an explicit epoch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from hashlib import blake2b
+from typing import Any
+
+__all__ = ["ShardMap"]
+
+
+class ShardMap:
+    """Deterministic hash partitioning of markets over ``shards`` shards."""
+
+    __slots__ = ("shards", "epoch")
+
+    def __init__(self, shards: int, epoch: int | None = None) -> None:
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.shards = shards
+        self.epoch = int(epoch) if epoch is not None else shards
+
+    def owner(self, market: Any) -> int:
+        """Shard index owning ``market`` (a MarketID or its string form)."""
+        if self.shards == 1:
+            return 0
+        digest = blake2b(str(market).encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self.shards
+
+    def filter(self, shard: int) -> Callable[[Any], bool]:
+        """Predicate selecting the markets owned by ``shard``.
+
+        Suitable as the ``market_filter`` of a ``ProbeDatabase`` or
+        ``SnapshotDatastore`` so a shard worker loads only its slice.
+        """
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard {shard} out of range for {self.shards} shards")
+        return lambda market: self.owner(market) == shard
+
+    def assignments(self, markets: Any) -> dict[int, list[Any]]:
+        """Group ``markets`` by owning shard, preserving input order."""
+        grouped: dict[int, list[Any]] = {}
+        for market in markets:
+            grouped.setdefault(self.owner(market), []).append(market)
+        return grouped
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"strategy": "hash", "shards": self.shards, "epoch": self.epoch}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> ShardMap:
+        strategy = data.get("strategy", "hash")
+        if strategy != "hash":
+            raise ValueError(f"unsupported shard strategy {strategy!r}")
+        return cls(data["shards"], epoch=data.get("epoch"))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardMap):
+            return NotImplemented
+        return self.shards == other.shards and self.epoch == other.epoch
+
+    def __hash__(self) -> int:
+        return hash((self.shards, self.epoch))
+
+    def __repr__(self) -> str:
+        return f"ShardMap(shards={self.shards}, epoch={self.epoch})"

@@ -1,0 +1,664 @@
+"""The scatter-gather router tier for sharded serving.
+
+A :class:`SpotLightRouter` speaks the exact wire protocol of
+:class:`~repro.server.SpotLightServer` — same endpoints, same envelope
+bytes, same ETags — but owns no catalog data.  Behind it sit N shard
+workers, each serving a :class:`~repro.core.shard.ShardMap`-filtered
+slice of the snapshot:
+
+* **point queries** (a ``market`` param) route to the owning shard and
+  the shard's answer bytes are returned verbatim (the canonical wire
+  encoding round-trips byte-identically through a decode/re-encode);
+* **catalog-wide queries** scatter to every shard and merge:
+  ``top-stable-markets`` as a distributed top-k (each shard returns its
+  local top-n with metric columns; the router re-sorts the union by the
+  engine's exact ranking key with the market as the final tie-breaker,
+  which reproduces the single-node stable-sort order because shards
+  partition the sorted catalog), ``unavailability-periods`` by a
+  (start, market) merge, and the global ``rejection-rate`` by summing
+  per-shard ``rejection-counts`` and dividing once — a mean of
+  per-shard *rates* would weight shards wrongly;
+* ``/batch`` splits sub-queries by owning shard, forwards one sub-batch
+  per shard concurrently, and reassembles the results in request order
+  — byte-identical to the equivalent sequence of single queries;
+* ``/healthz`` probes every shard concurrently and *degrades* (status
+  ``"degraded"``, detail ``"shard-N-dead"``) instead of failing when a
+  shard is down; scatter answers over the survivors carry
+  ``"partial": true`` plus the missing shard list and are never cached.
+
+The router reuses the single-flight in-flight map and the
+serialized-bytes/ETag wire cache it inherits (its
+:class:`~repro.core.frontend.QueryFrontend` has no engine — it is pure
+cache), so a hot catalog-wide answer is one dict lookup and never
+re-scatters until the TTL lapses.
+
+Every response carries the shard-map epoch in an ``X-Shard-Epoch``
+header; ``GET /shards`` serves the map itself so shard-aware clients
+(``SpotLightClient(direct_routing=True)``) can route point queries
+straight to shards and fall back through the router on a topology
+change.
+
+Shards behind a router should run with effectively unlimited admission
+(the :class:`~repro.server_pool.ShardCluster` default): the router
+enforces per-client rate limits itself, and all shard traffic arrives
+from the router's address.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from typing import Callable
+
+from repro.core.frontend import (
+    BadRequestError,
+    QueryFrontend,
+    QueryRequest,
+    WireResponse,
+    _Params,
+    _parse_market,
+    wire_encode,
+)
+from repro.core.shard import ShardMap
+from repro.server import SpotLightServer, _EndpointStats
+
+__all__ = ["ShardClient", "ShardError", "SpotLightRouter"]
+
+#: Queries that require a ``market`` param: always owned by one shard.
+_POINT_QUERIES = frozenset({
+    "availability",
+    "availability-at-bid",
+    "mean-time-to-revocation",
+    "mean-price",
+    "on-demand-price",
+})
+
+#: Queries whose ``market`` param is optional: owned by one shard when
+#: it is present, catalog-wide scatters when it is absent.
+_OPTIONAL_MARKET_QUERIES = frozenset({
+    "unavailability-periods",
+    "rejection-rate",
+    "rejection-counts",
+})
+
+
+def _market_sort_key(entry: dict) -> tuple[str, str, str]:
+    """MarketID's ordering, reconstructed from a result row's columns —
+    the tie-breaker that makes merge order match the single-node
+    engine's stable sort over the sorted catalog."""
+    return (
+        entry["availability_zone"],
+        entry["instance_type"],
+        entry["product"],
+    )
+
+
+class ShardError(Exception):
+    """A shard did not produce a usable response (after one retry)."""
+
+
+class ShardClient:
+    """A minimal asyncio HTTP/1.1 client for one shard.
+
+    Keep-alive connections are pooled; every request gets exactly one
+    retry on a fresh connection, which covers both a stale pooled
+    connection and the contract that the router retries the owning
+    shard once before failing a point query.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 10.0, max_idle: int = 4
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_idle = max_idle
+        self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def request(
+        self, method: str, path: str, body: bytes = b""
+    ) -> tuple[int, bytes]:
+        """One round trip; returns ``(status, body)`` or raises
+        :class:`ShardError` after the single retry fails too."""
+        payload = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("latin-1") + body
+        try:
+            return await asyncio.wait_for(self._attempt(payload), self.timeout)
+        except (OSError, TimeoutError, asyncio.IncompleteReadError, ShardError):
+            self.close()
+            try:
+                return await asyncio.wait_for(
+                    self._attempt(payload), self.timeout
+                )
+            except (
+                OSError, TimeoutError, asyncio.IncompleteReadError, ShardError
+            ) as exc:
+                self.close()
+                raise ShardError(
+                    f"{self.host}:{self.port}: {type(exc).__name__}: {exc}"
+                ) from exc
+
+    async def _attempt(self, payload: bytes) -> tuple[int, bytes]:
+        if self._idle:
+            reader, writer = self._idle.pop()
+        else:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            writer.write(payload)
+            await writer.drain()
+            status, headers, body = await self._read_response(reader)
+        except BaseException:
+            writer.close()
+            raise
+        if headers.get("connection", "").lower() == "close":
+            writer.close()
+        elif len(self._idle) < self.max_idle:
+            self._idle.append((reader, writer))
+        else:
+            writer.close()
+        return status, body
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> tuple[int, dict[str, str], bytes]:
+        status_line = await reader.readline()
+        if not status_line:
+            raise ShardError("connection closed before response")
+        parts = status_line.split(None, 2)
+        if len(parts) < 2:
+            raise ShardError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ShardError("connection closed mid-headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await reader.readexactly(length) if length else b""
+        return status, headers, body
+
+    def close(self) -> None:
+        """Drop every pooled connection."""
+        while self._idle:
+            _, writer = self._idle.pop()
+            writer.close()
+
+
+class SpotLightRouter(SpotLightServer):
+    """The scatter-gather wire-protocol router over N shard servers."""
+
+    def __init__(
+        self,
+        shard_addresses: list[tuple[str, int]],
+        shard_map: ShardMap | None = None,
+        frontend: QueryFrontend | None = None,
+        shard_timeout: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+        **server_kwargs: object,
+    ) -> None:
+        if not shard_addresses:
+            raise ValueError("a router needs at least one shard address")
+        if shard_map is None:
+            shard_map = ShardMap(len(shard_addresses))
+        if shard_map.shards != len(shard_addresses):
+            raise ValueError(
+                f"shard map covers {shard_map.shards} shards but "
+                f"{len(shard_addresses)} addresses were given"
+            )
+        if frontend is None:
+            # Engine-less frontend: pure wire/object cache.  All actual
+            # computation happens on the shards.
+            frontend = QueryFrontend(None, clock=clock)
+        super().__init__(frontend, clock=clock, **server_kwargs)
+        self.shard_map = shard_map
+        self.shard_addresses = [tuple(address) for address in shard_addresses]
+        self._clients = [
+            ShardClient(host, port, timeout=shard_timeout)
+            for host, port in self.shard_addresses
+        ]
+        self._endpoints["/shards"] = _EndpointStats()
+        self._extra_headers = (
+            f"X-Shard-Epoch: {self.shard_map.epoch}\r\n".encode("latin-1")
+        )
+        self.forwarded_queries = 0
+        self.scatter_queries = 0
+        self.shard_errors = 0
+        self.partial_answers = 0
+
+    async def stop(self) -> None:
+        await super().stop()
+        for client in self._clients:
+            client.close()
+
+    # -- routing --------------------------------------------------------------
+    def _owner_of(self, request: QueryRequest) -> int | None:
+        """The owning shard for a point query, or None when the request
+        is catalog-wide, malformed, or not shard-routable (those flow
+        through the scatter/forward paths instead)."""
+        query, params = request.query, request.params
+        if not isinstance(query, str) or not isinstance(params, dict):
+            return None
+        if query in _POINT_QUERIES or (
+            query in _OPTIONAL_MARKET_QUERIES
+            and params.get("market") is not None
+        ):
+            market = params.get("market")
+            if market is None:
+                return None
+            try:
+                return self.shard_map.owner(_parse_market(market))
+            except BadRequestError:
+                return None
+        return None
+
+    async def _compute_wire(self, request: QueryRequest) -> WireResponse:
+        """Single-flight leader: route to a shard or scatter-merge.
+
+        Requests that a single-node server would reject (unknown query,
+        malformed params) are forwarded to shard 0, whose frontend
+        renders exactly the error bytes the unsharded server would —
+        errors stay byte-identical without duplicating the schema here.
+        """
+        self.frontend.wire_misses += 1
+        owner = self._owner_of(request)
+        if owner is not None:
+            return await self._forward(request, owner)
+        query, params = request.query, request.params
+        if not isinstance(query, str) or not isinstance(params, dict):
+            return await self._forward(request, 0)
+        try:
+            if query == "top-stable-markets":
+                return await self._merge_top_stable(request)
+            if query == "unavailability-periods":
+                return await self._merge_periods(request)
+            if query in ("rejection-rate", "rejection-counts"):
+                return await self._merge_rejections(request)
+            if query == "least-unavailable-markets":
+                return await self._merge_least_unavailable(request)
+        except BadRequestError:
+            pass  # shard 0 renders the identical bad-request bytes
+        return await self._forward(request, 0)
+
+    async def _forward(self, request: QueryRequest, shard: int) -> WireResponse:
+        """Route one query to a single shard and cache its answer."""
+        self.forwarded_queries += 1
+        try:
+            _, body = await self._clients[shard].request(
+                "POST", "/query", wire_encode(request.as_dict())
+            )
+            response = json.loads(body)
+        except (ShardError, ValueError) as exc:
+            return self._shard_unavailable(shard, exc)
+        if not isinstance(response, dict):
+            return self._shard_unavailable(shard, "malformed shard response")
+        return self.frontend.store_wire(request.key, response)
+
+    def _shard_unavailable(self, shard: int, detail: object) -> WireResponse:
+        self.shard_errors += 1
+        body = wire_encode({
+            "ok": False,
+            "error": {
+                "code": "shard-unavailable",
+                "message": f"shard {shard} did not answer: {detail}",
+            },
+        })
+        return WireResponse(503, body, None, False, body)
+
+    def _shards_unavailable(self) -> WireResponse:
+        body = wire_encode({
+            "ok": False,
+            "error": {
+                "code": "shards-unavailable",
+                "message": f"all {len(self._clients)} shards unavailable",
+            },
+        })
+        return WireResponse(503, body, None, False, body)
+
+    # -- scatter-gather merges -------------------------------------------------
+    async def _scatter(
+        self, request_dict: dict, shards: list[int] | None = None
+    ) -> tuple[dict[int, dict], list[int]]:
+        """POST one request to many shards concurrently.
+
+        Returns ``(responses by shard, missing shards)``; a shard that
+        fails after its retry lands in ``missing`` instead of raising,
+        so one dead shard degrades the merge rather than failing it.
+        """
+        self.scatter_queries += 1
+        targets = list(range(len(self._clients))) if shards is None else shards
+        body = wire_encode(request_dict)
+
+        async def one(shard: int) -> tuple[int, dict | None]:
+            try:
+                _, payload = await self._clients[shard].request(
+                    "POST", "/query", body
+                )
+                parsed = json.loads(payload)
+                return shard, parsed if isinstance(parsed, dict) else None
+            except (ShardError, ValueError):
+                return shard, None
+
+        gathered = await asyncio.gather(*(one(shard) for shard in targets))
+        responses = {shard: r for shard, r in gathered if r is not None}
+        missing = [shard for shard, r in gathered if r is None]
+        if missing:
+            self.shard_errors += len(missing)
+        return responses, missing
+
+    def _first_error(
+        self, request: QueryRequest, responses: dict[int, dict]
+    ) -> WireResponse | None:
+        """Propagate a shard-side error (bad params reach every shard
+        identically; the lowest shard's bytes stand for all)."""
+        for shard in sorted(responses):
+            response = responses[shard]
+            if not response.get("ok"):
+                return self.frontend.store_wire(request.key, response)
+        return None
+
+    def _finish_merge(
+        self, request: QueryRequest, result: object, missing: list[int]
+    ) -> WireResponse:
+        """Wrap a merged result in the standard envelope.
+
+        Complete answers are cached and ETagged exactly like a
+        single-node answer; partial answers (some shards missing) carry
+        ``"partial": true`` plus the missing shard list and are never
+        cached, so the next request re-scatters and heals as soon as
+        the shard returns.
+        """
+        if missing:
+            self.partial_answers += 1
+            body = wire_encode({
+                "ok": True,
+                "query": request.query,
+                "result": result,
+                "cached": False,
+                "served_at": self._clock(),
+                "partial": True,
+                "missing_shards": sorted(missing),
+            })
+            return WireResponse(200, body, None, False, body)
+        return self.frontend.store_wire(request.key, {
+            "ok": True,
+            "query": request.query,
+            "result": result,
+            "cached": False,
+            "served_at": self._clock(),
+        })
+
+    async def _merge_top_stable(self, request: QueryRequest) -> WireResponse:
+        """Distributed top-k: each shard returns its local top-n; the
+        union re-sorted by the engine's exact ranking key (with the
+        market as final tie-breaker) is the global top-n."""
+        p = _Params(request.params)
+        n = p.integer("n", 10)
+        responses, missing = await self._scatter(request.as_dict())
+        if not responses:
+            return self._shards_unavailable()
+        error = self._first_error(request, responses)
+        if error is not None:
+            return error
+        entries = [
+            entry
+            for shard in sorted(responses)
+            for entry in responses[shard]["result"]
+        ]
+        entries.sort(key=lambda e: (
+            -e["mean_time_to_revocation"],
+            -e["availability_at_bid"],
+            e["mean_price"],
+            _market_sort_key(e),
+        ))
+        return self._finish_merge(request, entries[: max(n, 0)], missing)
+
+    async def _merge_periods(self, request: QueryRequest) -> WireResponse:
+        responses, missing = await self._scatter(request.as_dict())
+        if not responses:
+            return self._shards_unavailable()
+        error = self._first_error(request, responses)
+        if error is not None:
+            return error
+        entries = [
+            entry
+            for shard in sorted(responses)
+            for entry in responses[shard]["result"]
+        ]
+        # The single-node engine sorts by (start, market).
+        entries.sort(key=lambda e: (e["start"], _market_sort_key(e)))
+        return self._finish_merge(request, entries, missing)
+
+    async def _merge_rejections(self, request: QueryRequest) -> WireResponse:
+        """Global rejection rate/counts: sum per-shard counts, divide
+        once — bit-identical to the single-node int/int division."""
+        counts_request = {"query": "rejection-counts", "params": request.params}
+        responses, missing = await self._scatter(counts_request)
+        if not responses:
+            return self._shards_unavailable()
+        error = self._first_error(request, responses)
+        if error is not None:
+            return error
+        rejected = sum(r["result"]["rejected"] for r in responses.values())
+        total = sum(r["result"]["total"] for r in responses.values())
+        if request.query == "rejection-counts":
+            result: object = {"rejected": rejected, "total": total}
+        else:
+            result = rejected / total if total else 0.0
+        return self._finish_merge(request, result, missing)
+
+    async def _merge_least_unavailable(
+        self, request: QueryRequest
+    ) -> WireResponse:
+        """Split candidates by owner, scatter to owning shards only,
+        reassemble in candidate order, stable-sort by score — ties keep
+        candidate order, exactly like the single-node engine."""
+        p = _Params(request.params)
+        markets = p.markets("candidates")
+        raw = request.params["candidates"]
+        by_owner: dict[int, list[object]] = {}
+        for raw_item, market in zip(raw, markets):
+            owner = self.shard_map.owner(market)
+            by_owner.setdefault(owner, []).append(raw_item)
+        sub_requests = {
+            shard: {
+                "query": request.query,
+                "params": {**request.params, "candidates": sub},
+            }
+            for shard, sub in by_owner.items()
+        }
+
+        async def one(shard: int) -> tuple[int, dict | None]:
+            try:
+                _, payload = await self._clients[shard].request(
+                    "POST", "/query", wire_encode(sub_requests[shard])
+                )
+                parsed = json.loads(payload)
+                return shard, parsed if isinstance(parsed, dict) else None
+            except (ShardError, ValueError):
+                return shard, None
+
+        self.scatter_queries += 1
+        gathered = await asyncio.gather(*(one(shard) for shard in by_owner))
+        responses = {shard: r for shard, r in gathered if r is not None}
+        missing = [shard for shard, r in gathered if r is None]
+        if missing:
+            self.shard_errors += len(missing)
+        if not responses:
+            return self._shards_unavailable()
+        error = self._first_error(request, responses)
+        if error is not None:
+            return error
+        by_market = {
+            entry["market"]: entry
+            for response in responses.values()
+            for entry in response["result"]
+        }
+        merged = [
+            by_market[str(market)]
+            for market in markets
+            if str(market) in by_market
+        ]
+        merged.sort(key=lambda e: e["unavailable_seconds"])
+        return self._finish_merge(request, merged, missing)
+
+    # -- /batch: shard-split -------------------------------------------------
+    async def _execute_batch(self, queries: list) -> list[WireResponse]:
+        """Split an admitted batch by owning shard: one sub-batch per
+        shard, forwarded concurrently, reassembled in request order.
+
+        Router-cached sub-queries answer inline; catalog-wide and
+        error-destined sub-queries flow through the normal single-query
+        path (scatter merges coalesce on the in-flight map).  The shard
+        executes each sub-batch with its own duplicate coalescing, so
+        bytes match the equivalent sequence of single queries.
+        """
+        requests = [
+            QueryRequest.from_dict(item) if isinstance(item, dict) else None
+            for item in queries
+        ]
+        results: list[WireResponse | None] = [None] * len(requests)
+        by_shard: dict[int, list[int]] = {}
+        single_idx: list[int] = []
+        single_coros = []
+        for i, request in enumerate(requests):
+            if request is None:
+                results[i] = await self._bad_subquery()
+                continue
+            hit = self._cached_wire(request.key)
+            if hit is not None:
+                results[i] = hit
+                continue
+            owner = self._owner_of(request)
+            if owner is None:
+                single_idx.append(i)
+                single_coros.append(self._coalesced_wire(request))
+            else:
+                by_shard.setdefault(owner, []).append(i)
+        shard_jobs = [
+            self._shard_batch(shard, idxs, requests, results)
+            for shard, idxs in by_shard.items()
+        ]
+        gathered = await asyncio.gather(*single_coros, *shard_jobs)
+        for i, wire in zip(single_idx, gathered[: len(single_idx)]):
+            results[i] = wire
+        return results  # type: ignore[return-value]
+
+    def _cached_wire(self, key: str) -> WireResponse | None:
+        if self._frontend_lock.acquire(blocking=False):
+            try:
+                return self.frontend.wire_lookup(key)
+            finally:
+                self._frontend_lock.release()
+        return None
+
+    async def _shard_batch(
+        self,
+        shard: int,
+        idxs: list[int],
+        requests: list[QueryRequest | None],
+        results: list[WireResponse | None],
+    ) -> None:
+        """Forward one per-shard sub-batch and fan its results back out
+        to their original positions."""
+        self.forwarded_queries += len(idxs)
+        body = wire_encode(
+            {"queries": [requests[i].as_dict() for i in idxs]}
+        )
+        try:
+            _, payload = await self._clients[shard].request(
+                "POST", "/batch", body
+            )
+            parsed = json.loads(payload)
+            parts = parsed["results"]
+            if not isinstance(parts, list) or len(parts) != len(idxs):
+                raise ValueError("shard batch result count mismatch")
+        except (ShardError, ValueError, KeyError, TypeError) as exc:
+            for i in idxs:
+                results[i] = self._shard_unavailable(shard, exc)
+            return
+        for i, response in zip(idxs, parts):
+            self.frontend.wire_misses += 1
+            if isinstance(response, dict):
+                results[i] = self.frontend.store_wire(requests[i].key, response)
+            else:
+                results[i] = self._shard_unavailable(
+                    shard, "malformed shard batch entry"
+                )
+
+    # -- health, stats, and the shard map -------------------------------------
+    async def _healthz(self) -> dict:  # type: ignore[override]
+        """Aggregate shard health: probe every shard concurrently; a
+        dead shard degrades the router's status instead of failing it."""
+        health_status = "shutting-down" if self._closing else "serving"
+        detail: list[str] = []
+        payload: dict[str, object] = {
+            "ok": True,
+            "uptime_seconds": round(self._clock() - self._started_at, 3),
+        }
+
+        async def probe(shard: int) -> dict[str, object]:
+            try:
+                _, body = await self._clients[shard].request("GET", "/healthz")
+                parsed = json.loads(body)
+                status = parsed.get("status", "unknown")
+            except (ShardError, ValueError):
+                status = "dead"
+            return {"shard": shard, "status": status}
+
+        shard_health = await asyncio.gather(
+            *(probe(shard) for shard in range(len(self._clients)))
+        )
+        alive = sum(1 for h in shard_health if h["status"] != "dead")
+        payload["shards"] = {
+            "total": len(self._clients),
+            "alive": alive,
+            "epoch": self.shard_map.epoch,
+            "health": list(shard_health),
+        }
+        if not self._closing:
+            for h in shard_health:
+                if h["status"] == "dead":
+                    health_status = "degraded"
+                    detail.append(f"shard-{h['shard']}-dead")
+                elif h["status"] not in ("serving", "shutting-down"):
+                    health_status = "degraded"
+                    detail.append(f"shard-{h['shard']}-{h['status']}")
+        payload["status"] = health_status
+        payload["detail"] = detail
+        return payload
+
+    def stats(self) -> dict[str, object]:
+        payload = super().stats()
+        payload["shards"] = {
+            "total": len(self._clients),
+            "epoch": self.shard_map.epoch,
+            "forwarded_queries": self.forwarded_queries,
+            "scatter_queries": self.scatter_queries,
+            "shard_errors": self.shard_errors,
+            "partial_answers": self.partial_answers,
+        }
+        return payload
+
+    def _handle_extra_get(self, path: str) -> tuple[int, bytes]:
+        if path == "/shards":
+            return 200, wire_encode({
+                "ok": True,
+                **self.shard_map.to_dict(),
+                "addresses": [list(address) for address in self.shard_addresses],
+            })
+        return super()._handle_extra_get(path)

@@ -70,6 +70,8 @@ from typing import Awaitable, Callable
 from urllib.parse import parse_qs
 
 from repro.core.frontend import (
+    STACKABLE_QUERIES,
+    STACKED_BATCH_MIN,
     QueryFrontend,
     QueryRequest,
     WireResponse,
@@ -123,6 +125,7 @@ _REASONS = {
     413: "Payload Too Large", 429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: Preassembled response heads, one per (status, keep_alive): every
@@ -302,6 +305,9 @@ class SpotLightServer:
         self.not_modified = 0
         self.watch_connections = 0
         self.watch_events = 0
+        # Pre-encoded header lines appended to every response (e.g. a
+        # router's X-Shard-Epoch); empty for a plain server.
+        self._extra_headers: bytes = b""
         self._endpoints: dict[str, _EndpointStats] = {
             "/query": _EndpointStats(),
             "/batch": _EndpointStats(),
@@ -568,9 +574,15 @@ class SpotLightServer:
                     "method-not-allowed", f"use GET for {path}"
                 ))
             elif path == "/healthz":
-                status, payload = 200, wire_encode(self._healthz())
-            else:  # /stats
+                health = self._healthz()
+                if asyncio.iscoroutine(health):
+                    # A router's health probe fans out to its shards.
+                    health = await health
+                status, payload = 200, wire_encode(health)
+            elif path == "/stats":
                 status, payload = 200, wire_encode(self.stats())
+            else:  # a subclass-registered GET endpoint (e.g. /shards)
+                status, payload = self._handle_extra_get(path)
         except Exception as exc:  # last-ditch: never drop the connection
             status, payload = 500, wire_encode(_error_body(
                 "internal-error", f"{type(exc).__name__}: {exc}"
@@ -581,7 +593,18 @@ class SpotLightServer:
             endpoint.errors += 1
         if self._stats_board is not None:
             self._stats_board.publish(self.worker_id, self._board_counters())
+        if self._extra_headers:
+            extra = extra + self._extra_headers
         return status, payload, extra
+
+    def _handle_extra_get(self, path: str) -> tuple[int, bytes]:
+        """GET handler for endpoints a subclass added to
+        ``self._endpoints`` beyond the built-in four.  The base server
+        registers none, so this is unreachable until a subclass both
+        registers a path and forgets to override this."""
+        return 404, wire_encode(
+            _error_body("not-found", f"no such endpoint: {path}")
+        )
 
     def _healthz(self) -> dict:
         """Liveness plus — for pool workers — cluster degradation.
@@ -790,18 +813,50 @@ class SpotLightServer:
         if retry_after is not None:
             return self._throttle_response(client_host, retry_after)
         self.batch_queries += len(queries)
-        # Sub-queries are dispatched concurrently; duplicates coalesce
-        # on the in-flight map (the leader registers its future before
-        # first awaiting, so in-batch duplicates deterministically
-        # follow it).  gather preserves order.
-        coros = []
-        for item in queries:
-            if isinstance(item, dict):
-                coros.append(self._coalesced_wire(QueryRequest.from_dict(item)))
-            else:
-                coros.append(self._bad_subquery())
-        results = await asyncio.gather(*coros)
+        results = await self._execute_batch(queries)
         return 200, assemble_batch_body([wire.body for wire in results]), b""
+
+    async def _execute_batch(self, queries: list) -> list[WireResponse]:
+        """Resolve an admitted batch to per-query responses, in order.
+
+        Enough distinct cold stackable point queries are answered by
+        one stacked kernel pass (:meth:`QueryFrontend.stacked_wire`);
+        everything else is dispatched concurrently, and duplicates
+        coalesce on the in-flight map (the leader registers its future
+        before first awaiting, so in-batch duplicates deterministically
+        follow it).  gather preserves order.  A router subclass
+        overrides this to split the batch by owning shard.
+        """
+        requests = [
+            QueryRequest.from_dict(item) if isinstance(item, dict) else None
+            for item in queries
+        ]
+        stacked: dict[str, WireResponse] = {}
+        stackable = [
+            request for request in requests
+            if request is not None
+            and isinstance(request.query, str)
+            and request.query in STACKABLE_QUERIES
+        ]
+        if len(stackable) >= STACKED_BATCH_MIN:
+            loop = asyncio.get_running_loop()
+            stacked = await loop.run_in_executor(
+                self._executor, self._locked_stacked_wire, stackable
+            )
+        coros = []
+        for request in requests:
+            if request is None:
+                coros.append(self._bad_subquery())
+                continue
+            leader = stacked.pop(request.key, None)
+            if leader is not None:
+                coros.append(self._ready_wire(leader))
+            else:
+                coros.append(self._coalesced_wire(request))
+        return await asyncio.gather(*coros)
+
+    async def _ready_wire(self, wire: WireResponse) -> WireResponse:
+        return wire
 
     async def _bad_subquery(self) -> WireResponse:
         body = wire_encode(_error_body("bad-request", "request must be an object"))
@@ -833,9 +888,7 @@ class SpotLightServer:
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
         try:
-            response = await loop.run_in_executor(
-                self._executor, self._locked_handle_wire, request
-            )
+            response = await self._compute_wire(request)
             future.set_result(response)
         except BaseException as exc:
             future.set_exception(exc)
@@ -847,9 +900,24 @@ class SpotLightServer:
             del self._inflight[key]
         return response
 
+    async def _compute_wire(self, request: QueryRequest) -> WireResponse:
+        """Compute one uncached query as a single-flight leader.  The
+        base server runs the engine on the thread pool under the
+        frontend lock; a router overrides this with shard fan-out."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, self._locked_handle_wire, request
+        )
+
     def _locked_handle_wire(self, request: QueryRequest) -> WireResponse:
         with self._frontend_lock:
             return self.frontend.handle_wire(request)
+
+    def _locked_stacked_wire(
+        self, requests: list[QueryRequest]
+    ) -> dict[str, WireResponse]:
+        with self._frontend_lock:
+            return self.frontend.stacked_wire(requests)
 
     # -- /watch: the chunked change feed -------------------------------------
     async def _handle_watch(
@@ -1007,8 +1075,22 @@ class BackgroundServer:
     graceful shutdown as the foreground server and joins the thread.
     """
 
-    def __init__(self, frontend: QueryFrontend, **server_kwargs: object) -> None:
-        self.server = SpotLightServer(frontend, **server_kwargs)
+    def __init__(
+        self,
+        frontend: QueryFrontend | None = None,
+        server: SpotLightServer | None = None,
+        **server_kwargs: object,
+    ) -> None:
+        if server is not None:
+            if frontend is not None or server_kwargs:
+                raise ValueError(
+                    "pass either a prebuilt server or frontend+kwargs, not both"
+                )
+            self.server = server
+        else:
+            if frontend is None:
+                raise ValueError("a frontend is required to build a server")
+            self.server = SpotLightServer(frontend, **server_kwargs)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()

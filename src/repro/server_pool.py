@@ -192,6 +192,15 @@ async def _worker_serve(
         replica=replica,
         frontend_lock=replica.lock if replica is not None else None,
     )
+    shard_count = getattr(spec, "shard_count", 0)
+    if shard_count:
+        # Shard workers stamp the shard-map epoch (which defaults to
+        # the shard count) on every response, so a direct-routing
+        # client can detect a topology change without a round trip
+        # through the router.
+        server._extra_headers = (
+            f"X-Shard-Epoch: {shard_count}\r\n".encode("latin-1")
+        )
     await server.start()
     if replica is not None:
         replica.start()
@@ -230,6 +239,48 @@ def _worker_main(spec: _WorkerSpec) -> None:
             poll_interval=spec.poll_interval,
         )
     asyncio.run(_worker_serve(spec, frontend, replica))
+
+
+@dataclass
+class _ShardSpec(_WorkerSpec):
+    """A worker spec plus the shard topology: the worker id doubles as
+    the shard index into ``ShardMap(shard_count)``."""
+
+    shard_count: int = 1
+
+
+def _shard_worker_main(spec: _ShardSpec) -> None:
+    """Entry point of one shard worker: load the snapshot *filtered* to
+    this shard's slice of the catalog, prime a read index over only
+    those markets, and serve on the shard's own port."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    import time
+
+    from repro.core.datastore import SnapshotDatastore
+    from repro.core.query import SpotLightQuery
+    from repro.core.shard import ShardMap
+    from repro.ec2.catalog import default_catalog
+
+    shard_map = ShardMap(spec.shard_count)
+    datastore = SnapshotDatastore(
+        spec.snapshot,
+        append_log=False,
+        must_exist=True,
+        market_filter=shard_map.filter(spec.worker_id),
+    )
+    frontend = QueryFrontend(
+        SpotLightQuery(datastore, default_catalog()), cache_ttl=spec.cache_ttl
+    )
+    started = time.perf_counter()
+    frontend.prime()
+    print(
+        f"shard {spec.worker_id}/{spec.shard_count} primed "
+        f"{len(datastore.markets)} markets in "
+        f"{time.perf_counter() - started:.3f}s",
+        flush=True,
+    )
+    asyncio.run(_worker_serve(spec, frontend))
 
 
 def _reserve_port(host: str, port: int) -> tuple[socket.socket, int]:
@@ -308,6 +359,7 @@ class WorkerPool:
         self.drain_summary: dict[str, object] | None = None
         self._respawn_counts = [0] * workers
         self._recorded_exits: set[int] = set()  # id(proc) already logged
+        self._no_respawn: set[int] = set()  # slots chaos wants left dead
         self._stopping = threading.Event()
         self._failed = threading.Event()
         self._supervisor: threading.Thread | None = None
@@ -361,6 +413,12 @@ class WorkerPool:
 
     def alive_workers(self) -> int:
         return sum(1 for proc in self._procs if proc.is_alive())
+
+    def disable_respawn(self, worker_id: int) -> None:
+        """Leave this slot dead when it exits (chaos ``kill-shard``):
+        the supervisor records the death and publishes degraded health
+        but neither respawns the slot nor marks the pool failed."""
+        self._no_respawn.add(worker_id)
 
     def start(self) -> "WorkerPool":
         for proc in self._procs:
@@ -418,6 +476,8 @@ class WorkerPool:
                     proc.join(timeout=1.0)
                     self._record_exit(worker_id, proc)
                     self._publish_health()
+                    if worker_id in self._no_respawn:
+                        continue  # deliberately dead (chaos kill-shard)
                     self._respawn_counts[worker_id] += 1
                     count = self._respawn_counts[worker_id]
                     if count > self.max_respawns:
@@ -575,3 +635,110 @@ class WorkerPool:
 
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
+
+
+class ShardCluster(WorkerPool):
+    """``N`` shard workers, each serving one :class:`~repro.core.shard.ShardMap`
+    slice of the snapshot on its *own* port (a router tier scatters
+    across them — unlike :class:`WorkerPool` the shards are not
+    interchangeable, so SO_REUSEPORT load-spreading across one port
+    would route queries to workers that do not own the data).
+
+    Supervision is inherited: a dead shard is respawned on its original
+    port (each port is held by a bound ``SO_REUSEPORT`` placeholder for
+    the cluster's lifetime, so the respawn rebinds race-free) unless
+    :meth:`disable_respawn` marked the slot as deliberately dead.
+
+    Shards run with effectively unlimited admission by default — the
+    router in front enforces per-client rate limits, and every shard
+    request arrives from the router's address, which a per-client
+    bucket would throttle as a single hot client.
+    """
+
+    def __init__(
+        self,
+        snapshot: str,
+        shards: int,
+        host: str = "127.0.0.1",
+        cache_ttl: float = DEFAULT_CACHE_TTL,
+        rate_per_second: float = 1e9,
+        burst: float = 1e9,
+        ready_timeout: float = DEFAULT_READY_TIMEOUT,
+        supervise: bool = True,
+        max_respawns: int = DEFAULT_MAX_RESPAWNS,
+        respawn_backoff: float = DEFAULT_RESPAWN_BACKOFF,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard: {shards}")
+        self.shard_count = shards
+        self._shard_placeholders: list[socket.socket] = []
+        self.shard_ports: list[int] = []
+        try:
+            for _ in range(shards):
+                placeholder, port = _reserve_port(host, 0)
+                self._shard_placeholders.append(placeholder)
+                self.shard_ports.append(port)
+        except BaseException:
+            self._close_shard_placeholders()
+            raise
+        # port=0 reserves the base-class placeholder too; unused, but
+        # keeps the base lifecycle (stop/terminate close it) intact.
+        super().__init__(
+            snapshot,
+            workers=shards,
+            host=host,
+            port=0,
+            rate_per_second=rate_per_second,
+            burst=burst,
+            cache_ttl=cache_ttl,
+            follow=False,
+            ready_timeout=ready_timeout,
+            supervise=supervise,
+            max_respawns=max_respawns,
+            respawn_backoff=respawn_backoff,
+            backoff_cap=backoff_cap,
+        )
+
+    def _make_proc(self, worker_id: int):
+        # During super().__init__ the shard ports are already reserved;
+        # each slot (and its respawns) binds its own fixed port.
+        ready = self._ctx.Event()
+        spec = _ShardSpec(
+            worker_id=worker_id,
+            snapshot=self.snapshot,
+            host=self.host,
+            port=self.shard_ports[worker_id],
+            board=self.board,
+            ready=ready,
+            shard_count=self.shard_count,
+            **self._spec,
+        )
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(spec,),
+            name=f"spotlight-shard-{worker_id}",
+            daemon=True,
+        )
+        return proc, ready
+
+    @property
+    def shard_addresses(self) -> list[tuple[str, int]]:
+        """One ``(host, port)`` per shard, indexed by shard id."""
+        return [(self.host, port) for port in self.shard_ports]
+
+    def _close_shard_placeholders(self) -> None:
+        while self._shard_placeholders:
+            self._shard_placeholders.pop().close()
+
+    def stop(self, timeout: float = DEFAULT_STOP_TIMEOUT) -> dict[str, object]:
+        try:
+            return super().stop(timeout)
+        finally:
+            self._close_shard_placeholders()
+
+    def terminate(self) -> None:
+        try:
+            super().terminate()
+        finally:
+            self._close_shard_placeholders()

@@ -1,0 +1,668 @@
+"""Tests for the scatter-gather router tier.
+
+The router's contract is byte-identity: a client must not be able to
+tell a :class:`~repro.router.SpotLightRouter` over N shard workers from
+a single unsharded :class:`~repro.server.SpotLightServer` over the same
+data — same envelope bytes, same ETags, same error bodies, same batch
+assembly.  Every frontend here runs a fixed clock so ``served_at`` is
+deterministic and the comparison can be exact.
+
+Degradation is the other half of the contract: a dead shard must turn
+catalog-wide answers partial (never cached) and point queries into a
+fast 503 with detail — not a hang, not a 500, not a poisoned cache.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import socket
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chaos import ChaosHarness, ChaosPlan, FaultEvent
+from repro.client import QueryError, SpotLightClient
+from repro.core.database import ProbeDatabase
+from repro.core.datastore import SnapshotDatastore
+from repro.core.frontend import QueryFrontend, assemble_batch_body
+from repro.core.market_id import MarketID
+from repro.core.query import SpotLightQuery
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+)
+from repro.core.shard import ShardMap
+from repro.ec2.catalog import default_catalog
+from repro.router import SpotLightRouter
+from repro.server import BackgroundServer
+from repro.server_pool import ShardCluster
+
+REJ = "InsufficientInstanceCapacity"
+SHARDS = 3
+
+#: Twelve markets that ``ShardMap(3)`` spreads across all three shards
+#: (and ``ShardMap(2)`` across both) — asserted below, because every
+#: degradation test needs each shard to own something.
+MARKETS = [
+    MarketID(zone, itype, "Linux/UNIX")
+    for zone in ("us-east-1a", "us-east-1b", "eu-west-1a")
+    for itype in ("m3.medium", "m3.large", "c3.large", "r3.xlarge")
+]
+
+
+def fill_database(db: ProbeDatabase) -> ProbeDatabase:
+    """A deterministic workload with distinct metrics per market.  A
+    filtered database silently keeps only its own markets, so the same
+    fill builds every shard's slice *and* the unsharded reference."""
+    for index, market in enumerate(MARKETS):
+        base = 0.01 * (index + 1)
+        for step in range(30):
+            price = base * (6.0 if (step + index) % 7 == 0 else 1.0)
+            db.insert_price(PriceRecord(250.0 * step, market, price))
+        for t, outcome in [
+            (0.0, OUTCOME_FULFILLED),
+            (400.0 + 60.0 * index, REJ),
+            (900.0 + 60.0 * index, OUTCOME_FULFILLED),
+        ]:
+            db.insert_probe(
+                ProbeRecord(
+                    time=t, market=market, kind=ProbeKind.ON_DEMAND,
+                    trigger=ProbeTrigger.RECOVERY, outcome=outcome,
+                )
+            )
+    return db
+
+
+def tied_fill(db: ProbeDatabase) -> ProbeDatabase:
+    """Every market gets the *same* records, so every top-stable metric
+    ties and ranking is decided purely by the tie-breaker."""
+    for market in MARKETS:
+        db.insert_price(PriceRecord(0.0, market, 0.05))
+        db.insert_price(PriceRecord(500.0, market, 0.05))
+        db.insert_probe(
+            ProbeRecord(
+                time=0.0, market=market, kind=ProbeKind.ON_DEMAND,
+                trigger=ProbeTrigger.RECOVERY, outcome=OUTCOME_FULFILLED,
+            )
+        )
+    return db
+
+
+def fixed_frontend(db: ProbeDatabase) -> QueryFrontend:
+    return QueryFrontend(
+        SpotLightQuery(db, default_catalog()), clock=lambda: 0.0
+    )
+
+
+@contextlib.contextmanager
+def unsharded_server(fill=fill_database):
+    with BackgroundServer(fixed_frontend(fill(ProbeDatabase()))) as server:
+        yield server
+
+
+@contextlib.contextmanager
+def sharded_stack(shards: int = SHARDS, fill=fill_database):
+    """N filtered shard servers plus a router, all on fixed clocks."""
+    shard_map = ShardMap(shards)
+    with contextlib.ExitStack() as resources:
+        servers = []
+        for s in range(shards):
+            background = BackgroundServer(
+                fixed_frontend(
+                    fill(ProbeDatabase(market_filter=shard_map.filter(s)))
+                )
+            )
+            # Real shard workers stamp the epoch on every response (see
+            # server_pool._worker_serve); direct-routing clients treat a
+            # missing epoch as a topology mismatch and fall back.
+            background.server._extra_headers = (
+                f"X-Shard-Epoch: {shard_map.epoch}\r\n".encode("latin-1")
+            )
+            servers.append(resources.enter_context(background))
+        router = SpotLightRouter(
+            [s.address for s in servers],
+            frontend=QueryFrontend(None, clock=lambda: 0.0),
+            clock=lambda: 0.0,
+            shard_timeout=5.0,
+        )
+        resources.enter_context(BackgroundServer(server=router))
+        yield SimpleNamespace(
+            router=router, address=router.address,
+            shards=servers, map=shard_map,
+        )
+
+
+class RawConnection:
+    """A keep-alive socket speaking just enough HTTP/1.1 to capture the
+    server's exact response bytes (the SDK decodes; these tests must
+    not)."""
+
+    def __init__(self, address: tuple[str, int]) -> None:
+        self.sock = socket.create_connection(address, timeout=10.0)
+        self.rfile = self.sock.makefile("rb")
+
+    def request(
+        self, method: str, path: str, body: bytes = b"", extra: bytes = b""
+    ) -> tuple[int, dict[str, str], bytes]:
+        self.sock.sendall(
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Content-Length: {len(body)}\r\n".encode()
+            + extra + b"\r\n" + body
+        )
+        status = int(self.rfile.readline().split()[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = self.rfile.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        payload = self.rfile.read(length) if length else b""
+        return status, headers, payload
+
+    def close(self) -> None:
+        self.rfile.close()
+        self.sock.close()
+
+
+def post_query(conn: RawConnection, request: dict, extra: bytes = b""):
+    return conn.request("POST", "/query", json.dumps(request).encode(), extra)
+
+
+#: Every query shape the router must answer byte-identically to an
+#: unsharded server: point queries (forwarded), catalog-wide merges
+#: (scattered), repeats (served from the wire cache on both sides), and
+#: every error class (rendered by shard 0's frontend).
+IDENTITY_QUERIES = [
+    {"query": "top-stable-markets", "params": {"n": 5, "bid_multiple": 1.0}},
+    {"query": "top-stable-markets",
+     "params": {"n": 100, "bid_multiple": 1.5}},
+    {"query": "top-stable-markets",
+     "params": {"n": 4, "region": "us-east-1"}},
+    {"query": "mean-price", "params": {"market": str(MARKETS[0])}},
+    {"query": "availability",
+     "params": {"market": str(MARKETS[1]), "kind": "on-demand"}},
+    {"query": "availability-at-bid",
+     "params": {"market": str(MARKETS[2]), "bid_price": 0.08}},
+    {"query": "mean-time-to-revocation",
+     "params": {"market": str(MARKETS[3]), "bid_price": 0.05}},
+    {"query": "on-demand-price", "params": {"market": str(MARKETS[4])}},
+    {"query": "unavailability-periods", "params": {"kind": "on-demand"}},
+    {"query": "unavailability-periods",
+     "params": {"market": str(MARKETS[5]), "kind": "on-demand"}},
+    {"query": "rejection-rate", "params": {}},
+    {"query": "rejection-counts", "params": {}},
+    {"query": "rejection-rate", "params": {"market": str(MARKETS[6])}},
+    {"query": "least-unavailable-markets",
+     "params": {"candidates": [str(m) for m in MARKETS[:7]]}},
+    # Repeats: both sides must serve the identical cached variant.
+    {"query": "top-stable-markets", "params": {"n": 5, "bid_multiple": 1.0}},
+    {"query": "rejection-rate", "params": {}},
+    {"query": "mean-price", "params": {"market": str(MARKETS[0])}},
+    # Errors: the router lets a shard frontend render these bytes.
+    {"query": "no-such-query", "params": {}},
+    {"query": "mean-price", "params": {"market": "not-a-market"}},
+    {"query": "mean-price", "params": {}},
+    {"query": "top-stable-markets", "params": {"n": "many"}},
+    {"query": "least-unavailable-markets", "params": {}},
+]
+
+
+def test_market_set_spans_every_shard():
+    for shards in (2, SHARDS):
+        assignments = ShardMap(shards).assignments(MARKETS)
+        assert set(assignments) == set(range(shards))
+
+
+class TestByteIdentity:
+    def _run_workload(self, address):
+        conn = RawConnection(address)
+        try:
+            return [post_query(conn, request) for request in IDENTITY_QUERIES]
+        finally:
+            conn.close()
+
+    def test_router_is_byte_identical_to_unsharded_server(self):
+        with sharded_stack() as stack, unsharded_server() as reference:
+            routed = self._run_workload(stack.address)
+            direct = self._run_workload(reference.address)
+        for request, (rs, rh, rb), (ds, dh, db_) in zip(
+            IDENTITY_QUERIES, routed, direct
+        ):
+            assert (rs, rb) == (ds, db_), request
+            assert rh.get("etag") == dh.get("etag"), request
+
+    def test_single_shard_router_matches_unsharded_server(self):
+        # Satellite: N=1 sharding is the unsharded world, byte for byte.
+        with sharded_stack(shards=1) as stack, unsharded_server() as ref:
+            routed = self._run_workload(stack.address)
+            direct = self._run_workload(ref.address)
+        for (rs, _, rb), (ds, _, db_) in zip(routed, direct):
+            assert (rs, rb) == (ds, db_)
+
+    def test_distributed_top_k_tie_breaking_matches_single_node(self):
+        # All metrics tie, so order is purely the engine's final
+        # tie-breaker (catalog order); the merge must reproduce it.
+        request = {"query": "top-stable-markets",
+                   "params": {"n": len(MARKETS)}}
+        with sharded_stack(fill=tied_fill) as stack, \
+                unsharded_server(fill=tied_fill) as ref:
+            conn = RawConnection(stack.address)
+            _, _, routed = post_query(conn, request)
+            conn.close()
+            conn = RawConnection(ref.address)
+            _, _, direct = post_query(conn, request)
+            conn.close()
+        assert routed == direct
+        result = json.loads(routed)["result"]
+        assert [e["market"] for e in result] == sorted(str(m) for m in MARKETS)
+        # Prove the ties were real: one distinct value per metric.
+        for field in ("mean_time_to_revocation", "availability_at_bid",
+                      "mean_price"):
+            assert len({e[field] for e in result}) == 1
+
+
+class TestBatch:
+    WORKLOAD = [
+        {"query": "top-stable-markets",
+         "params": {"n": 4, "bid_multiple": 1.0}},
+        {"query": "mean-price", "params": {"market": str(MARKETS[0])}},
+        {"query": "mean-price", "params": {"market": str(MARKETS[1])}},
+        {"query": "mean-price", "params": {"market": str(MARKETS[2])}},
+        # A duplicate point query: the shard's own batch coalescing must
+        # surface as the cached variant, exactly like a repeated single.
+        {"query": "mean-price", "params": {"market": str(MARKETS[0])}},
+        # A duplicate scatter: coalesces on the router's in-flight map.
+        {"query": "top-stable-markets",
+         "params": {"n": 4, "bid_multiple": 1.0}},
+        {"query": "no-such-query", "params": {}},
+        {"query": "rejection-rate", "params": {}},
+        {"query": "availability",
+         "params": {"market": str(MARKETS[3]), "kind": "on-demand"}},
+    ]
+
+    def test_batch_through_router_matches_single_query_sequence(self):
+        # Two cold stacks over the same data: singles against one,
+        # the batch against the other, compared at the byte level.
+        with sharded_stack() as singles_stack, sharded_stack() as batch_stack:
+            conn = RawConnection(singles_stack.address)
+            single_bodies = [
+                post_query(conn, request)[2] for request in self.WORKLOAD
+            ]
+            conn.close()
+            conn = RawConnection(batch_stack.address)
+            status, _, batch_body = conn.request(
+                "POST", "/batch",
+                json.dumps({"queries": self.WORKLOAD}).encode(),
+            )
+            conn.close()
+        assert status == 200
+        assert batch_body == assemble_batch_body(single_bodies)
+
+    def test_batch_splits_by_shard_not_per_query(self):
+        with sharded_stack() as stack:
+            conn = RawConnection(stack.address)
+            point_queries = [
+                {"query": "mean-price", "params": {"market": str(m)}}
+                for m in MARKETS
+            ]
+            status, _, _ = conn.request(
+                "POST", "/batch",
+                json.dumps({"queries": point_queries}).encode(),
+            )
+            conn.close()
+            assert status == 200
+            # One forwarded count per sub-query, but the wire saw only
+            # one /batch POST per shard, not one per market.
+            assert stack.router.forwarded_queries == len(MARKETS)
+            assert stack.router.scatter_queries == 0
+            for shard in stack.shards:
+                assert shard.server._endpoints["/batch"].requests == 1
+                assert shard.server._endpoints["/query"].requests == 0
+
+
+class TestWireCacheOnRouter:
+    def test_hot_catalog_wide_answers_never_rescatter(self):
+        request = {"query": "top-stable-markets", "params": {"n": 5}}
+        with sharded_stack() as stack:
+            conn = RawConnection(stack.address)
+            _, h1, b1 = post_query(conn, request)
+            _, _, b2 = post_query(conn, request)
+            assert stack.router.scatter_queries == 1
+            assert json.loads(b1)["cached"] is False
+            assert json.loads(b2)["cached"] is True
+            # Conditional revalidation never re-scatters either.
+            etag = h1["etag"]
+            status, h3, b3 = post_query(
+                conn, request,
+                extra=f"If-None-Match: {etag}\r\n".encode(),
+            )
+            conn.close()
+            assert (status, b3) == (304, b"")
+            assert h3["etag"] == etag
+            assert stack.router.scatter_queries == 1
+
+    def test_forwarded_point_answers_are_cached_too(self):
+        request = {"query": "mean-price", "params": {"market": str(MARKETS[0])}}
+        with sharded_stack() as stack:
+            conn = RawConnection(stack.address)
+            post_query(conn, request)
+            post_query(conn, request)
+            conn.close()
+            assert stack.router.forwarded_queries == 1
+
+
+class TestShardsEndpoint:
+    def test_shard_map_and_epoch_are_served(self):
+        with sharded_stack() as stack:
+            conn = RawConnection(stack.address)
+            status, headers, payload = conn.request("GET", "/shards")
+            decoded = json.loads(payload)
+            assert status == 200
+            assert decoded == {
+                "ok": True,
+                "strategy": "hash",
+                "shards": SHARDS,
+                "epoch": SHARDS,
+                "addresses": [list(s.address) for s in stack.shards],
+            }
+            # Every router response carries the epoch header.
+            assert headers["x-shard-epoch"] == str(SHARDS)
+            _, headers, _ = post_query(
+                conn, {"query": "rejection-rate", "params": {}}
+            )
+            conn.close()
+            assert headers["x-shard-epoch"] == str(SHARDS)
+
+    def test_shard_workers_stamp_the_epoch_header_via_router_kwarg(self):
+        with unsharded_server() as ref:
+            conn = RawConnection(ref.address)
+            status, headers, _ = conn.request("GET", "/shards")
+            conn.close()
+            # An unsharded server has no shard map to serve.
+            assert status == 404
+            assert "x-shard-epoch" not in headers
+
+
+class TestDegradation:
+    def _dead_and_live_markets(self, shard_map, dead):
+        dead_market = next(
+            m for m in MARKETS if shard_map.owner(m) == dead
+        )
+        live_market = next(
+            m for m in MARKETS if shard_map.owner(m) != dead
+        )
+        return dead_market, live_market
+
+    def test_dead_shard_degrades_scatter_to_partial_never_cached(self):
+        request = {"query": "top-stable-markets", "params": {"n": 8}}
+        with sharded_stack() as stack:
+            dead = 1
+            stack.shards[dead].stop()
+            conn = RawConnection(stack.address)
+            status, _, body = post_query(conn, request)
+            decoded = json.loads(body)
+            assert status == 200
+            assert decoded["ok"] is True
+            assert decoded["partial"] is True
+            assert decoded["missing_shards"] == [dead]
+            # The survivors' markets are still ranked correctly.
+            owners = {stack.map.owner(e["market"])
+                      for e in decoded["result"]}
+            assert dead not in owners and owners
+            # Partial answers are never cached: the repeat re-scatters
+            # (and would heal the moment the shard comes back).
+            _, _, body2 = post_query(conn, request)
+            conn.close()
+            assert json.loads(body2)["partial"] is True
+            assert json.loads(body2)["cached"] is False
+            assert stack.router.scatter_queries == 2
+            assert stack.router.partial_answers == 2
+
+    def test_point_query_to_dead_shard_fails_fast_with_503(self):
+        with sharded_stack() as stack:
+            dead = 0
+            dead_market, live_market = self._dead_and_live_markets(
+                stack.map, dead
+            )
+            stack.shards[dead].stop()
+            conn = RawConnection(stack.address)
+            status, _, body = post_query(conn, {
+                "query": "mean-price", "params": {"market": str(dead_market)},
+            })
+            decoded = json.loads(body)
+            assert status == 503
+            assert decoded["error"]["code"] == "shard-unavailable"
+            assert f"shard {dead}" in decoded["error"]["message"]
+            # The ShardClient retried once before giving up.
+            assert stack.router.shard_errors >= 1
+            # Other shards' markets still answer.
+            status, _, _ = post_query(conn, {
+                "query": "mean-price", "params": {"market": str(live_market)},
+            })
+            conn.close()
+            assert status == 200
+
+    def test_healthz_aggregates_and_degrades(self):
+        with sharded_stack() as stack:
+            conn = RawConnection(stack.address)
+            _, _, body = conn.request("GET", "/healthz")
+            health = json.loads(body)
+            assert health["status"] == "serving"
+            assert health["shards"]["alive"] == SHARDS
+            assert health["shards"]["epoch"] == SHARDS
+            dead = 2
+            stack.shards[dead].stop()
+            status, _, body = conn.request("GET", "/healthz")
+            conn.close()
+            health = json.loads(body)
+            assert status == 200  # degraded, not failed
+            assert health["status"] == "degraded"
+            assert f"shard-{dead}-dead" in health["detail"]
+            assert health["shards"]["alive"] == SHARDS - 1
+
+    def test_all_shards_dead_is_503_not_hang(self):
+        with sharded_stack() as stack:
+            for shard in stack.shards:
+                shard.stop()
+            conn = RawConnection(stack.address)
+            status, _, body = post_query(
+                conn, {"query": "top-stable-markets", "params": {"n": 3}}
+            )
+            conn.close()
+            assert status == 503
+            assert json.loads(body)["error"]["code"] == "shards-unavailable"
+
+    def test_partial_batch_mixes_answers_and_503s(self):
+        with sharded_stack() as stack:
+            dead = 1
+            dead_market, live_market = self._dead_and_live_markets(
+                stack.map, dead
+            )
+            stack.shards[dead].stop()
+            conn = RawConnection(stack.address)
+            status, _, body = conn.request(
+                "POST", "/batch",
+                json.dumps({"queries": [
+                    {"query": "mean-price",
+                     "params": {"market": str(live_market)}},
+                    {"query": "mean-price",
+                     "params": {"market": str(dead_market)}},
+                ]}).encode(),
+            )
+            conn.close()
+            assert status == 200
+            results = json.loads(body)["results"]
+            assert results[0]["ok"] is True
+            assert results[1]["ok"] is False
+            assert results[1]["error"]["code"] == "shard-unavailable"
+
+
+class TestRouterStats:
+    def test_stats_reports_shard_counters(self):
+        with sharded_stack() as stack:
+            conn = RawConnection(stack.address)
+            post_query(conn, {"query": "rejection-rate", "params": {}})
+            post_query(conn, {"query": "mean-price",
+                              "params": {"market": str(MARKETS[0])}})
+            _, _, body = conn.request("GET", "/stats")
+            conn.close()
+            shards = json.loads(body)["shards"]
+            assert shards["total"] == SHARDS
+            assert shards["epoch"] == SHARDS
+            assert shards["scatter_queries"] == 1
+            assert shards["forwarded_queries"] == 1
+            assert shards["partial_answers"] == 0
+
+
+class TestDirectRoutingClient:
+    def test_point_queries_route_straight_to_the_owning_shard(self):
+        with sharded_stack() as stack:
+            with SpotLightClient(
+                *stack.address, direct_routing=True
+            ) as client:
+                value = client.mean_price(MARKETS[0])
+                assert client.direct_queries == 1
+                assert client.shard_map().shards == SHARDS
+                # Catalog-wide queries still go through the router.
+                client.top_stable_markets(n=3)
+                assert client.direct_queries == 1
+                # And match what the router itself serves.
+                with SpotLightClient(*stack.address) as plain:
+                    assert value == plain.mean_price(MARKETS[0])
+
+    def test_epoch_mismatch_falls_back_and_refetches(self):
+        with sharded_stack() as stack:
+            with SpotLightClient(
+                *stack.address, direct_routing=True
+            ) as client:
+                assert client.shard_map() is not None
+                # Simulate a topology change the client hasn't seen:
+                # same owner function, stale epoch.  The shard's
+                # X-Shard-Epoch header exposes the mismatch.
+                client._shard_map = ShardMap(SHARDS, epoch=99)
+                value = client.mean_price(MARKETS[0])
+                assert client.direct_fallbacks == 1
+                assert client.direct_queries == 0
+                assert value > 0.0  # the fallback still answered
+                # The next point query refetches the live map and goes
+                # direct again.
+                client.mean_price(MARKETS[1])
+                assert client.direct_queries == 1
+
+    def test_dead_shard_falls_back_through_the_router(self):
+        with sharded_stack() as stack:
+            dead = 0
+            dead_market = next(
+                m for m in MARKETS if stack.map.owner(m) == dead
+            )
+            with SpotLightClient(
+                *stack.address, direct_routing=True
+            ) as client:
+                assert client.shard_map() is not None
+                stack.shards[dead].stop()
+                # Direct attempt fails at the socket, falls back through
+                # the router, which answers 503 for the dead shard.
+                with pytest.raises(QueryError) as excinfo:
+                    client.mean_price(dead_market)
+                assert excinfo.value.status == 503
+                assert client.direct_fallbacks == 1
+
+    def test_unsharded_server_disables_direct_routing(self):
+        with unsharded_server() as ref:
+            with SpotLightClient(
+                *ref.address, direct_routing=True
+            ) as client:
+                # /shards 404s; the client downgrades to router-only
+                # and the query still succeeds.
+                value = client.mean_price(MARKETS[0])
+                assert value > 0.0
+                assert client.direct_queries == 0
+                assert client._direct_disabled is True
+                assert client.shard_map() is None
+
+
+class TestShardClusterEndToEnd:
+    """Process-level: real shard workers (each loading only its slice
+    of a snapshot), a real router, and a chaos ``kill-shard``."""
+
+    @pytest.fixture(scope="class")
+    def snapshot(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cluster") / "state"
+        store = SnapshotDatastore(path)
+        fill_database(store)
+        store.save()
+        store.close()
+        return path
+
+    def test_cluster_serves_then_survives_kill_shard(self, snapshot):
+        reference = SnapshotDatastore(
+            snapshot, append_log=False, must_exist=True
+        )
+        expected = SpotLightQuery(
+            reference, default_catalog()
+        ).top_stable_markets(4)
+        reference.close()
+        cluster = ShardCluster(snapshot, shards=2)
+        try:
+            cluster.start()
+            router = SpotLightRouter(cluster.shard_addresses)
+            with BackgroundServer(server=router) as background:
+                with SpotLightClient(*background.address) as client:
+                    # The scattered answer matches the single-node
+                    # engine over the full snapshot.
+                    top = client.top_stable_markets(n=4)
+                    assert [e["market"] for e in top] == [
+                        str(e.market) for e in expected
+                    ]
+                    health = client.healthz()
+                    assert health["status"] == "serving"
+                    assert health["shards"]["alive"] == 2
+
+                    plan = ChaosPlan(
+                        [FaultEvent(at=0.0, action="kill-shard",
+                                    params={"shard": 0})],
+                        seed=7,
+                    )
+                    ChaosHarness(plan, pool=cluster).run()
+                    deadline = time.time() + 10.0
+                    while 0 in cluster.worker_pids():
+                        assert time.time() < deadline, "shard 0 never died"
+                        time.sleep(0.05)
+
+                    # Health degrades but the router keeps answering.
+                    deadline = time.time() + 10.0
+                    while True:
+                        health = client.healthz()
+                        if health["status"] == "degraded":
+                            break
+                        assert time.time() < deadline, "never degraded"
+                        time.sleep(0.1)
+                    assert "shard-0-dead" in health["detail"]
+                    assert health["shards"]["alive"] == 1
+
+                    # A *fresh* catalog-wide query (n=5 was never
+                    # cached) degrades to a partial answer.
+                    response = client.query_response(
+                        "top-stable-markets", {"n": 5}
+                    )
+                    assert response["partial"] is True
+                    assert response["missing_shards"] == [0]
+
+                    # Point queries owned by the dead shard fail fast.
+                    dead_market = next(
+                        m for m in MARKETS if ShardMap(2).owner(m) == 0
+                    )
+                    with pytest.raises(QueryError) as excinfo:
+                        client.mean_price(dead_market)
+                    assert excinfo.value.status == 503
+        finally:
+            # The deliberately-killed shard must not fail the drain.
+            summary = cluster.stop()
+        assert summary["failed"] is False

@@ -1,0 +1,193 @@
+"""Tests for the deterministic catalog shard map and filtered loading.
+
+The shard map is the contract the whole sharded tier stands on: every
+process — shard workers, the router, direct-routing clients — computes
+ownership independently, so the map must be a pure function of the
+market and the shard count, partition the catalog completely and
+disjointly, and collapse to the unsharded world at N=1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import ProbeDatabase
+from repro.core.datastore import SnapshotDatastore
+from repro.core.market_id import MarketID
+from repro.core.records import (
+    OUTCOME_FULFILLED,
+    PriceRecord,
+    ProbeKind,
+    ProbeRecord,
+    ProbeTrigger,
+)
+from repro.core.shard import ShardMap
+
+MARKETS = [
+    MarketID(zone, itype, product)
+    for zone in ("us-east-1a", "us-east-1b", "eu-west-1a", "ap-south-1b")
+    for itype in ("m3.medium", "m3.large", "c3.large", "r3.xlarge")
+    for product in ("Linux/UNIX", "Windows")
+]
+
+
+def _records_for(market: MarketID):
+    yield PriceRecord(0.0, market, 0.05)
+    yield PriceRecord(300.0, market, 0.07)
+
+
+class TestShardMap:
+    def test_owner_is_deterministic_and_in_range(self):
+        shard_map = ShardMap(5)
+        for market in MARKETS:
+            owner = shard_map.owner(market)
+            assert 0 <= owner < 5
+            # Recomputed by an independent instance (another process).
+            assert ShardMap(5).owner(market) == owner
+            # String and MarketID forms hash identically — clients
+            # route by the wire-format string.
+            assert shard_map.owner(str(market)) == owner
+
+    def test_partition_is_complete_and_disjoint(self):
+        shard_map = ShardMap(4)
+        filters = [shard_map.filter(shard) for shard in range(4)]
+        for market in MARKETS:
+            owners = [shard for shard, f in enumerate(filters) if f(market)]
+            assert owners == [shard_map.owner(market)]
+
+    def test_hash_spreads_markets_across_shards(self):
+        shard_map = ShardMap(4)
+        assignments = shard_map.assignments(MARKETS)
+        # All four shards get some of the 32 markets (a pathologically
+        # unbalanced hash would defeat the point of sharding).
+        assert set(assignments) == {0, 1, 2, 3}
+
+    def test_assignments_preserve_input_order(self):
+        shard_map = ShardMap(3)
+        assignments = shard_map.assignments(MARKETS)
+        for shard, members in assignments.items():
+            expected = [m for m in MARKETS if shard_map.owner(m) == shard]
+            assert members == expected
+
+    def test_single_shard_owns_everything(self):
+        shard_map = ShardMap(1)
+        assert all(shard_map.owner(m) == 0 for m in MARKETS)
+        assert all(shard_map.filter(0)(m) for m in MARKETS)
+
+    def test_epoch_defaults_to_shard_count(self):
+        assert ShardMap(3).epoch == 3
+        assert ShardMap(3, epoch=17).epoch == 17
+
+    def test_dict_round_trip(self):
+        shard_map = ShardMap(6, epoch=9)
+        restored = ShardMap.from_dict(shard_map.to_dict())
+        assert restored == shard_map
+        assert restored.epoch == 9
+        assert shard_map.to_dict()["strategy"] == "hash"
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+        with pytest.raises(ValueError):
+            ShardMap.from_dict({"strategy": "range", "shards": 2, "epoch": 2})
+        with pytest.raises(ValueError):
+            ShardMap(3).filter(3)
+
+
+class TestFilteredDatabase:
+    def test_filter_drops_foreign_markets_on_insert(self):
+        shard_map = ShardMap(3)
+        shard = 1
+        db = ProbeDatabase(market_filter=shard_map.filter(shard))
+        for market in MARKETS:
+            for record in _records_for(market):
+                db.insert_price(record)
+            db.insert_probe(
+                ProbeRecord(
+                    time=0.0, market=market, kind=ProbeKind.ON_DEMAND,
+                    trigger=ProbeTrigger.RECOVERY, outcome=OUTCOME_FULFILLED,
+                )
+            )
+        owned = [m for m in MARKETS if shard_map.owner(m) == shard]
+        assert db.markets == sorted(owned)
+
+    def test_market_added_mid_study_lands_on_owning_shard(self):
+        shard_map = ShardMap(3)
+        databases = [
+            ProbeDatabase(market_filter=shard_map.filter(shard))
+            for shard in range(3)
+        ]
+        new_market = MarketID("sa-east-1a", "i2.xlarge", "Linux/UNIX")
+        owner = shard_map.owner(new_market)
+        for db in databases:  # every shard sees the same insert stream
+            db.insert_price(PriceRecord(100.0, new_market, 0.3))
+        for shard, db in enumerate(databases):
+            assert (new_market in db.markets) == (shard == owner)
+
+    def test_unfiltered_database_owns_everything(self):
+        db = ProbeDatabase()
+        assert all(db.owns(m) for m in MARKETS)
+
+
+class TestFilteredSnapshot:
+    @pytest.fixture(scope="class")
+    def snapshot(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("shards") / "state"
+        store = SnapshotDatastore(path)
+        for market in MARKETS:
+            for record in _records_for(market):
+                store.insert_price(record)
+            store.insert_probe(
+                ProbeRecord(
+                    time=0.0, market=market, kind=ProbeKind.ON_DEMAND,
+                    trigger=ProbeTrigger.RECOVERY, outcome=OUTCOME_FULFILLED,
+                )
+            )
+        store.save()
+        store.close()
+        return path
+
+    def test_filtered_load_builds_exactly_one_shards_slice(self, snapshot):
+        shard_map = ShardMap(3)
+        seen: list[MarketID] = []
+        for shard in range(3):
+            store = SnapshotDatastore(
+                snapshot, append_log=False, must_exist=True,
+                market_filter=shard_map.filter(shard),
+            )
+            expected = sorted(
+                m for m in MARKETS if shard_map.owner(m) == shard
+            )
+            assert store.markets == expected
+            seen.extend(store.markets)
+            store.close()
+        # Together the filtered loads partition the full snapshot.
+        assert sorted(seen) == sorted(MARKETS)
+
+    def test_shard_filter_keeps_foreign_records_out_of_the_wal(
+        self, snapshot, tmp_path
+    ):
+        shard_map = ShardMap(2)
+        root = tmp_path / "shard0"
+        store = SnapshotDatastore(root, market_filter=shard_map.filter(0))
+        mine = next(m for m in MARKETS if shard_map.owner(m) == 0)
+        foreign = next(m for m in MARKETS if shard_map.owner(m) == 1)
+        store.insert_price(PriceRecord(10.0, mine, 0.1))
+        store.insert_price(PriceRecord(10.0, foreign, 0.1))
+        store.close()
+        # Reload without any filter: only the owned record made it to
+        # disk — a shard's directory holds only its own slice.
+        reloaded = SnapshotDatastore(root)
+        assert reloaded.markets == [mine]
+        reloaded.close()
+
+    def test_n_equals_one_filter_load_matches_unfiltered(self, snapshot):
+        filtered = SnapshotDatastore(
+            snapshot, append_log=False, must_exist=True,
+            market_filter=ShardMap(1).filter(0),
+        )
+        plain = SnapshotDatastore(snapshot, append_log=False, must_exist=True)
+        assert filtered.markets == plain.markets
+        assert len(filtered) == len(plain)
+        filtered.close()
+        plain.close()

@@ -132,6 +132,49 @@ WORKLOAD = [
     {"query": "rejection-rate", "params": {}},
 ]
 
+#: Five *distinct* cold stackable point queries (>= STACKED_BATCH_MIN)
+#: plus the riders the kernel must leave untouched: a duplicate, a
+#: non-stackable query, and a stackable query with broken params.
+STACKED_WORKLOAD = [
+    {"query": "mean-price", "params": {"market": str(MARKETS[0])}},
+    {"query": "mean-price", "params": {"market": str(MARKETS[1])}},
+    {"query": "mean-price", "params": {"market": str(MARKETS[2])}},
+    {"query": "availability-at-bid",
+     "params": {"market": str(MARKETS[0]), "bid_price": 0.05}},
+    {"query": "mean-time-to-revocation",
+     "params": {"market": str(MARKETS[1]), "bid_price": 0.05}},
+    # A duplicate: must come back as the cached follower variant.
+    {"query": "mean-price", "params": {"market": str(MARKETS[0])}},
+    {"query": "rejection-rate", "params": {}},
+    # Missing bid_price: the per-query path renders the error bytes.
+    {"query": "availability-at-bid",
+     "params": {"market": str(MARKETS[2])}},
+]
+
+
+def counting_frontend(database: ProbeDatabase):
+    """A fixed-clock frontend over an engine proxy that counts every
+    method call (including ``point_stats_batch``)."""
+
+    class CountingEngine:
+        def __init__(self, engine: SpotLightQuery) -> None:
+            self._engine = engine
+            self.calls: collections.Counter = collections.Counter()
+
+        def __getattr__(self, name: str):
+            attr = getattr(self._engine, name)
+            if not callable(attr):
+                return attr
+
+            def counted(*args, **kwargs):
+                self.calls[name] += 1
+                return attr(*args, **kwargs)
+
+            return counted
+
+    engine = CountingEngine(SpotLightQuery(database, default_catalog()))
+    return engine, QueryFrontend(engine, clock=lambda: 0.0)
+
 
 class TestByteCache:
     def test_miss_bytes_round_trip_through_canonical_encoding(self, database):
@@ -362,6 +405,74 @@ class TestBatch:
         # Followers carry the leader's answer, byte-for-byte.
         assert len({json.dumps(sub, sort_keys=True)
                     for sub in results[1:]}) == 1
+
+    def test_stacked_cold_batch_is_byte_identical_to_single_sequence(
+        self, database
+    ):
+        """A cold batch with enough distinct stackable point queries is
+        answered by the stacked read-index kernel — and still produces
+        exactly the bytes the per-query path would have."""
+        with BackgroundServer(fixed_clock_frontend(database)) as singles, \
+                BackgroundServer(fixed_clock_frontend(database)) as batched:
+            conn = RawConnection(singles.address)
+            single_bodies = [
+                post_query(conn, request)[2]
+                for request in STACKED_WORKLOAD
+            ]
+            conn.close()
+            conn = RawConnection(batched.address)
+            status, _, batch_body = conn.request(
+                "POST", "/batch",
+                json.dumps({"queries": STACKED_WORKLOAD}).encode(),
+            )
+            conn.close()
+        assert status == 200
+        assert batch_body == assemble_batch_body(single_bodies)
+
+    def test_stacked_cold_batch_costs_one_read_index_pass(self, database):
+        engine, frontend = counting_frontend(database)
+        with BackgroundServer(frontend) as background:
+            with SpotLightClient(*background.address) as client:
+                results = client.batch_response(STACKED_WORKLOAD)
+        # One catalog-wide pass answered every distinct stackable
+        # sub-query; the per-market methods never ran.
+        assert engine.calls["point_stats_batch"] == 1
+        assert engine.calls["mean_price"] == 0
+        assert engine.calls["availability_at_bid"] == 0
+        assert engine.calls["mean_time_to_revocation"] == 0
+        # The non-stackable rider took the normal path.
+        assert engine.calls["rejection_rate"] == 1
+        assert results[0]["cached"] is False
+        assert results[5]["cached"] is True  # the duplicate follows
+        assert results[5]["result"] == results[0]["result"]
+        assert results[7]["ok"] is False  # the bad-params error survived
+
+    def test_small_stackable_batches_stay_on_the_per_query_path(
+        self, database
+    ):
+        engine, frontend = counting_frontend(database)
+        with BackgroundServer(frontend) as background:
+            with SpotLightClient(*background.address) as client:
+                client.batch_response(STACKED_WORKLOAD[:3])
+        # Three distinct stackable queries is below STACKED_BATCH_MIN.
+        assert engine.calls["point_stats_batch"] == 0
+        assert engine.calls["mean_price"] == 3
+
+    def test_conflicting_bids_for_one_market_force_a_second_pass(
+        self, database
+    ):
+        engine, frontend = counting_frontend(database)
+        workload = STACKED_WORKLOAD[:4] + [
+            # Same market as the bid-0.05 query, different bid: a layer
+            # evaluates one bid per market, so this needs a second pass.
+            {"query": "availability-at-bid",
+             "params": {"market": str(MARKETS[0]), "bid_price": 0.5}},
+        ]
+        with BackgroundServer(frontend) as background:
+            with SpotLightClient(*background.address) as client:
+                results = client.batch_response(workload)
+        assert engine.calls["point_stats_batch"] == 2
+        assert all(sub["ok"] for sub in results)
 
     def test_malformed_batch_bodies_are_http_400(self, database):
         frontend = fixed_clock_frontend(database)
